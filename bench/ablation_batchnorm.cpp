@@ -1,0 +1,93 @@
+// Ablation: does a BatchNorm + residual substrate change the Sync-Switch
+// story?
+//
+// EXPERIMENTS.md records one deviation from the paper on the plain MLP
+// substrate: switching to ASP right at a learning-rate decay boundary can
+// dip test accuracy before recovery (the paper's ResNets, with BN and skip
+// connections, do not show this).  This bench trains the BN/residual zoo
+// variants ("resnet32_bn_lite") under the same policies as the plain ones
+// and compares (a) converged accuracy, (b) the worst post-switch accuracy
+// drawdown — measuring how much of the deviation the smoother landscape
+// removes.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "common/table.h"
+#include "setups.h"
+
+using namespace ss;
+
+namespace {
+
+/// Largest drop from a running accuracy peak over the post-switch portion of
+/// the best run's accuracy curve.
+double post_switch_drawdown(const RunResult& r, double switch_fraction,
+                            std::int64_t total_steps) {
+  const auto switch_step = static_cast<std::int64_t>(switch_fraction *
+                                                     static_cast<double>(total_steps));
+  double peak = 0.0;
+  double worst = 0.0;
+  for (const auto& pt : r.accuracy_curve) {
+    if (pt.step < switch_step) continue;
+    peak = std::max(peak, pt.accuracy);
+    worst = std::max(worst, peak - pt.accuracy);
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  auto s = setups::setup1();
+  std::cout << "Ablation: plain MLP substrate vs BatchNorm+residual substrate ("
+            << "setup 1 policies)\n";
+
+  struct ArchRow {
+    std::string label;
+    ModelArch arch;
+  };
+  const std::vector<ArchRow> archs = {
+      {"resnet32_lite (plain)", ModelArch::kResNet32Lite},
+      {"resnet32_bn_lite (BN+skip)", ModelArch::kResNet32BnLite},
+  };
+  struct PolicyRow {
+    std::string label;
+    SyncSwitchPolicy policy;
+    double fraction;
+  };
+  const std::vector<PolicyRow> policies = {
+      {"BSP", SyncSwitchPolicy::pure(Protocol::kBsp), 1.0},
+      {"ASP", SyncSwitchPolicy::pure(Protocol::kAsp), 0.0},
+      {"Sync-Switch 6.25%", SyncSwitchPolicy::bsp_to_asp(0.0625), 0.0625},
+      {"Sync-Switch 50% (LR-decay boundary)", SyncSwitchPolicy::bsp_to_asp(0.5), 0.5},
+  };
+
+  Table t({"substrate", "policy", "converged acc", "std", "post-switch dip", "time (min)"});
+  for (const auto& arch : archs) {
+    setups::ExperimentSetup variant = s;
+    variant.workload.arch = arch.arch;
+    for (const auto& pol : policies) {
+      const auto stats = setups::run_reps(variant, pol.policy);
+      const bool failed = setups::all_failed(stats, s.workload.data.num_classes);
+      double dip = 0.0;
+      if (!failed)
+        dip = post_switch_drawdown(stats.best(), pol.fraction, variant.workload.total_steps);
+      t.add_row({arch.label, pol.label, failed ? "Fail" : Table::num(stats.mean_accuracy, 4),
+                 failed ? "-" : Table::num(stats.std_accuracy, 4),
+                 failed ? "-" : Table::num(dip, 4),
+                 Table::num(stats.mean_time_s / 60.0, 2)});
+    }
+  }
+  t.print("substrate ablation (setup 1)");
+
+  std::cout << "\nExpected shape: at the 50% (LR-decay) switch the BN+skip substrate\n"
+               "shows a smaller post-switch dip and matches BSP accuracy, closing part\n"
+               "of the documented deviation.  The BN substrate is also *more* sensitive\n"
+               "to staleness (batch statistics computed on stale parameters): static\n"
+               "ASP degrades harder and the accuracy knee moves to a later switch\n"
+               "point — consistent with the paper's observation that workloads differ\n"
+               "in their best switch timing, which is exactly what the offline binary\n"
+               "search is for.\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation: gradient compression combined with Sync-Switch.
+//
+// The paper's related-work section (Section VII) lists gradient
+// sparsification (Aji & Heafield: "a speed gain of 22%"), TernGrad and QSGD
+// as orthogonal network optimizations that "might be combined with
+// Sync-Switch to achieve further training speedup".  This bench performs the
+// combination on a *communication-bound* variant of experiment setup 1: the
+// payload models a real (un-scaled) ResNet32's ~1.8 MB of fp32 gradients on
+// a congested 25 MB/s cloud link, so the push leg is comparable to the
+// compute leg and codecs have room to help.
+//
+// Expected shape: every codec cuts BSP's per-step time (the barrier waits on
+// the slowest push) at little accuracy cost; combining a codec with
+// Sync-Switch compounds with the protocol speedup; extreme sparsification
+// (top-0.1%) starts to cost accuracy.
+#include <iostream>
+#include <vector>
+
+#include "common/table.h"
+#include "compress/spec.h"
+#include "setups.h"
+
+using namespace ss;
+
+namespace {
+
+/// Communication-bound variant of the setup-1 cluster: payload stands in for
+/// a real 460k-parameter ResNet32 (fp32) and bandwidth for a contended link.
+void comm_bound(RunRequest& req) {
+  req.cluster.payload_bytes = 1.8e6;
+  req.cluster.bandwidth_bps = 25.0 * 1024 * 1024;
+}
+
+struct CodecRow {
+  std::string label;
+  CompressionSpec spec;
+};
+
+}  // namespace
+
+int main() {
+  const auto s = setups::setup1();
+  std::cout << "Ablation: gradient compression x synchronization protocol\n"
+            << "(" << s.workload_name << ", comm-bound variant: 1.8 MB payload, 25 MB/s)\n";
+
+  const std::vector<CodecRow> codecs = {
+      {"fp32 (no compression)", CompressionSpec::none()},
+      {"QSGD 8-bit", CompressionSpec::qsgd(255)},
+      {"QSGD 4-bit", CompressionSpec::qsgd(15)},
+      {"TernGrad", CompressionSpec::terngrad()},
+      {"top-k 1%", CompressionSpec::topk(0.01)},
+      {"top-k 0.1%", CompressionSpec::topk(0.001)},
+  };
+
+  const SyncSwitchPolicy bsp = SyncSwitchPolicy::pure(Protocol::kBsp);
+  const SyncSwitchPolicy hybrid = SyncSwitchPolicy::bsp_to_asp(s.policy_fraction);
+
+  // Baseline for speedups: uncompressed static BSP.
+  const auto base = setups::run_reps_with(s, bsp, comm_bound);
+
+  Table t({"codec", "protocol", "converged acc", "std", "time (min)", "speedup vs fp32+BSP"});
+  for (const auto& row : codecs) {
+    for (const bool use_hybrid : {false, true}) {
+      const auto stats = setups::run_reps_with(
+          s, use_hybrid ? hybrid : bsp, [&](RunRequest& req) {
+            comm_bound(req);
+            req.compression = row.spec;
+          });
+      const bool failed = setups::all_failed(stats, s.workload.data.num_classes);
+      t.add_row({row.label, use_hybrid ? "Sync-Switch" : "BSP",
+                 failed ? "Fail" : Table::num(stats.mean_accuracy, 4),
+                 failed ? "-" : Table::num(stats.std_accuracy, 4),
+                 Table::num(stats.mean_time_s / 60.0, 2),
+                 Table::ratio(base.mean_time_s / stats.mean_time_s)});
+    }
+  }
+  t.print("compression x protocol (comm-bound setup 1)");
+
+  std::cout << "\nExpected shape: codecs speed up BSP (the barrier waits on the push);\n"
+               "compression composes with Sync-Switch's protocol speedup; aggressive\n"
+               "sparsification trades accuracy for diminishing time returns.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation: Sync-Switch vs the semi-synchronous protocols (SSP / DSSP).
+//
+// The paper positions Sync-Switch against SSP and DSSP (Section I reports
+// prior TTA speedups of 1.1X-2X for those protocols vs the ~4X of
+// Sync-Switch) and notes that Sync-Switch is agnostic to the underlying
+// protocols — e.g. one can switch from SSP to ASP instead of from BSP
+// (Section VI preamble).  This bench measures, on experiment setup 1:
+//
+//   * static BSP / SSP(3) / DSSP(3, +8) / ASP;
+//   * the default BSP->ASP Sync-Switch policy;
+//   * the SSP->ASP hybrid the paper suggests.
+#include <iostream>
+#include <optional>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "setups.h"
+
+using namespace ss;
+
+int main() {
+  const auto s = setups::setup1();
+  std::cout << "Ablation: static protocols vs hybrid switching (" << s.workload_name << ")\n";
+
+  struct Row {
+    std::string label;
+    SyncSwitchPolicy policy;
+  };
+  SyncSwitchPolicy ssp_to_asp;
+  ssp_to_asp.first = Protocol::kSsp;
+  ssp_to_asp.second = Protocol::kAsp;
+  ssp_to_asp.switch_fraction = s.policy_fraction;
+  ssp_to_asp.ssp_staleness_bound = 3;
+
+  const std::vector<Row> rows = {
+      {"BSP (static)", SyncSwitchPolicy::pure(Protocol::kBsp)},
+      {"SSP(3) (static)", SyncSwitchPolicy::pure(Protocol::kSsp)},
+      {"DSSP(3,+8) (static)", SyncSwitchPolicy::pure(Protocol::kDssp)},
+      {"ASP (static)", SyncSwitchPolicy::pure(Protocol::kAsp)},
+      {"Sync-Switch BSP->ASP", SyncSwitchPolicy::bsp_to_asp(s.policy_fraction)},
+      {"Sync-Switch SSP->ASP", ssp_to_asp},
+  };
+
+  // TTA threshold: BSP's converged accuracy (the paper's definition).
+  const auto bsp = setups::run_reps(s, rows[0].policy);
+  const double threshold = bsp.mean_accuracy;
+
+  Table t({"configuration", "converged acc", "std", "time (min)", "vs BSP", "TTA speedup",
+           "staleness"});
+  for (const auto& row : rows) {
+    const auto stats = setups::run_reps(s, row.policy);
+    std::vector<double> ttas;
+    double staleness = 0.0;
+    for (const auto& r : stats.runs) {
+      if (r.diverged) continue;
+      staleness += r.mean_staleness;
+      if (auto tta = r.time_to_accuracy(threshold)) ttas.push_back(*tta);
+    }
+    staleness /= std::max<std::size_t>(1, stats.runs.size());
+
+    std::vector<double> bsp_ttas;
+    for (const auto& r : bsp.runs)
+      if (auto tta = r.time_to_accuracy(threshold)) bsp_ttas.push_back(*tta);
+    const double tta_speedup =
+        (!ttas.empty() && !bsp_ttas.empty()) ? mean_of(bsp_ttas) / mean_of(ttas) : 0.0;
+
+    const bool failed = setups::all_failed(stats, s.workload.data.num_classes);
+    t.add_row({row.label, failed ? "Fail" : Table::num(stats.mean_accuracy, 4),
+               failed ? "-" : Table::num(stats.std_accuracy, 4),
+               Table::num(stats.mean_time_s / 60.0, 2),
+               Table::ratio(bsp.mean_time_s / stats.mean_time_s),
+               tta_speedup > 0.0 ? Table::ratio(tta_speedup) : "N/A",
+               Table::num(staleness, 2)});
+  }
+  t.print("static protocols vs hybrid switching (setup 1)");
+
+  std::cout << "\nExpected shape: SSP/DSSP sit between BSP and ASP in both time and\n"
+               "staleness (the paper's premise); hybrid switching beats every static\n"
+               "protocol on time-to-accuracy at BSP-level converged accuracy.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation: online policies against a PERMANENT straggler.
+//
+// The paper's online policies (greedy, elastic) target *transient*
+// stragglers and explicitly delegate permanent ones to node replacement
+// ("permanent stragglers are best dealt with by requesting replacement",
+// Section IV-B2, citing Optimus and resource-elasticity work).  This bench
+// implements that delegated piece and measures all four online policies on
+// experiment setup 1 with one worker slowed 30 ms-style for the entire run:
+//
+//   * Baseline drags the straggler through the whole BSP phase;
+//   * Greedy flips to ASP early (giving up the remaining BSP quota's
+//     accuracy protection);
+//   * Elastic evicts the straggler for the BSP phase but restores the
+//     still-slow node for ASP;
+//   * Replace evicts it and brings up a fresh healthy VM (~100 s), keeping
+//     the full cluster for the rest of the run.
+#include <iostream>
+#include <vector>
+
+#include "common/table.h"
+#include "setups.h"
+
+using namespace ss;
+
+int main() {
+  const auto s = setups::setup1();
+  std::cout << "Ablation: online policies vs a permanent straggler (" << s.workload_name
+            << ")\n";
+
+  // One permanent straggler: a single episode longer than any run.
+  StragglerScenario permanent;
+  permanent.num_stragglers = 1;
+  permanent.occurrences = 1;
+  permanent.extra_latency_ms = 30.0;
+  permanent.max_duration = VTime::from_minutes(600.0);
+  permanent.horizon = VTime::from_seconds(1.0);
+
+  struct Row {
+    std::string label;
+    OnlinePolicy online;
+  };
+  const std::vector<Row> rows = {
+      {"Baseline (straggler-agnostic)", OnlinePolicy::kNone},
+      {"Greedy", OnlinePolicy::kGreedy},
+      {"Elastic", OnlinePolicy::kElastic},
+      {"Replace (this repo's extension)", OnlinePolicy::kReplace},
+  };
+
+  // A 25% switch timing (instead of P1's 6.25%) gives the BSP phase enough
+  // rounds for throughput-window detection to warm up — with a permanent
+  // straggler from t=0, a 6.25% BSP phase is over before any sliding-window
+  // detector can legitimately fire.  Fig 11(c) shows 25% sits on the same
+  // accuracy plateau, so the comparison stays policy-faithful.
+  const double fraction = 0.25;
+  setups::RepStats baseline;
+  Table t({"online policy", "converged acc", "std", "time (min)", "vs baseline"});
+  for (const auto& row : rows) {
+    SyncSwitchPolicy policy = SyncSwitchPolicy::bsp_to_asp(fraction);
+    policy.online = row.online;
+    const auto stats = setups::run_reps_straggler(s, policy, permanent);
+    if (row.online == OnlinePolicy::kNone) baseline = stats;
+    const bool failed = setups::all_failed(stats, s.workload.data.num_classes);
+    t.add_row({row.label, failed ? "Fail" : Table::num(stats.mean_accuracy, 4),
+               failed ? "-" : Table::num(stats.std_accuracy, 4),
+               Table::num(stats.mean_time_s / 60.0, 2),
+               Table::ratio(baseline.mean_time_s / stats.mean_time_s)});
+  }
+  t.print("online policies, one permanent straggler (setup 1)");
+
+  std::cout << "\nExpected shape: the baseline pays the full straggler tax in time;\n"
+               "elastic recovers part of it (the BSP phase runs clean, but the ASP\n"
+               "phase gets the still-slow node back); replace recovers the most and\n"
+               "restores clean-cluster behavior end to end — its accuracy matches the\n"
+               "*clean* Sync-Switch distribution, not the straggler baseline's.  Note\n"
+               "a curiosity the simulation reproduces faithfully: a slow ASP worker\n"
+               "slightly *raises* converged accuracy (it lowers effective async\n"
+               "parallelism, hence staleness noise), so the baseline/elastic rows can\n"
+               "show a small accuracy edge bought with a large time tax.\n";
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 11: experiment setup 1 (ResNet32-class / synthetic-10, 8 workers).
+//
+// Expected shape: switching at the knee (~6.25%) matches BSP's converged
+// accuracy with ~80% training-time saving; timings between the knee and 50%
+// have minimal accuracy impact but cost proportionally more time.
+#include "sweep_report.h"
+
+int main() {
+  ss::setups::sweep_report(ss::setups::setup1(), "Figure 11");
+  return 0;
+}

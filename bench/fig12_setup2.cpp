@@ -1,0 +1,11 @@
+// Figure 12: experiment setup 2 (ResNet50-class / synthetic-100, 8 workers).
+//
+// Expected shape: a later knee than setup 1 (the paper found 12.5%; on this
+// substrate the knee lands at 50% — see EXPERIMENTS.md for the deviation
+// note), with ~25-40% training-time saving at the knee.
+#include "sweep_report.h"
+
+int main() {
+  ss::setups::sweep_report(ss::setups::setup2(), "Figure 12");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 14: cross-examination of Sync-Switch policies across setups.
+//
+// Applies each setup's timing policy P1/P2/P3 to every experiment setup.
+// Expected shape: the setup's own policy is (near-)optimal; policies with
+// more BSP cost extra time at the same accuracy; policies with too little
+// BSP fail on setup 3.
+#include <iostream>
+
+#include "common/table.h"
+#include "setups.h"
+
+using namespace ss;
+
+int main() {
+  std::cout << "Figure 14: cross-examination of timing policies (paper P_i timings)\n";
+
+  const std::vector<setups::ExperimentSetup> all = {setups::setup1(), setups::setup2(),
+                                                    setups::setup3()};
+  Table time_t({"exp. setup", "Policy 1", "Policy 2", "Policy 3"});
+  Table acc_t({"exp. setup", "Policy 1", "Policy 2", "Policy 3"});
+
+  for (const auto& target : all) {
+    std::vector<std::string> time_row = {std::to_string(target.id)};
+    std::vector<std::string> acc_row = {std::to_string(target.id)};
+    for (const auto& source : all) {
+      const auto stats = setups::run_reps(
+          target, SyncSwitchPolicy::bsp_to_asp(source.paper_fraction));
+      if (setups::all_failed(stats, target.workload.data.num_classes)) {
+        time_row.push_back("Fail");
+        acc_row.push_back("Fail");
+      } else {
+        time_row.push_back(Table::num(stats.mean_time_s / 60.0, 1) + " min");
+        acc_row.push_back(Table::num(stats.mean_accuracy, 4));
+      }
+    }
+    time_t.add_row(std::move(time_row));
+    acc_t.add_row(std::move(acc_row));
+  }
+
+  time_t.print("Fig 14(a): total training time (policy i = setup i's switch timing)");
+  acc_t.print("Fig 14(b): converged test accuracy");
+
+  std::cout << "\nExpected shape: off-diagonal policies with more BSP (e.g. P3 on setup 1)\n"
+               "waste time at equal accuracy; policies with too little BSP fail on setup 3.\n";
+  return 0;
+}

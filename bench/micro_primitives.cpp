@@ -1,0 +1,177 @@
+// Microbenchmarks of the substrate primitives (google-benchmark).
+//
+// Not a paper artifact; quantifies the building blocks so users can estimate
+// simulation cost: gradient computation, PS apply, pull (snapshot copy),
+// event-queue ops, checkpoint round-trip.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "compress/qsgd.h"
+#include "compress/terngrad.h"
+#include "compress/topk.h"
+#include "nn/batchnorm.h"
+#include "data/synthetic.h"
+#include "nn/zoo.h"
+#include "ps/param_server.h"
+#include "sim/event_queue.h"
+#include "tensor/ops.h"
+
+using namespace ss;
+
+namespace {
+
+SyntheticSpec small_spec() {
+  SyntheticSpec spec = SyntheticSpec::cifar10_like();
+  spec.train_size = 2048;
+  spec.test_size = 256;
+  return spec;
+}
+
+void BM_MatMul(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Tensor a({m, m}), b({m, m}), c({m, m});
+  for (std::size_t i = 0; i < a.numel(); ++i) a[i] = static_cast<float>(rng.gaussian());
+  for (std::size_t i = 0; i < b.numel(); ++i) b[i] = static_cast<float>(rng.gaussian());
+  for (auto _ : state) {
+    ops::matmul(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m * m * m));
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128);
+
+void BM_GradientStep(benchmark::State& state) {
+  const auto split = make_synthetic(small_spec());
+  Rng rng(2);
+  Model model = make_model(ModelArch::kResNet32Lite, 64, 10, rng);
+  const std::size_t b = 64;
+  Tensor x({b, 64});
+  std::vector<int> y;
+  std::vector<std::uint32_t> idx(b);
+  for (std::size_t i = 0; i < b; ++i) idx[i] = static_cast<std::uint32_t>(i);
+  split.train.gather(idx, x, y);
+  std::vector<float> params = model.get_params();
+  std::vector<float> grad(params.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.gradient_at(params, x, y, grad));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(b));
+}
+BENCHMARK(BM_GradientStep);
+
+void BM_PsApply(benchmark::State& state) {
+  const auto p = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<float> init(p);
+  std::vector<float> grad(p);
+  for (auto& v : init) v = static_cast<float>(rng.gaussian());
+  for (auto& v : grad) v = static_cast<float>(rng.gaussian(0.0, 0.01));
+  ParameterServer ps(init, 0.9);
+  for (auto _ : state) ps.apply(grad, 0.05);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(p));
+}
+BENCHMARK(BM_PsApply)->Arg(13000)->Arg(28000);
+
+void BM_PsPull(benchmark::State& state) {
+  const std::size_t p = 13000;
+  ParameterServer ps(std::vector<float>(p, 0.5f), 0.9);
+  std::vector<float> out(p);
+  for (auto _ : state) {
+    ps.pull(out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_PsPull);
+
+void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue q;
+    for (int i = 0; i < 1024; ++i)
+      q.schedule(VTime::from_us(1000 - (i % 97)), i % 2, i % 16);
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_CodecTopK(benchmark::State& state) {
+  const auto p = static_cast<std::size_t>(state.range(0));
+  TopKCodec codec(0.01);
+  Rng rng(5);
+  std::vector<float> grad(p);
+  for (std::size_t i = 0; i < p; ++i) grad[i] = static_cast<float>(rng.gaussian());
+  std::vector<float> scratch(p);
+  for (auto _ : state) {
+    scratch = grad;
+    benchmark::DoNotOptimize(codec.transform(scratch, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(p));
+}
+BENCHMARK(BM_CodecTopK)->Arg(13000)->Arg(130000);
+
+void BM_CodecTernGrad(benchmark::State& state) {
+  const auto p = static_cast<std::size_t>(state.range(0));
+  TernGradCodec codec;
+  Rng rng(5);
+  std::vector<float> grad(p);
+  for (std::size_t i = 0; i < p; ++i) grad[i] = static_cast<float>(rng.gaussian());
+  std::vector<float> scratch(p);
+  for (auto _ : state) {
+    scratch = grad;
+    benchmark::DoNotOptimize(codec.transform(scratch, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(p));
+}
+BENCHMARK(BM_CodecTernGrad)->Arg(13000);
+
+void BM_CodecQsgd(benchmark::State& state) {
+  const auto p = static_cast<std::size_t>(state.range(0));
+  QsgdCodec codec(15);
+  Rng rng(5);
+  std::vector<float> grad(p);
+  for (std::size_t i = 0; i < p; ++i) grad[i] = static_cast<float>(rng.gaussian());
+  std::vector<float> scratch(p);
+  for (auto _ : state) {
+    scratch = grad;
+    benchmark::DoNotOptimize(codec.transform(scratch, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(p));
+}
+BENCHMARK(BM_CodecQsgd)->Arg(13000);
+
+void BM_BatchNormForwardBackward(benchmark::State& state) {
+  BatchNorm bn(96);
+  Rng rng(5);
+  Tensor x({64, 96});
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] = static_cast<float>(rng.gaussian());
+  Tensor dy({64, 96}, 0.01f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bn.forward(x));
+    benchmark::DoNotOptimize(bn.backward(dy));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64 * 96);
+}
+BENCHMARK(BM_BatchNormForwardBackward);
+
+void BM_CheckpointRoundTrip(benchmark::State& state) {
+  Checkpoint ckpt;
+  ckpt.global_step = 1234;
+  ckpt.params.assign(13000, 0.25f);
+  ckpt.velocity.assign(13000, -0.5f);
+  for (auto _ : state) {
+    const auto bytes = ckpt.serialize();
+    benchmark::DoNotOptimize(Checkpoint::deserialize(bytes));
+  }
+}
+BENCHMARK(BM_CheckpointRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,204 @@
+#include "setups.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace ss::setups {
+
+namespace {
+
+ClusterSpec resnet32_cluster(std::size_t n) {
+  ClusterSpec c;
+  c.num_workers = n;
+  c.compute_per_batch = VTime::from_ms(120.0);
+  c.reference_batch = 64;
+  c.compute_jitter_sigma = 0.12;
+  c.net_latency = VTime::from_ms(2.0);
+  c.payload_bytes = 4.0 * 13000;  // resnet32_lite parameter bytes
+  c.bandwidth_bps = 100.0 * 1024 * 1024;
+  c.sync_base = VTime::from_ms(287.0);
+  c.sync_quad = VTime::from_ms(6.4);
+  c.async_apply = VTime::from_ms(1.0);
+  return c;
+}
+
+ClusterSpec resnet50_cluster(std::size_t n) {
+  ClusterSpec c = resnet32_cluster(n);
+  // The ResNet50-class workload is compute-dominated: a much longer per-batch
+  // GPU time against the same network, which is what compresses the BSP:ASP
+  // gap to ~1.8x in the paper's setup 2.
+  c.compute_per_batch = VTime::from_ms(840.0);
+  c.payload_bytes = 4.0 * 28000;  // resnet50_lite parameter bytes
+  return c;
+}
+
+}  // namespace
+
+ExperimentSetup setup1() {
+  ExperimentSetup s;
+  s.id = 1;
+  s.workload_name = "resnet32_lite / synthetic-10 (n=8)";
+  s.workload.arch = ModelArch::kResNet32Lite;
+  s.workload.data = SyntheticSpec::cifar10_like();
+  s.workload.total_steps = 2048;
+  s.workload.hyper.batch_size = 64;
+  s.workload.hyper.learning_rate = 0.05;
+  s.workload.hyper.momentum = 0.9;
+  s.workload.eval_interval = 64;
+  s.cluster = resnet32_cluster(8);
+  s.policy_fraction = 0.0625;
+  s.paper_fraction = 0.0625;
+  s.sweep_fractions = {0.0, 0.03125, 0.0625, 0.125, 0.25, 0.5, 1.0};
+  s.search_max_settings = 5;
+  return s;
+}
+
+ExperimentSetup setup2() {
+  ExperimentSetup s;
+  s.id = 2;
+  s.workload_name = "resnet50_lite / synthetic-100 (n=8)";
+  s.workload.arch = ModelArch::kResNet50Lite;
+  s.workload.data = SyntheticSpec::cifar100_like();
+  s.workload.total_steps = 2048;
+  s.workload.hyper.batch_size = 64;
+  s.workload.hyper.learning_rate = 0.04;
+  s.workload.hyper.momentum = 0.9;
+  s.workload.eval_interval = 64;
+  s.cluster = resnet50_cluster(8);
+  // The paper's knee for this workload is 12.5%; on our substrate the ASP
+  // phase at full learning rate ejects the model from the BSP-found optimum,
+  // moving the knee to the first LR-decay boundary (50%).  We use our own
+  // derived timing as the policy and record the deviation in EXPERIMENTS.md.
+  s.policy_fraction = 0.5;
+  s.paper_fraction = 0.125;
+  s.sweep_fractions = {0.0, 0.0625, 0.125, 0.25, 0.5, 1.0};
+  s.search_max_settings = 4;
+  return s;
+}
+
+ExperimentSetup setup3() {
+  ExperimentSetup s = setup1();
+  s.id = 3;
+  s.workload_name = "resnet32_lite / synthetic-10 (n=16)";
+  s.cluster = resnet32_cluster(16);
+  s.policy_fraction = 0.5;
+  s.paper_fraction = 0.5;
+  s.sweep_fractions = {0.0, 0.25, 0.5, 1.0};
+  s.search_max_settings = 1;
+  return s;
+}
+
+ExperimentSetup setup_by_id(int id) {
+  switch (id) {
+    case 1:
+      return setup1();
+    case 2:
+      return setup2();
+    case 3:
+      return setup3();
+    default:
+      throw ConfigError("setup_by_id: unknown setup " + std::to_string(id));
+  }
+}
+
+RunRequest make_request(const ExperimentSetup& s, const SyncSwitchPolicy& policy,
+                        std::uint64_t seed) {
+  RunRequest req;
+  req.workload = s.workload;
+  req.cluster = s.cluster;
+  req.actuator = ActuatorExec::kParallel;
+  req.policy = policy;
+  req.seed = seed;
+  // The step budget is ~30x the paper's 64K scaled down; scale the absolute
+  // actuator overheads identically so overhead:training ratios are faithful.
+  req.actuator_time_scale = static_cast<double>(s.workload.total_steps) / 65536.0;
+  return req;
+}
+
+RunRequest make_straggler_request(const ExperimentSetup& s, const SyncSwitchPolicy& policy,
+                                  const StragglerScenario& scenario, std::uint64_t seed) {
+  RunRequest req = make_request(s, policy, seed);
+  req.stragglers = scenario;
+  return req;
+}
+
+const RunCache& cache() {
+  static const RunCache instance(".ss_runcache");
+  return instance;
+}
+
+const RunResult& RepStats::best() const {
+  if (runs.empty()) throw ConfigError("RepStats::best on empty runs");
+  const RunResult* best = &runs.front();
+  for (const auto& r : runs)
+    if (!r.diverged && r.converged_accuracy > best->converged_accuracy) best = &r;
+  return *best;
+}
+
+namespace {
+RepStats collect(std::vector<RunResult> runs) {
+  RepStats stats;
+  std::vector<double> accs, times, thrs;
+  for (auto& r : runs) {
+    if (r.diverged) {
+      ++stats.diverged_count;
+    } else {
+      accs.push_back(r.converged_accuracy);
+      times.push_back(r.train_time_seconds);
+      thrs.push_back(r.throughput_images_per_sec);
+    }
+  }
+  stats.mean_accuracy = mean_of(accs);
+  stats.std_accuracy = stddev_of(accs);
+  stats.mean_time_s = mean_of(times);
+  stats.mean_throughput = mean_of(thrs);
+  stats.runs = std::move(runs);
+  return stats;
+}
+}  // namespace
+
+RepStats run_reps(const ExperimentSetup& s, const SyncSwitchPolicy& policy) {
+  std::vector<RunResult> runs;
+  runs.reserve(kReps);
+  for (int rep = 0; rep < kReps; ++rep)
+    runs.push_back(cache().run_cached(
+        make_request(s, policy, static_cast<std::uint64_t>(rep) + 1)));
+  return collect(std::move(runs));
+}
+
+RepStats run_reps_with(const ExperimentSetup& s, const SyncSwitchPolicy& policy,
+                       const std::function<void(RunRequest&)>& mutate) {
+  std::vector<RunResult> runs;
+  runs.reserve(kReps);
+  for (int rep = 0; rep < kReps; ++rep) {
+    RunRequest req = make_request(s, policy, static_cast<std::uint64_t>(rep) + 1);
+    if (mutate) mutate(req);
+    runs.push_back(cache().run_cached(req));
+  }
+  return collect(std::move(runs));
+}
+
+RepStats run_reps_straggler(const ExperimentSetup& s, const SyncSwitchPolicy& policy,
+                            const StragglerScenario& scenario) {
+  std::vector<RunResult> runs;
+  runs.reserve(kReps);
+  for (int rep = 0; rep < kReps; ++rep)
+    runs.push_back(cache().run_cached(
+        make_straggler_request(s, policy, scenario, static_cast<std::uint64_t>(rep) + 1)));
+  return collect(std::move(runs));
+}
+
+bool run_failed(const RunResult& r, int num_classes) {
+  return r.diverged || r.converged_accuracy < 2.0 / static_cast<double>(num_classes);
+}
+
+bool all_failed(const RepStats& stats, int num_classes) {
+  if (stats.runs.empty()) return false;
+  for (const auto& r : stats.runs)
+    if (!run_failed(r, num_classes)) return false;
+  return true;
+}
+
+}  // namespace ss::setups

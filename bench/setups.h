@@ -1,0 +1,92 @@
+// The three experiment setups of the paper's Table I, scaled to this repo's
+// simulated substrate, shared by every bench binary and the examples.
+//
+//   Setup 1: "ResNet32 / CIFAR-10"  -> resnet32_lite / synthetic-10,  n = 8
+//   Setup 2: "ResNet50 / CIFAR-100" -> resnet50_lite / synthetic-100, n = 8
+//   Setup 3: "ResNet32 / CIFAR-10"  -> resnet32_lite / synthetic-10,  n = 16
+//
+// Cluster cost constants are calibrated so the BSP:ASP per-workload time
+// ratios match the paper's observed ranges (see EXPERIMENTS.md for the
+// calibration table).  The paper's 64K-step budget is scaled down ~16x-32x;
+// the LR schedule keeps its shape (x0.1 at 50%, x0.01 at 75%).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/run_cache.h"
+#include "core/session.h"
+
+namespace ss::setups {
+
+/// Repetitions per configuration, as in the paper ("each experiment setup
+/// repeated five times").
+inline constexpr int kReps = 5;
+
+/// Monte-Carlo trials for the search-cost analysis (paper uses 1000).
+inline constexpr int kSearchTrials = 1000;
+
+struct ExperimentSetup {
+  int id = 1;
+  std::string workload_name;   ///< e.g. "resnet32_lite / synthetic-10"
+  Workload workload;
+  ClusterSpec cluster;
+  double policy_fraction = 0.0625;       ///< switch timing used as this setup's policy
+                                         ///< (derived on THIS substrate; see EXPERIMENTS.md)
+  double paper_fraction = 0.0625;        ///< the paper's published P_i timing
+  std::vector<double> sweep_fractions;   ///< switch timings swept in Fig 11/12/13
+  int search_max_settings = 5;           ///< binary-search depth M used in VI-C1
+};
+
+ExperimentSetup setup1();
+ExperimentSetup setup2();
+ExperimentSetup setup3();
+ExperimentSetup setup_by_id(int id);
+
+/// Build a clean-run request for a setup with the given policy + seed.
+RunRequest make_request(const ExperimentSetup& s, const SyncSwitchPolicy& policy,
+                        std::uint64_t seed);
+
+/// Same, with straggler injection.
+RunRequest make_straggler_request(const ExperimentSetup& s, const SyncSwitchPolicy& policy,
+                                  const StragglerScenario& scenario, std::uint64_t seed);
+
+/// Shared on-disk cache (./.ss_runcache relative to the working directory).
+const RunCache& cache();
+
+/// Mean over repetitions helper used across benches.
+struct RepStats {
+  double mean_accuracy = 0.0;
+  double std_accuracy = 0.0;
+  double mean_time_s = 0.0;
+  double mean_throughput = 0.0;
+  int diverged_count = 0;
+  std::vector<RunResult> runs;
+  /// Run with the highest converged accuracy (paper reports "best runs").
+  [[nodiscard]] const RunResult& best() const;
+};
+
+/// Run (or load from cache) `kReps` repetitions of a policy on a setup.
+RepStats run_reps(const ExperimentSetup& s, const SyncSwitchPolicy& policy);
+
+/// Straggler variant.
+RepStats run_reps_straggler(const ExperimentSetup& s, const SyncSwitchPolicy& policy,
+                            const StragglerScenario& scenario);
+
+/// Generic variant: `mutate` edits each RunRequest before it is executed
+/// (compression specs, cluster overrides, straggler scenarios...).  The
+/// mutated request is cached under its own key like every other run.
+RepStats run_reps_with(const ExperimentSetup& s, const SyncSwitchPolicy& policy,
+                       const std::function<void(RunRequest&)>& mutate);
+
+/// A run "failed" (the paper's divergence error) if the loss diverged or the
+/// model collapsed to a degenerate predictor (accuracy indistinguishable
+/// from at most 2x chance level).
+bool run_failed(const RunResult& r, int num_classes);
+
+/// True when every repetition failed (the paper's "Fail" table entries).
+bool all_failed(const RepStats& stats, int num_classes);
+
+}  // namespace ss::setups

@@ -1,0 +1,94 @@
+// Shared report generator for Figures 11/12/13: per-setup switch-timing
+// sweeps with training-loss/test-accuracy curves for the best runs and
+// converged-accuracy / training-time tables across timings.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "setups.h"
+
+namespace ss::setups {
+
+inline SyncSwitchPolicy policy_for_fraction(double f) {
+  if (f >= 1.0) return SyncSwitchPolicy::pure(Protocol::kBsp);
+  if (f <= 0.0) return SyncSwitchPolicy::pure(Protocol::kAsp);
+  return SyncSwitchPolicy::bsp_to_asp(f);
+}
+
+inline std::string fraction_label(double f) {
+  if (f >= 1.0) return "100% (BSP)";
+  if (f <= 0.0) return "0% (ASP)";
+  return Table::pct(f, 3);
+}
+
+/// Print the four panels of a per-setup figure (loss curves, accuracy
+/// curves, converged accuracy vs timing, training time vs timing).
+inline void sweep_report(const ExperimentSetup& s, const std::string& figure_name) {
+  std::cout << figure_name << ": performance of " << s.workload_name << "\n";
+  const int classes = s.workload.data.num_classes;
+
+  // Panels (c)+(d): converged accuracy and training time vs switch timing.
+  Table acc_table({"switch timing", "converged acc", "std", "failed runs"});
+  Table time_table({"switch timing", "training time (min)", "vs BSP"});
+  double bsp_time = 0.0;
+  std::vector<RepStats> sweep;
+  for (double f : s.sweep_fractions) {
+    const auto stats = run_reps(s, policy_for_fraction(f));
+    if (f >= 1.0) bsp_time = stats.mean_time_s;
+    sweep.push_back(stats);
+  }
+  for (std::size_t i = 0; i < s.sweep_fractions.size(); ++i) {
+    const double f = s.sweep_fractions[i];
+    const auto& stats = sweep[i];
+    int failed = 0;
+    for (const auto& r : stats.runs)
+      if (run_failed(r, classes)) ++failed;
+    const bool all_fail = all_failed(stats, classes);
+    acc_table.add_row({fraction_label(f),
+                       all_fail ? "Fail" : Table::num(stats.mean_accuracy, 4),
+                       all_fail ? "-" : Table::num(stats.std_accuracy, 4),
+                       std::to_string(failed) + "/" + std::to_string(kReps)});
+    time_table.add_row(
+        {fraction_label(f), Table::num(stats.mean_time_s / 60.0, 1),
+         bsp_time > 0 ? Table::pct(stats.mean_time_s / bsp_time, 1) : "-"});
+  }
+
+  // Panels (a)+(b): loss/accuracy curves of the best runs for ASP, BSP, and
+  // the setup's Sync-Switch policy.
+  const auto& bsp = sweep.back();  // fractions are sorted ascending, 1.0 last
+  const auto& asp = sweep.front();
+  const auto ss_stats = run_reps(s, policy_for_fraction(s.policy_fraction));
+
+  Table curves({"steps", "BSP loss", "ASP loss", "SS loss", "BSP acc", "ASP acc", "SS acc"});
+  const std::int64_t stride = s.workload.total_steps / 8;
+  auto loss_at = [](const RunResult& r, std::int64_t step) {
+    double v = 0.0;
+    for (const auto& p : r.loss_curve)
+      if (p.step <= step) v = p.loss;
+    return v;
+  };
+  auto acc_at = [](const RunResult& r, std::int64_t step) {
+    double v = 0.0;
+    for (const auto& p : r.accuracy_curve)
+      if (p.step <= step) v = p.accuracy;
+    return v;
+  };
+  const bool asp_ok = !all_failed(asp, classes);
+  for (std::int64_t step = stride; step <= s.workload.total_steps; step += stride) {
+    curves.add_row({std::to_string(step), Table::num(loss_at(bsp.best(), step), 3),
+                    asp_ok ? Table::num(loss_at(asp.best(), step), 3) : "Fail",
+                    Table::num(loss_at(ss_stats.best(), step), 3),
+                    Table::num(acc_at(bsp.best(), step), 3),
+                    asp_ok ? Table::num(acc_at(asp.best(), step), 3) : "Fail",
+                    Table::num(acc_at(ss_stats.best(), step), 3)});
+  }
+
+  curves.print("(a)+(b): training loss and test accuracy vs steps (best runs; SS = policy " +
+               fraction_label(s.policy_fraction) + ")");
+  acc_table.print("(c): converged accuracy vs switch timing");
+  time_table.print("(d): total training time vs switch timing");
+}
+
+}  // namespace ss::setups

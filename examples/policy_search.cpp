@@ -1,0 +1,72 @@
+// Offline timing-policy derivation (paper Section IV-B1, Algorithm 1).
+//
+// Runs the binary search over switch timings against real training sessions
+// and prints every candidate it explores plus the derived policy.  This is
+// what Sync-Switch's cluster manager does for a new (non-recurring) job.
+//
+//   $ ./build/examples/policy_search
+#include <iostream>
+
+#include "core/binary_search.h"
+#include "core/session.h"
+
+using namespace ss;
+
+namespace {
+
+RunRequest request_for(double fraction, int repetition) {
+  RunRequest req;
+  req.workload.arch = ModelArch::kResNet32Lite;
+  req.workload.data = SyntheticSpec::cifar10_like();
+  req.workload.data.train_size = 16384;
+  req.workload.data.test_size = 4096;
+  req.workload.total_steps = 2048;
+  req.workload.hyper.batch_size = 64;
+  req.workload.hyper.learning_rate = 0.05;
+  req.workload.eval_interval = 64;
+  req.cluster.num_workers = 8;
+  req.cluster.compute_per_batch = VTime::from_ms(120.0);
+  req.cluster.sync_base = VTime::from_ms(287.0);
+  req.cluster.sync_quad = VTime::from_ms(6.4);
+  req.actuator_time_scale = 0.02;
+  req.policy = fraction >= 1.0 ? SyncSwitchPolicy::pure(Protocol::kBsp)
+                               : SyncSwitchPolicy::bsp_to_asp(fraction);
+  req.seed = static_cast<std::uint64_t>(repetition) + 1;
+  return req;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Deriving a timing policy with Algorithm 1 (binary search)\n";
+  std::cout << "Each trial is a full (scaled-down) training session.\n\n";
+
+  BinarySearchConfig cfg;
+  cfg.beta = 0.01;       // accuracy margin around the BSP target
+  cfg.max_settings = 3;  // M: candidate timings to explore
+  cfg.runs_per_setting = 2;  // R: repetitions per candidate (5 in the paper)
+
+  const auto result = binary_search_timing(
+      [](double fraction, int repetition) {
+        const RunResult r = TrainingSession(request_for(fraction, repetition)).run();
+        TrialOutcome out;
+        out.converged_accuracy = r.diverged ? 0.0 : r.converged_accuracy;
+        out.train_time_seconds = r.train_time_seconds;
+        out.diverged = r.diverged;
+        std::cout << "  trial: switch at " << fraction * 100 << "%, rep " << repetition
+                  << " -> acc " << out.converged_accuracy << (r.diverged ? " (diverged)" : "")
+                  << "\n";
+        return out;
+      },
+      cfg);
+
+  std::cout << "\nBSP target accuracy A = " << result.target_accuracy << "\n";
+  for (const auto& c : result.explored)
+    std::cout << "  candidate " << c.fraction * 100 << "%: mean acc " << c.mean_accuracy
+              << (c.in_band ? "  [in band]" : "  [out of band]") << "\n";
+  std::cout << "\nDerived timing policy: switch from BSP to ASP at "
+            << result.switch_fraction * 100 << "% of the workload\n";
+  std::cout << "Search cost: " << result.search_cost_seconds / 60.0 << " virtual minutes over "
+            << result.sessions_run << " sessions\n";
+  return 0;
+}

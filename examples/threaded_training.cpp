@@ -1,0 +1,51 @@
+// Real multi-threaded parameter-server training (no simulation).
+//
+// Runs the same BSP and ASP protocol logic with OS threads against a
+// mutex-protected parameter server, demonstrating that the PS semantics in
+// this library are genuinely concurrent — gradient staleness under ASP is
+// measured, not simulated, here.
+//
+//   $ ./build/examples/threaded_training
+#include <iostream>
+
+#include "data/synthetic.h"
+#include "nn/zoo.h"
+#include "ps/threaded_runtime.h"
+
+using namespace ss;
+
+int main() {
+  std::cout << "Threaded PS training: 4 worker threads, one shared parameter server\n\n";
+
+  SyntheticSpec spec = SyntheticSpec::cifar10_like();
+  spec.train_size = 4096;
+  spec.test_size = 1024;
+  const DataSplit data = make_synthetic(spec);
+
+  Rng rng(21);
+  Model model = make_model(ModelArch::kResNet32Lite, spec.feature_dim, spec.num_classes, rng);
+  const double initial_acc = model.evaluate_accuracy(data.test);
+  std::cout << "initial test accuracy: " << initial_acc << "\n\n";
+
+  for (Protocol protocol : {Protocol::kBsp, Protocol::kAsp}) {
+    ThreadedTrainConfig cfg;
+    cfg.protocol = protocol;
+    cfg.num_workers = 4;
+    cfg.batch_size = 64;
+    cfg.steps_per_worker = 150;
+    cfg.lr = protocol == Protocol::kBsp ? 0.2 : 0.05;  // linear scaling rule
+    cfg.momentum = 0.9;
+    cfg.seed = 42;
+
+    const ThreadedTrainResult result = threaded_train(model, data.train, cfg);
+    Model trained = model.clone();
+    trained.set_params(result.final_params);
+    std::cout << protocol_name(protocol) << ": " << result.total_updates << " PS updates, "
+              << "mean staleness " << result.mean_staleness << ", test accuracy "
+              << trained.evaluate_accuracy(data.test) << "\n";
+  }
+
+  std::cout << "\nNote: ASP applies every worker push individually (staleness > 0); BSP\n"
+               "aggregates per barrier round (staleness = 0 by construction).\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ss {
+
+namespace {
+std::string escape(const std::string& field) {
+  const bool needs_quotes = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("CsvWriter needs at least one column");
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size())
+    throw std::invalid_argument("CsvWriter row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << escape(row[i]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void CsvWriter::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("CsvWriter: cannot open " + path);
+  out << to_string();
+  if (!out) throw std::runtime_error("CsvWriter: write failed for " + path);
+}
+
+}  // namespace ss

@@ -1,0 +1,29 @@
+// Tiny CSV writer for persisting run logs (used by the search-cost analysis
+// to replay training outcomes, mirroring the paper's use of training logs in
+// Section VI-C1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ss {
+
+/// Accumulates rows and writes an RFC-4180-ish CSV file (quotes fields that
+/// contain commas/quotes/newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Write to file; throws std::runtime_error on IO failure.
+  void write(const std::string& path) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ss

@@ -1,0 +1,42 @@
+// Library error types.  We follow the Core Guidelines (E.14): distinct
+// exception types per failure category, all rooted in std::runtime_error so
+// callers can catch coarsely or finely.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ss {
+
+/// Invalid configuration supplied by the caller (bad cluster size,
+/// inconsistent hyper-parameters, ...).
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Shape/dimension mismatch in tensor or layer plumbing.
+class ShapeError : public std::runtime_error {
+ public:
+  explicit ShapeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Training diverged (loss went non-finite or exploded) — the paper's
+/// "divergence error" (Section VI-B1, exp. setup 3 under ASP).
+class DivergenceError : public std::runtime_error {
+ public:
+  explicit DivergenceError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Checkpoint serialization / restore failure.
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class CheckpointError : public std::runtime_error {
+ public:
+  explicit CheckpointError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace ss

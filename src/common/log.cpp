@@ -1,0 +1,39 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace ss {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void log_line(LogLevel level, const std::string& msg) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  std::cerr << "[" << level_tag(level) << "] " << msg << "\n";
+}
+
+}  // namespace ss

@@ -1,0 +1,64 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// Every stochastic component in the library draws from an `Rng` seeded from
+// an explicit stream id, so a whole distributed-training simulation is
+// reproducible bit-for-bit given (seed, run index).  We intentionally do not
+// use std::mt19937 default-seeding or global RNG state anywhere.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+namespace ss {
+
+/// xoshiro256** PRNG with SplitMix64 seeding.  Small, fast, and stable
+/// across platforms (unlike distribution implementations in libstdc++ vs
+/// libc++, our gaussian/uniform are hand-rolled so results never drift).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Derive an independent child stream; used to give each (worker, run)
+  /// pair its own stream without correlation.
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Standard normal via Box-Muller (no cached spare: keeps state minimal
+  /// and forkable).
+  double gaussian() noexcept;
+
+  /// Normal with given mean / stddev.
+  double gaussian(double mean, double stddev) noexcept;
+
+  /// Log-normal: exp(N(mu, sigma)).  Used for compute-time jitter.
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// Exponential with rate lambda.
+  double exponential(double lambda) noexcept;
+
+  /// Bernoulli trial with probability p.
+  bool bernoulli(double p) noexcept;
+
+  /// Fisher-Yates shuffle of an index vector.
+  void shuffle(std::vector<std::uint32_t>& v) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// SplitMix64 step; exposed for hashing-style seed derivation.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+}  // namespace ss

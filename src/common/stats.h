@@ -1,0 +1,61 @@
+// Small statistics toolkit used by the profiler, the straggler detector and
+// the bench harnesses: running moments, percentiles, and fixed-size sliding
+// windows over throughput samples.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace ss {
+
+/// Welford running mean/variance.  O(1) update, numerically stable.
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Population variance (paper's straggler rule uses sigma of the cluster
+  /// sample, not an unbiased estimator).
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  void reset() noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a vector; 0 for empty input.
+double mean_of(const std::vector<double>& xs) noexcept;
+
+/// Population standard deviation; 0 for fewer than 2 samples.
+double stddev_of(const std::vector<double>& xs) noexcept;
+
+/// Linear-interpolated percentile, p in [0, 100].  Copies + sorts.
+double percentile_of(std::vector<double> xs, double p) noexcept;
+
+/// Fixed-capacity sliding window of samples with O(1) mean queries.
+/// Used for per-worker throughput monitoring (Section IV-B2).
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::size_t capacity);
+
+  void add(double x);
+  [[nodiscard]] bool full() const noexcept { return samples_.size() == capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] double mean() const noexcept;
+  void clear() noexcept;
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> samples_;
+  double sum_ = 0.0;
+};
+
+}  // namespace ss

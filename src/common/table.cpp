@@ -1,0 +1,100 @@
+#include "common/table.h"
+
+#include "common/csv.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ss {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size())
+    throw std::invalid_argument("Table row arity mismatch: expected " +
+                                std::to_string(header_.size()) + ", got " +
+                                std::to_string(cells.size()));
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::pct(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << (v * 100.0) << "%";
+  return os.str();
+}
+
+std::string Table::ratio(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v << "X";
+  return os.str();
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "  " << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    os << "\n";
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string Table::slugify(const std::string& title) {
+  std::string slug;
+  slug.reserve(title.size());
+  bool last_dash = false;
+  for (const char c : title) {
+    const bool keep = std::isalnum(static_cast<unsigned char>(c)) != 0;
+    if (keep) {
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      last_dash = false;
+    } else if (!last_dash && !slug.empty()) {
+      slug += '-';
+      last_dash = true;
+    }
+  }
+  while (!slug.empty() && slug.back() == '-') slug.pop_back();
+  return slug.empty() ? "table" : slug;
+}
+
+void Table::print(const std::string& title) const {
+  std::cout << "\n" << title << "\n" << render() << std::flush;
+
+  if (const char* dir = std::getenv("SS_BENCH_CSV_DIR"); dir != nullptr && *dir != '\0') {
+    CsvWriter csv(header_);
+    for (const auto& row : rows_) csv.add_row(row);
+    const std::string path = std::string(dir) + "/" + slugify(title) + ".csv";
+    try {
+      csv.write(path);
+    } catch (const std::exception& e) {
+      // CSV export is best-effort: report, keep the bench output intact.
+      std::cerr << "[warn] SS_BENCH_CSV_DIR export failed: " << e.what() << "\n";
+    }
+  }
+}
+
+}  // namespace ss

@@ -1,0 +1,41 @@
+// Aligned ASCII table printer used by the bench harnesses to reproduce the
+// paper's tables/figure series as terminal output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ss {
+
+/// Column-aligned text table.  Cells are strings; numeric helpers format with
+/// fixed precision.  Rendering pads each column to its widest cell.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Format helpers.
+  static std::string num(double v, int precision = 3);
+  static std::string pct(double v, int precision = 1);       ///< 0.1234 -> "12.3%"
+  static std::string ratio(double v, int precision = 2);     ///< 1.87 -> "1.87X"
+
+  /// Render with a separator under the header.
+  [[nodiscard]] std::string render() const;
+
+  /// Render directly to stdout with a title line.  If the environment
+  /// variable SS_BENCH_CSV_DIR is set, additionally write the table as
+  /// `<dir>/<slugified title>.csv` so bench output is plot-ready without
+  /// scraping terminal text.
+  void print(const std::string& title) const;
+
+  /// The filename-safe slug `print` derives from a title (exposed for tests).
+  [[nodiscard]] static std::string slugify(const std::string& title);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ss

@@ -1,0 +1,54 @@
+// Virtual time used by the discrete-event cluster simulator.
+//
+// We keep time as integral microseconds to make event ordering exact (no
+// floating-point tie ambiguity); helpers convert to seconds/minutes for
+// reporting.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace ss {
+
+/// A point (or span) on the simulator's virtual clock, in microseconds.
+class VTime {
+ public:
+  constexpr VTime() noexcept = default;
+
+  [[nodiscard]] static constexpr VTime from_us(std::int64_t us) noexcept { return VTime(us); }
+  [[nodiscard]] static constexpr VTime from_ms(double ms) noexcept {
+    return VTime(static_cast<std::int64_t>(ms * 1e3));
+  }
+  [[nodiscard]] static constexpr VTime from_seconds(double s) noexcept {
+    return VTime(static_cast<std::int64_t>(s * 1e6));
+  }
+  [[nodiscard]] static constexpr VTime from_minutes(double m) noexcept {
+    return from_seconds(m * 60.0);
+  }
+  [[nodiscard]] static constexpr VTime zero() noexcept { return VTime(0); }
+
+  [[nodiscard]] constexpr std::int64_t us() const noexcept { return us_; }
+  [[nodiscard]] constexpr double ms() const noexcept { return static_cast<double>(us_) / 1e3; }
+  [[nodiscard]] constexpr double seconds() const noexcept {
+    return static_cast<double>(us_) / 1e6;
+  }
+  [[nodiscard]] constexpr double minutes() const noexcept { return seconds() / 60.0; }
+
+  constexpr auto operator<=>(const VTime&) const noexcept = default;
+
+  constexpr VTime operator+(VTime o) const noexcept { return VTime(us_ + o.us_); }
+  constexpr VTime operator-(VTime o) const noexcept { return VTime(us_ - o.us_); }
+  constexpr VTime& operator+=(VTime o) noexcept {
+    us_ += o.us_;
+    return *this;
+  }
+  [[nodiscard]] constexpr VTime scaled(double k) const noexcept {
+    return VTime(static_cast<std::int64_t>(static_cast<double>(us_) * k));
+  }
+
+ private:
+  constexpr explicit VTime(std::int64_t us) noexcept : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+}  // namespace ss

@@ -1,0 +1,59 @@
+#include "compress/bank.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ss {
+
+CompressorBank::CompressorBank(std::shared_ptr<const GradientCodec> codec,
+                               std::size_t num_workers, bool error_feedback)
+    : codec_(std::move(codec)), error_feedback_(error_feedback), residuals_(num_workers) {
+  if (!codec_) throw ConfigError("CompressorBank: codec is required");
+  if (num_workers == 0) throw ConfigError("CompressorBank: num_workers must be > 0");
+}
+
+CompressorBank CompressorBank::with_default_feedback(std::shared_ptr<const GradientCodec> codec,
+                                                     std::size_t num_workers) {
+  if (!codec) throw ConfigError("CompressorBank: codec is required");
+  const bool feedback = !codec->unbiased();
+  return CompressorBank(std::move(codec), num_workers, feedback);
+}
+
+std::vector<float>& CompressorBank::residual_for(int worker, std::size_t num_params) {
+  if (worker < 0 || static_cast<std::size_t>(worker) >= residuals_.size())
+    throw ConfigError("CompressorBank: worker index out of range");
+  auto& r = residuals_[static_cast<std::size_t>(worker)];
+  if (r.size() != num_params) r.assign(num_params, 0.0f);
+  return r;
+}
+
+std::size_t CompressorBank::transform(int worker, std::span<float> grad, Rng& rng) {
+  if (worker < 0 || static_cast<std::size_t>(worker) >= residuals_.size())
+    throw ConfigError("CompressorBank: worker index out of range");
+  if (!error_feedback_) return codec_->transform(grad, rng);
+
+  auto& residual = residual_for(worker, grad.size());
+  // Carry in.
+  for (std::size_t i = 0; i < grad.size(); ++i) grad[i] += residual[i];
+  // Remember the pre-codec values so we can compute the carry out.
+  scratch_.assign(grad.begin(), grad.end());
+  const std::size_t bytes = codec_->transform(grad, rng);
+  // Carry out: what the codec failed to transmit.
+  for (std::size_t i = 0; i < grad.size(); ++i) residual[i] = scratch_[i] - grad[i];
+  return bytes;
+}
+
+double CompressorBank::residual_l1(int worker) const {
+  if (worker < 0 || static_cast<std::size_t>(worker) >= residuals_.size())
+    throw ConfigError("CompressorBank: worker index out of range");
+  double sum = 0.0;
+  for (const float v : residuals_[static_cast<std::size_t>(worker)]) sum += std::fabs(v);
+  return sum;
+}
+
+void CompressorBank::reset() {
+  for (auto& r : residuals_) r.clear();
+}
+
+}  // namespace ss

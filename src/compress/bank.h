@@ -1,0 +1,67 @@
+// Per-worker compression pipeline with optional error feedback.
+//
+// Error feedback (a.k.a. memory / residual accumulation) keeps the mass a
+// lossy codec dropped and re-adds it to the worker's next gradient:
+//
+//   g' = g + residual          (carry in)
+//   q  = codec(g')             (lossy round-trip, q is what the PS sees)
+//   residual = g' - q          (carry out)
+//
+// For biased codecs like top-k this is what restores convergence — every
+// coordinate is eventually transmitted once its accumulated magnitude grows
+// into the top-k set.  For unbiased quantizers it is optional but typically
+// reduces the noise floor.  The residual is transport state, so it lives
+// here, per worker slot, not in the stateless codec.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "compress/codec.h"
+
+namespace ss {
+
+class CompressorBank {
+ public:
+  /// `codec` must outlive the bank.  `num_workers` fixes the worker-slot
+  /// count; `error_feedback` enables residual accumulation.
+  CompressorBank(std::shared_ptr<const GradientCodec> codec, std::size_t num_workers,
+                 bool error_feedback);
+
+  /// Convenience: error feedback on exactly when the codec is biased.
+  static CompressorBank with_default_feedback(std::shared_ptr<const GradientCodec> codec,
+                                              std::size_t num_workers);
+
+  /// Apply the codec (and error feedback) to worker `w`'s gradient in place.
+  /// Returns the wire bytes of the encoded push.
+  std::size_t transform(int worker, std::span<float> grad, Rng& rng);
+
+  /// Deterministic wire-size estimate (delegates to the codec).
+  [[nodiscard]] std::size_t wire_bytes(std::size_t num_params) const {
+    return codec_->wire_bytes(num_params);
+  }
+
+  [[nodiscard]] const GradientCodec& codec() const noexcept { return *codec_; }
+  [[nodiscard]] bool error_feedback() const noexcept { return error_feedback_; }
+  [[nodiscard]] std::size_t num_workers() const noexcept { return residuals_.size(); }
+
+  /// Total mass currently carried in worker `w`'s residual (L1 norm).
+  /// Exposed for tests and diagnostics.
+  [[nodiscard]] double residual_l1(int worker) const;
+
+  /// Drop all residual state (e.g. across a protocol switch that restarts
+  /// from a checkpoint, where stale residuals no longer match the model).
+  void reset();
+
+ private:
+  std::vector<float>& residual_for(int worker, std::size_t num_params);
+
+  std::shared_ptr<const GradientCodec> codec_;
+  bool error_feedback_;
+  std::vector<std::vector<float>> residuals_;  // lazily sized per worker
+  std::vector<float> scratch_;
+};
+
+}  // namespace ss

@@ -1,0 +1,71 @@
+// Gradient compression codecs (paper Section VII, "Network Optimization for
+// Distributed Training").
+//
+// The paper cites gradient sparsification (Aji & Heafield, 2017), TernGrad
+// (Wen et al., NeurIPS'17) and QSGD (Alistarh et al., NeurIPS'17) as
+// orthogonal techniques that "might be combined with Sync-Switch to achieve
+// further training speedup".  This module implements those three codecs plus
+// an identity codec, so the combination can actually be measured (see
+// bench/ablation_compression and examples/compressed_training).
+//
+// A codec is modelled as a lossy round-trip: `transform` rewrites the
+// gradient in place with exactly the values the decoder would reconstruct,
+// and reports the number of bytes the encoded form occupies on the wire.
+// The simulator charges the push transfer for the *wire* bytes while the
+// gradient mathematics sees the *reconstructed* values — both the speedup
+// and the accuracy cost of compression are therefore real, not modelled.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/rng.h"
+
+namespace ss {
+
+/// Lossy gradient encode+decode round-trip.
+///
+/// Implementations must be stateless across calls (per-worker state such as
+/// error-feedback residuals lives in `CompressorBank`), so a single codec
+/// instance can be shared by every worker.
+class GradientCodec {
+ public:
+  virtual ~GradientCodec() = default;
+
+  /// Human-readable codec name for tables and logs, e.g. "topk(1%)".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Apply the encode+decode round-trip to `grad` in place and return the
+  /// encoded size in bytes.  `rng` drives stochastic quantization; codecs
+  /// that are deterministic simply ignore it.
+  virtual std::size_t transform(std::span<float> grad, Rng& rng) const = 0;
+
+  /// Deterministic wire-size estimate for a gradient of `num_params`
+  /// elements.  The simulator uses this to price the push transfer *before*
+  /// the gradient is computed (the size of every codec here is independent
+  /// of the gradient values).
+  [[nodiscard]] virtual std::size_t wire_bytes(std::size_t num_params) const = 0;
+
+  /// True if E[transform(g)] == g (unbiased stochastic quantizers).  Biased
+  /// codecs (top-k sparsification) need error feedback to converge well.
+  [[nodiscard]] virtual bool unbiased() const = 0;
+};
+
+/// Identity codec: full fp32 gradient on the wire.  The baseline every
+/// compression ablation compares against.
+class IdentityCodec final : public GradientCodec {
+ public:
+  [[nodiscard]] std::string name() const override { return "fp32"; }
+
+  std::size_t transform(std::span<float> grad, Rng& rng) const override;
+
+  [[nodiscard]] std::size_t wire_bytes(std::size_t num_params) const override {
+    return num_params * sizeof(float);
+  }
+
+  [[nodiscard]] bool unbiased() const override { return true; }
+};
+
+}  // namespace ss

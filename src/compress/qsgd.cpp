@@ -1,0 +1,60 @@
+#include "compress/qsgd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace ss {
+
+namespace {
+
+int bits_for_levels(int levels) {
+  int bits = 0;
+  int v = levels;  // need to represent 0..levels
+  while (v > 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits + 1;  // + sign bit
+}
+
+}  // namespace
+
+QsgdCodec::QsgdCodec(int levels) : levels_(levels), bits_per_coord_(bits_for_levels(levels)) {
+  if (levels < 1) throw ConfigError("QsgdCodec: levels must be >= 1");
+}
+
+std::string QsgdCodec::name() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "qsgd(s=%d)", levels_);
+  return buf;
+}
+
+std::size_t QsgdCodec::wire_bytes(std::size_t num_params) const {
+  return (num_params * static_cast<std::size_t>(bits_per_coord_) + 7) / 8 + sizeof(float);
+}
+
+std::size_t QsgdCodec::transform(std::span<float> grad, Rng& rng) const {
+  const std::size_t n = grad.size();
+  if (n == 0) return wire_bytes(0);
+
+  double sq = 0.0;
+  for (const float g : grad) sq += static_cast<double>(g) * g;
+  const double norm = std::sqrt(sq);
+  if (norm == 0.0) return wire_bytes(n);
+
+  const auto s = static_cast<double>(levels_);
+  for (float& g : grad) {
+    const double r = std::fabs(g) / norm * s;  // in [0, s]
+    const double l = std::floor(r);
+    const double frac = r - l;
+    const double level = rng.bernoulli(frac) ? l + 1.0 : l;
+    const double q = norm * level / s;
+    g = static_cast<float>(std::signbit(g) ? -q : q);
+  }
+  return wire_bytes(n);
+}
+
+}  // namespace ss

@@ -1,0 +1,44 @@
+// QSGD stochastic gradient quantization (Alistarh et al., NeurIPS'17 —
+// paper reference [36]).
+//
+// Each coordinate is quantized to one of `levels`+1 uniformly spaced
+// magnitudes in [0, ||g||_2], with stochastic rounding between the two
+// neighbouring levels so the quantizer is unbiased:
+//
+//   Q(g_i) = ||g||_2 * sign(g_i) * xi_i,   xi_i in {l/s, (l+1)/s}
+//
+// where s = `levels` and l = floor(|g_i| / ||g||_2 * s).  The wire form is
+// one fp32 norm plus (1 + ceil(log2(s+1))) bits per coordinate (sign +
+// level); QSGD's Elias coding would do better on sparse level vectors but a
+// fixed-width bound is the standard conservative estimate.
+#pragma once
+
+#include "compress/codec.h"
+
+namespace ss {
+
+class QsgdCodec final : public GradientCodec {
+ public:
+  /// `levels` >= 1: the number of quantization intervals s.  QSGD's common
+  /// settings are 4 bits (s = 15) and 8 bits (s = 255).
+  explicit QsgdCodec(int levels);
+
+  [[nodiscard]] std::string name() const override;
+
+  std::size_t transform(std::span<float> grad, Rng& rng) const override;
+
+  [[nodiscard]] std::size_t wire_bytes(std::size_t num_params) const override;
+
+  [[nodiscard]] bool unbiased() const override { return true; }
+
+  [[nodiscard]] int levels() const noexcept { return levels_; }
+
+  /// Bits per coordinate on the wire (sign + level).
+  [[nodiscard]] int bits_per_coord() const noexcept { return bits_per_coord_; }
+
+ private:
+  int levels_;
+  int bits_per_coord_;
+};
+
+}  // namespace ss

@@ -1,0 +1,39 @@
+#include "compress/terngrad.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ss {
+
+std::size_t TernGradCodec::transform(std::span<float> grad, Rng& rng) const {
+  const std::size_t n = grad.size();
+  if (n == 0) return wire_bytes(0);
+
+  if (clip_sigma_ > 0.0 && n > 1) {
+    double sum = 0.0;
+    double sq = 0.0;
+    for (const float g : grad) {
+      sum += g;
+      sq += static_cast<double>(g) * g;
+    }
+    const double mean = sum / static_cast<double>(n);
+    const double var = std::max(0.0, sq / static_cast<double>(n) - mean * mean);
+    const double bound = clip_sigma_ * std::sqrt(var);
+    const auto lo = static_cast<float>(mean - bound);
+    const auto hi = static_cast<float>(mean + bound);
+    for (float& g : grad) g = std::clamp(g, lo, hi);
+  }
+
+  float scale = 0.0f;
+  for (const float g : grad) scale = std::max(scale, std::fabs(g));
+  if (scale == 0.0f) return wire_bytes(n);  // all-zero gradient: nothing to do
+
+  for (float& g : grad) {
+    const double p = std::fabs(g) / scale;  // in [0, 1]
+    const float ternary = rng.bernoulli(p) ? (std::signbit(g) ? -scale : scale) : 0.0f;
+    g = ternary;
+  }
+  return wire_bytes(n);
+}
+
+}  // namespace ss

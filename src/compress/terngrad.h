@@ -1,0 +1,42 @@
+// TernGrad ternary gradient quantization (Wen et al., NeurIPS'17 — paper
+// reference [35]).
+//
+// Each gradient coordinate is stochastically rounded to {-s, 0, +s} where
+// s = max_i |g_i| is a per-gradient scale: coordinate g_i becomes
+// sign(g_i) * s with probability |g_i| / s and 0 otherwise, which is an
+// unbiased estimator of g_i.  The wire form is 2 bits per coordinate plus
+// one fp32 scale.
+#pragma once
+
+#include "compress/codec.h"
+
+namespace ss {
+
+class TernGradCodec final : public GradientCodec {
+ public:
+  /// With `clip_sigma > 0`, gradients are first clipped to
+  /// mean ± clip_sigma * stddev — TernGrad's "gradient clipping" trick that
+  /// bounds the scale s and cuts quantization variance (§4 of the paper).
+  /// `clip_sigma <= 0` disables clipping.
+  explicit TernGradCodec(double clip_sigma = 2.5) : clip_sigma_(clip_sigma) {}
+
+  [[nodiscard]] std::string name() const override { return "terngrad"; }
+
+  std::size_t transform(std::span<float> grad, Rng& rng) const override;
+
+  [[nodiscard]] std::size_t wire_bytes(std::size_t num_params) const override {
+    // 2 bits per coordinate, rounded up to whole bytes, plus the scale.
+    return (num_params * 2 + 7) / 8 + sizeof(float);
+  }
+
+  /// Unbiased for the clipped gradient; with clipping disabled, unbiased for
+  /// the raw gradient.
+  [[nodiscard]] bool unbiased() const override { return true; }
+
+  [[nodiscard]] double clip_sigma() const noexcept { return clip_sigma_; }
+
+ private:
+  double clip_sigma_;
+};
+
+}  // namespace ss

@@ -1,0 +1,63 @@
+#include "compress/topk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ss {
+
+TopKCodec::TopKCodec(double keep_fraction) : keep_fraction_(keep_fraction) {
+  if (!(keep_fraction > 0.0) || keep_fraction > 1.0)
+    throw ConfigError("TopKCodec: keep_fraction must be in (0, 1]");
+}
+
+std::string TopKCodec::name() const {
+  // Render as a percentage with enough precision for e.g. 0.1%.
+  const double pct = keep_fraction_ * 100.0;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "topk(%g%%)", pct);
+  return buf;
+}
+
+std::size_t TopKCodec::kept(std::size_t num_params) const noexcept {
+  const auto k = static_cast<std::size_t>(
+      std::llround(keep_fraction_ * static_cast<double>(num_params)));
+  return std::clamp<std::size_t>(k, 1, num_params);
+}
+
+std::size_t TopKCodec::wire_bytes(std::size_t num_params) const {
+  // One (uint32 index, fp32 value) pair per kept coordinate.
+  return kept(num_params) * (sizeof(std::uint32_t) + sizeof(float));
+}
+
+std::size_t TopKCodec::transform(std::span<float> grad, Rng& /*rng*/) const {
+  const std::size_t n = grad.size();
+  if (n == 0) return 0;
+  const std::size_t k = kept(n);
+  if (k == n) return wire_bytes(n);
+
+  // Find the magnitude threshold with nth_element over a scratch index set.
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  const auto greater_mag = [&grad](std::uint32_t a, std::uint32_t b) {
+    const float ma = std::fabs(grad[a]);
+    const float mb = std::fabs(grad[b]);
+    if (ma != mb) return ma > mb;
+    return a < b;  // deterministic tie-break: lower index wins
+  };
+  std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   order.end(), greater_mag);
+
+  // Zero everything outside the top-k set.
+  std::vector<char> keep(n, 0);
+  for (std::size_t i = 0; i < k; ++i) keep[order[i]] = 1;
+  for (std::size_t i = 0; i < n; ++i)
+    if (!keep[i]) grad[i] = 0.0f;
+  return wire_bytes(n);
+}
+
+}  // namespace ss

@@ -1,0 +1,40 @@
+// Top-k gradient sparsification (Aji & Heafield, "Sparse Communication for
+// Distributed Gradient Descent", 2017 — paper reference [34]).
+//
+// Only the k largest-magnitude gradient coordinates are transmitted; the
+// rest are dropped.  The wire form is k (index, value) pairs.  Dropping
+// coordinates is *biased*, so this codec should be used through a
+// `CompressorBank` with error feedback enabled: dropped mass accumulates in
+// a per-worker residual and is re-added to the next gradient, which is what
+// makes sparsified SGD converge (and what Aji & Heafield do implicitly by
+// accumulating in the sender's buffer).
+#pragma once
+
+#include "compress/codec.h"
+
+namespace ss {
+
+class TopKCodec final : public GradientCodec {
+ public:
+  /// `keep_fraction` in (0, 1]: the fraction of coordinates transmitted.
+  /// At least one coordinate is always kept.
+  explicit TopKCodec(double keep_fraction);
+
+  [[nodiscard]] std::string name() const override;
+
+  std::size_t transform(std::span<float> grad, Rng& rng) const override;
+
+  [[nodiscard]] std::size_t wire_bytes(std::size_t num_params) const override;
+
+  [[nodiscard]] bool unbiased() const override { return false; }
+
+  [[nodiscard]] double keep_fraction() const noexcept { return keep_fraction_; }
+
+  /// Number of coordinates kept for a gradient of `num_params` elements.
+  [[nodiscard]] std::size_t kept(std::size_t num_params) const noexcept;
+
+ private:
+  double keep_fraction_;
+};
+
+}  // namespace ss

@@ -1,0 +1,53 @@
+#include "core/binary_search.h"
+
+#include "common/error.h"
+
+namespace ss {
+
+BinarySearchResult binary_search_timing(const TrialFn& trial, const BinarySearchConfig& cfg) {
+  if (!trial) throw ConfigError("binary_search_timing: trial function required");
+  if (cfg.max_settings < 1 || cfg.runs_per_setting < 1)
+    throw ConfigError("binary_search_timing: M and R must be >= 1");
+
+  BinarySearchResult result;
+
+  // Establish the target accuracy A (full-BSP baseline) if not provided.
+  if (cfg.target_accuracy.has_value()) {
+    result.target_accuracy = *cfg.target_accuracy;
+  } else {
+    double acc_sum = 0.0;
+    for (int r = 0; r < cfg.runs_per_setting; ++r) {
+      const TrialOutcome out = trial(1.0, r);
+      acc_sum += out.converged_accuracy;
+      result.search_cost_seconds += out.train_time_seconds;
+      ++result.sessions_run;
+    }
+    result.target_accuracy = acc_sum / cfg.runs_per_setting;
+  }
+
+  double upper = 1.0;  // known-good (full BSP)
+  double lower = 0.0;  // known-bad side (full ASP)
+  for (int m = 0; m < cfg.max_settings; ++m) {
+    const double fraction = 0.5 * (upper + lower);
+    double acc_sum = 0.0;
+    bool any_diverged = false;
+    for (int r = 0; r < cfg.runs_per_setting; ++r) {
+      const TrialOutcome out = trial(fraction, r);
+      result.search_cost_seconds += out.train_time_seconds;
+      ++result.sessions_run;
+      acc_sum += out.diverged ? 0.0 : out.converged_accuracy;
+      any_diverged = any_diverged || out.diverged;
+    }
+    const double mean_acc = acc_sum / cfg.runs_per_setting;
+    const bool in_band = !any_diverged && mean_acc >= result.target_accuracy - cfg.beta;
+    result.explored.push_back({fraction, mean_acc, in_band, any_diverged});
+    if (in_band)
+      upper = fraction;  // candidate is as good as BSP: try earlier switches
+    else
+      lower = fraction;  // too little BSP: need more synchronous training
+  }
+  result.switch_fraction = upper;
+  return result;
+}
+
+}  // namespace ss

@@ -1,0 +1,56 @@
+// Offline timing policy via binary search (paper Section IV-B1, Algorithm 1).
+//
+// For a given workload, find the switch point `s` (fraction of the workload
+// trained with BSP before switching to ASP) such that the converged accuracy
+// matches full-BSP accuracy within a threshold beta, using as little BSP as
+// possible.  The search halves the interval [0, 100]% and keeps the smallest
+// in-band setting as the answer; trial trainings are delegated to a callable
+// so the searcher works against real sessions, cached logs, or test stubs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace ss {
+
+/// Outcome of one trial training at a candidate switch fraction.
+struct TrialOutcome {
+  double converged_accuracy = 0.0;
+  double train_time_seconds = 0.0;
+  bool diverged = false;
+};
+
+/// Runs one training with the given switch fraction and repetition index.
+using TrialFn = std::function<TrialOutcome(double fraction, int repetition)>;
+
+struct BinarySearchConfig {
+  double beta = 0.01;        ///< accuracy margin around the target
+  int max_settings = 5;      ///< M: candidate switch points to explore
+  int runs_per_setting = 5;  ///< R: repetitions per candidate
+  /// Target accuracy A.  If unset, the searcher first runs full BSP
+  /// `runs_per_setting` times and averages (Algorithm 1 lines 2-5).
+  std::optional<double> target_accuracy;
+};
+
+struct BinarySearchResult {
+  double switch_fraction = 1.0;       ///< chosen timing (upper bound kept in-band)
+  double target_accuracy = 0.0;       ///< A actually used
+  double search_cost_seconds = 0.0;   ///< total training time of all trials
+  int sessions_run = 0;               ///< trial sessions executed (incl. BSP runs)
+  /// Every candidate explored, in order, with its mean accuracy and whether
+  /// it was accepted (in-band).
+  struct Candidate {
+    double fraction;
+    double mean_accuracy;
+    bool in_band;
+    bool any_diverged;
+  };
+  std::vector<Candidate> explored;
+};
+
+/// Execute Algorithm 1.  `trial(1.0, rep)` must run full BSP.
+BinarySearchResult binary_search_timing(const TrialFn& trial, const BinarySearchConfig& cfg);
+
+}  // namespace ss

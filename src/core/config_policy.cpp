@@ -1,0 +1,89 @@
+#include "core/config_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ss {
+
+std::string momentum_policy_name(MomentumPolicy p) {
+  switch (p) {
+    case MomentumPolicy::kBaseline:
+      return "Baseline";
+    case MomentumPolicy::kZero:
+      return "Zero";
+    case MomentumPolicy::kFixedScaled:
+      return "FixedScaled";
+    case MomentumPolicy::kNonlinearRamp:
+      return "NonlinearRamp";
+    case MomentumPolicy::kLinearRamp:
+      return "LinearRamp";
+  }
+  return "?";
+}
+
+DerivedHyper derive_hyper(Protocol protocol, std::size_t active_workers, const BaseHyper& base,
+                          MomentumPolicy momentum_policy, std::int64_t steps_per_epoch,
+                          int k_param) {
+  if (active_workers == 0) throw ConfigError("derive_hyper: zero workers");
+  if (steps_per_epoch <= 0) throw ConfigError("derive_hyper: steps_per_epoch must be > 0");
+
+  DerivedHyper d;
+  d.per_worker_batch = base.batch_size;
+
+  const std::size_t k =
+      std::clamp<std::size_t>(k_param > 0 ? static_cast<std::size_t>(k_param) : active_workers,
+                              1, active_workers);
+
+  if (protocol == Protocol::kBsp) {
+    // Global batch nB -> linear-scaled learning rate n*eta; momentum kept.
+    d.lr_multiplier = static_cast<double>(active_workers);
+    d.momentum = base.momentum;
+    return d;
+  }
+
+  if (is_synchronous(protocol)) {
+    // K-sync / K-batch-sync aggregate K gradients: global batch KB.
+    d.lr_multiplier = static_cast<double>(k);
+    d.momentum = base.momentum;
+    return d;
+  }
+
+  // ASP / SSP: local batch B, base learning rate.  K-async / K-batch-async
+  // average K (possibly stale) gradients per update: scale like batch KB,
+  // with momentum following the same asynchronous policy.
+  d.lr_multiplier = (protocol == Protocol::kKAsync || protocol == Protocol::kKBatchAsync)
+                        ? static_cast<double>(k)
+                        : 1.0;
+  const double n = static_cast<double>(active_workers);
+  const double mu = base.momentum;
+  switch (momentum_policy) {
+    case MomentumPolicy::kBaseline:
+      d.momentum = mu;
+      break;
+    case MomentumPolicy::kZero:
+      d.momentum = 0.0;
+      break;
+    case MomentumPolicy::kFixedScaled:
+      d.momentum = 1.0 / n;
+      break;
+    case MomentumPolicy::kNonlinearRamp:
+      d.momentum = std::min(mu, 1.0 / n);
+      d.momentum_schedule = [mu, n, steps_per_epoch](std::int64_t steps_into_phase) {
+        const double i = static_cast<double>(steps_into_phase / steps_per_epoch);
+        return std::min(mu, std::pow(2.0, i) / n);
+      };
+      break;
+    case MomentumPolicy::kLinearRamp:
+      d.momentum = std::min(mu, 1.0 / n);
+      d.momentum_schedule = [mu, n, steps_per_epoch](std::int64_t steps_into_phase) {
+        const double i = static_cast<double>(steps_into_phase / steps_per_epoch);
+        return std::min(mu, std::max(1.0, i) / n);
+      };
+      break;
+  }
+  return d;
+}
+
+}  // namespace ss

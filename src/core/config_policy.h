@@ -1,0 +1,61 @@
+// Configuration policy (paper Section IV-C): how hyper-parameters are
+// adjusted when the synchronization protocol changes.
+//
+// The user supplies an initial (B, eta, mu) for a cluster of n nodes.  The
+// policy derives per-protocol values:
+//
+//   BSP: global batch nB (B per worker), learning rate n*eta (linear scaling
+//        rule, Goyal et al.), momentum mu.
+//   ASP: local batch B, learning rate eta, momentum mu unchanged — the
+//        paper's finding is that keeping momentum constant beats the scaled
+//        or ramped variants (Figure 8(b)); those variants are implemented
+//        here as ablations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "ps/protocol.h"
+
+namespace ss {
+
+/// Momentum handling after switching to ASP (Figure 8(b)).
+enum class MomentumPolicy {
+  kBaseline,       ///< keep the BSP momentum value (the paper's choice)
+  kZero,           ///< set momentum to 0
+  kFixedScaled,    ///< set momentum to 1/n
+  kNonlinearRamp,  ///< ramp 2^i / n per epoch i after the switch, capped at mu
+  kLinearRamp,     ///< ramp i / n per epoch i after the switch, capped at mu
+};
+
+std::string momentum_policy_name(MomentumPolicy p);
+
+/// User-supplied initial configuration.
+struct BaseHyper {
+  std::size_t batch_size = 64;  ///< B
+  double learning_rate = 0.1;   ///< eta
+  double momentum = 0.9;        ///< mu
+};
+
+/// Values the runtime should use during one phase.
+struct DerivedHyper {
+  std::size_t per_worker_batch = 64;
+  double lr_multiplier = 1.0;  ///< multiplies the schedule's eta(step)
+  double momentum = 0.9;
+  /// Non-null only for the ramp ablations: momentum as a function of
+  /// minibatch steps completed inside the ASP phase.
+  std::function<double(std::int64_t)> momentum_schedule;
+};
+
+/// Derive the phase configuration.  `active_workers` is the cluster size
+/// participating in the phase (the elastic policy may shrink it);
+/// `steps_per_epoch` converts phase-steps to epochs for the ramp ablations.
+/// `k_param` is the synchronization degree for the K-variant protocols
+/// (0 = cluster size); their aggregated update averages K gradients, so the
+/// linear scaling rule applies with K in place of n.
+DerivedHyper derive_hyper(Protocol protocol, std::size_t active_workers,
+                          const BaseHyper& base, MomentumPolicy momentum_policy,
+                          std::int64_t steps_per_epoch, int k_param = 0);
+
+}  // namespace ss

@@ -1,0 +1,134 @@
+#include "core/run_cache.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace ss {
+
+namespace {
+constexpr const char* kHeader = "ss-runresult-v1";
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+}  // namespace
+
+RunCache::RunCache(std::string directory) : dir_(std::move(directory)) {}
+
+std::string RunCache::hash_key(const RunRequest& request) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, fnv1a(request.cache_key()));
+  return buf;
+}
+
+std::string RunCache::path_for(const RunRequest& request) const {
+  return dir_ + "/" + hash_key(request) + ".run";
+}
+
+std::string serialize_run_result(const RunResult& r) {
+  std::ostringstream os;
+  os.precision(12);
+  os << kHeader << "\n";
+  os << "diverged " << (r.diverged ? 1 : 0) << "\n";
+  os << "converged " << (r.converged ? 1 : 0) << "\n";
+  os << "converged_accuracy " << r.converged_accuracy << "\n";
+  os << "final_accuracy " << r.final_accuracy << "\n";
+  os << "best_accuracy " << r.best_accuracy << "\n";
+  os << "train_time_seconds " << r.train_time_seconds << "\n";
+  os << "init_time_seconds " << r.init_time_seconds << "\n";
+  os << "switch_overhead_seconds " << r.switch_overhead_seconds << "\n";
+  os << "num_switches " << r.num_switches << "\n";
+  os << "mean_staleness " << r.mean_staleness << "\n";
+  os << "throughput_images_per_sec " << r.throughput_images_per_sec << "\n";
+  os << "final_train_loss " << r.final_train_loss << "\n";
+  os << "steps_completed " << r.steps_completed << "\n";
+  os << "loss_curve " << r.loss_curve.size() << "\n";
+  for (const auto& p : r.loss_curve) os << p.step << " " << p.seconds << " " << p.loss << "\n";
+  os << "accuracy_curve " << r.accuracy_curve.size() << "\n";
+  for (const auto& p : r.accuracy_curve)
+    os << p.step << " " << p.seconds << " " << p.accuracy << "\n";
+  return os.str();
+}
+
+std::optional<RunResult> parse_run_result(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader) return std::nullopt;
+
+  RunResult r;
+  auto expect = [&](const char* field, auto& value) -> bool {
+    std::string name;
+    return static_cast<bool>(is >> name >> value) && name == field;
+  };
+  int diverged = 0, converged = 0;
+  if (!expect("diverged", diverged)) return std::nullopt;
+  if (!expect("converged", converged)) return std::nullopt;
+  r.diverged = diverged != 0;
+  r.converged = converged != 0;
+  if (!expect("converged_accuracy", r.converged_accuracy)) return std::nullopt;
+  if (!expect("final_accuracy", r.final_accuracy)) return std::nullopt;
+  if (!expect("best_accuracy", r.best_accuracy)) return std::nullopt;
+  if (!expect("train_time_seconds", r.train_time_seconds)) return std::nullopt;
+  if (!expect("init_time_seconds", r.init_time_seconds)) return std::nullopt;
+  if (!expect("switch_overhead_seconds", r.switch_overhead_seconds)) return std::nullopt;
+  if (!expect("num_switches", r.num_switches)) return std::nullopt;
+  if (!expect("mean_staleness", r.mean_staleness)) return std::nullopt;
+  if (!expect("throughput_images_per_sec", r.throughput_images_per_sec)) return std::nullopt;
+  if (!expect("final_train_loss", r.final_train_loss)) return std::nullopt;
+  if (!expect("steps_completed", r.steps_completed)) return std::nullopt;
+
+  std::size_t n = 0;
+  if (!expect("loss_curve", n)) return std::nullopt;
+  r.loss_curve.resize(n);
+  for (auto& p : r.loss_curve)
+    if (!(is >> p.step >> p.seconds >> p.loss)) return std::nullopt;
+  if (!expect("accuracy_curve", n)) return std::nullopt;
+  r.accuracy_curve.resize(n);
+  for (auto& p : r.accuracy_curve)
+    if (!(is >> p.step >> p.seconds >> p.accuracy)) return std::nullopt;
+  return r;
+}
+
+std::optional<RunResult> RunCache::load(const RunRequest& request) const {
+  std::ifstream in(path_for(request));
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_run_result(buf.str());
+}
+
+void RunCache::store(const RunRequest& request, const RunResult& result) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    log_warn("RunCache: cannot create ", dir_, ": ", ec.message());
+    return;
+  }
+  const std::string path = path_for(request);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    log_warn("RunCache: cannot write ", path);
+    return;
+  }
+  out << serialize_run_result(result);
+}
+
+RunResult RunCache::run_cached(const RunRequest& request) const {
+  if (auto cached = load(request)) return *cached;
+  TrainingSession session(request);
+  RunResult result = session.run();
+  store(request, result);
+  return result;
+}
+
+}  // namespace ss

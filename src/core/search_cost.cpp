@@ -1,0 +1,158 @@
+#include "core/search_cost.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace ss {
+
+SearchCostAnalyzer::SearchCostAnalyzer(RunLogs logs, double beta, int max_settings)
+    : logs_(std::move(logs)), beta_(beta), max_settings_(max_settings) {
+  if (logs_.find(1.0) == logs_.end())
+    throw ConfigError("SearchCostAnalyzer: logs must include full BSP (fraction 1.0)");
+  for (const auto& [fraction, log] : logs_) {
+    if (log.accuracies.empty() || log.accuracies.size() != log.times_seconds.size() ||
+        log.accuracies.size() != log.diverged.size())
+      throw ConfigError("SearchCostAnalyzer: malformed log at fraction " +
+                        std::to_string(fraction));
+  }
+}
+
+const TimingLog& SearchCostAnalyzer::log_at(double fraction) const {
+  const TimingLog* best = nullptr;
+  double best_dist = 1e9;
+  for (const auto& [f, log] : logs_) {
+    const double dist = std::abs(f - fraction);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = &log;
+    }
+  }
+  if (best == nullptr || best_dist > 1e-6)
+    throw ConfigError("SearchCostAnalyzer: no log near fraction " + std::to_string(fraction));
+  return *best;
+}
+
+double SearchCostAnalyzer::mean_bsp_time() const { return mean_time_at(1.0); }
+
+double SearchCostAnalyzer::mean_time_at(double fraction) const {
+  return mean_of(log_at(fraction).times_seconds);
+}
+
+double SearchCostAnalyzer::mean_accuracy_at(double fraction) const {
+  return mean_of(log_at(fraction).accuracies);
+}
+
+bool SearchCostAnalyzer::ever_diverges_at(double fraction) const {
+  for (bool d : log_at(fraction).diverged)
+    if (d) return true;
+  return false;
+}
+
+double SearchCostAnalyzer::ground_truth() const {
+  // Binary search over exact log means: the infinite-replication limit.
+  const double target = mean_accuracy_at(1.0);
+  double upper = 1.0, lower = 0.0;
+  for (int m = 0; m < max_settings_; ++m) {
+    const double fraction = 0.5 * (upper + lower);
+    const bool in_band =
+        !ever_diverges_at(fraction) && mean_accuracy_at(fraction) >= target - beta_;
+    if (in_band)
+      upper = fraction;
+    else
+      lower = fraction;
+  }
+  return upper;
+}
+
+SearchCostReport SearchCostAnalyzer::analyze(const SearchSetting& setting, int trials,
+                                             Rng& rng) const {
+  if (trials <= 0) throw ConfigError("SearchCostAnalyzer: trials must be > 0");
+  if (!setting.recurring && setting.bsp_runs < 1)
+    throw ConfigError("SearchCostAnalyzer: non-recurring search needs BSP runs");
+  if (setting.candidate_runs < 1)
+    throw ConfigError("SearchCostAnalyzer: candidate_runs must be >= 1");
+
+  SearchCostReport report;
+  const double bsp_time = mean_bsp_time();
+  const double truth = ground_truth();
+  report.ground_truth_fraction = truth;
+
+  // Per-job saving of the found policy vs training with BSP (for the
+  // amortization metric).
+  const double policy_time = mean_time_at(truth);
+  const double per_job_saving = std::max(1e-9, 1.0 - policy_time / bsp_time);
+
+  // "BSP-quality" bar for the effective-training metric: within beta of the
+  // true BSP accuracy.
+  const double bsp_acc = mean_accuracy_at(1.0);
+
+  double cost_sum = 0.0;
+  double valid_models_sum = 0.0;
+  int successes = 0;
+
+  for (int t = 0; t < trials; ++t) {
+    Rng trial_rng = rng.fork(static_cast<std::uint64_t>(t) + 1);
+    double cost = 0.0;
+    double valid_models = 0.0;
+
+    auto sample_run = [&](double fraction) -> TrialOutcome {
+      const TimingLog& log = log_at(fraction);
+      const std::size_t i = trial_rng.uniform_index(log.accuracies.size());
+      TrialOutcome out;
+      out.converged_accuracy = log.accuracies[i];
+      out.train_time_seconds = log.times_seconds[i];
+      out.diverged = log.diverged[i];
+      return out;
+    };
+
+    // Establish target accuracy A.
+    double target = 0.0;
+    if (setting.recurring) {
+      target = bsp_acc;  // known from job history, no extra runs
+    } else {
+      double acc_sum = 0.0;
+      for (int r = 0; r < setting.bsp_runs; ++r) {
+        const TrialOutcome out = sample_run(1.0);
+        acc_sum += out.converged_accuracy;
+        cost += out.train_time_seconds;
+        valid_models += 1.0;  // a BSP run is a valid trained model
+      }
+      target = acc_sum / setting.bsp_runs;
+    }
+
+    // Binary search with sampled trial outcomes.
+    double upper = 1.0, lower = 0.0;
+    for (int m = 0; m < max_settings_; ++m) {
+      const double fraction = 0.5 * (upper + lower);
+      double acc_sum = 0.0;
+      bool any_diverged = false;
+      for (int r = 0; r < setting.candidate_runs; ++r) {
+        const TrialOutcome out = sample_run(fraction);
+        cost += out.train_time_seconds;
+        acc_sum += out.diverged ? 0.0 : out.converged_accuracy;
+        any_diverged = any_diverged || out.diverged;
+        if (!out.diverged && out.converged_accuracy >= bsp_acc - beta_) valid_models += 1.0;
+      }
+      const double mean_acc = acc_sum / setting.candidate_runs;
+      const bool in_band = !any_diverged && mean_acc >= target - beta_;
+      if (in_band)
+        upper = fraction;
+      else
+        lower = fraction;
+    }
+
+    cost_sum += cost / bsp_time;
+    valid_models_sum += valid_models;
+    if (std::abs(upper - truth) < 1e-9) ++successes;
+  }
+
+  report.cost_vs_bsp = cost_sum / trials;
+  report.amortized_recurrences = report.cost_vs_bsp / per_job_saving;
+  report.effective_training = (valid_models_sum / trials) / report.cost_vs_bsp;
+  report.success_probability = static_cast<double>(successes) / trials;
+  return report;
+}
+
+}  // namespace ss

@@ -1,0 +1,81 @@
+// Binary-search cost/benefit Monte-Carlo (paper Section VI-C1, Tables II and
+// IV/V/VI, Figure 16).
+//
+// The paper replays its training logs to simulate the search under different
+// settings (recurring or not, number of BSP baseline runs, number of runs per
+// candidate), 1000 trials each, and reports:
+//
+//   * search cost, normalized to one full-BSP training time;
+//   * amortization: number of job recurrences for the per-job savings of the
+//     found policy to pay back the search cost;
+//   * effective training: BSP-quality models produced during the search per
+//     unit of BSP-training-equivalent cost;
+//   * success probability: fraction of trials finding the ground-truth
+//     switch timing.
+//
+// We do exactly the same over our own run logs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/binary_search.h"
+
+namespace ss {
+
+/// Empirical log of repeated runs at one switch fraction.
+struct TimingLog {
+  std::vector<double> accuracies;    ///< converged accuracy per repetition (0 if diverged)
+  std::vector<double> times_seconds; ///< total training time per repetition
+  std::vector<bool> diverged;        ///< per repetition
+};
+
+/// All logs for one experiment setup, keyed by switch fraction (1.0 = BSP,
+/// 0.0 = ASP).  Must contain 1.0 and every fraction the binary search visits.
+using RunLogs = std::map<double, TimingLog>;
+
+/// One search setting, as in the paper's tables.
+struct SearchSetting {
+  bool recurring = false;  ///< target accuracy known from job history
+  int bsp_runs = 5;        ///< baseline runs to establish A (0 when recurring)
+  int candidate_runs = 5;  ///< runs per explored candidate (R)
+};
+
+struct SearchCostReport {
+  double cost_vs_bsp = 0.0;         ///< mean search cost / BSP training time
+  double amortized_recurrences = 0.0;
+  double effective_training = 0.0;  ///< valid models per BSP-cost unit
+  double success_probability = 0.0;
+  double ground_truth_fraction = 1.0;
+};
+
+class SearchCostAnalyzer {
+ public:
+  /// `beta` is the accuracy margin; `max_settings` the binary-search depth M.
+  SearchCostAnalyzer(RunLogs logs, double beta, int max_settings);
+
+  /// Ground-truth switch timing: binary search using exact log means.
+  [[nodiscard]] double ground_truth() const;
+
+  /// Monte-Carlo a setting `trials` times.
+  [[nodiscard]] SearchCostReport analyze(const SearchSetting& setting, int trials,
+                                         Rng& rng) const;
+
+ private:
+  /// Nearest logged fraction (search midpoints are dyadic and logged exactly,
+  /// but guard against floating-point drift).
+  [[nodiscard]] const TimingLog& log_at(double fraction) const;
+
+  double mean_bsp_time() const;
+  double mean_time_at(double fraction) const;
+  double mean_accuracy_at(double fraction) const;
+  bool ever_diverges_at(double fraction) const;
+
+  RunLogs logs_;
+  double beta_;
+  int max_settings_;
+};
+
+}  // namespace ss

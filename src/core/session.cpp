@@ -1,0 +1,446 @@
+#include "core/session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "data/batcher.h"
+#include "ps/trace.h"
+#include "ps/sim_runtime.h"
+
+namespace ss {
+
+std::string online_policy_name(OnlinePolicy p) {
+  switch (p) {
+    case OnlinePolicy::kNone:
+      return "Baseline";
+    case OnlinePolicy::kGreedy:
+      return "Greedy";
+    case OnlinePolicy::kElastic:
+      return "Elastic";
+    case OnlinePolicy::kReplace:
+      return "Replace";
+  }
+  return "?";
+}
+
+SyncSwitchPolicy SyncSwitchPolicy::pure(Protocol p) {
+  SyncSwitchPolicy s;
+  s.first = p;
+  s.second = p;
+  s.switch_fraction = 1.0;
+  return s;
+}
+
+SyncSwitchPolicy SyncSwitchPolicy::bsp_to_asp(double fraction) {
+  SyncSwitchPolicy s;
+  s.first = Protocol::kBsp;
+  s.second = Protocol::kAsp;
+  s.switch_fraction = fraction;
+  return s;
+}
+
+SyncSwitchPolicy SyncSwitchPolicy::asp_to_bsp(double fraction) {
+  SyncSwitchPolicy s;
+  s.first = Protocol::kAsp;
+  s.second = Protocol::kBsp;
+  s.switch_fraction = fraction;
+  return s;
+}
+
+std::string RunRequest::cache_key() const {
+  std::ostringstream os;
+  os.precision(10);
+  os << "arch=" << arch_name(workload.arch) << ";classes=" << workload.data.num_classes
+     << ";dim=" << workload.data.feature_dim << ";train=" << workload.data.train_size
+     << ";test=" << workload.data.test_size << ";modes=" << workload.data.modes_per_class
+     << ";sep=" << workload.data.class_separation << ";wstd=" << workload.data.within_stddev
+     << ";noise=" << workload.data.label_noise << ";dseed=" << workload.data.seed
+     << ";steps=" << workload.total_steps << ";B=" << workload.hyper.batch_size
+     << ";lr=" << workload.hyper.learning_rate << ";mu=" << workload.hyper.momentum
+     << ";eval=" << workload.eval_interval << ";divthr=" << workload.divergence_loss_threshold
+     << ";n=" << cluster.num_workers << ";comp=" << cluster.compute_per_batch.us()
+     << ";refb=" << cluster.reference_batch << ";jit=" << cluster.compute_jitter_sigma
+     << ";lat=" << cluster.net_latency.us() << ";bytes=" << cluster.payload_bytes
+     << ";bw=" << cluster.bandwidth_bps << ";sb=" << cluster.sync_base.us()
+     << ";sq=" << cluster.sync_quad.us() << ";aa=" << cluster.async_apply.us()
+     << ";act=" << actuator_exec_name(actuator) << ";p1=" << protocol_name(policy.first)
+     << ";p2=" << protocol_name(policy.second) << ";frac=" << policy.switch_fraction
+     << ";mom=" << momentum_policy_name(policy.momentum_policy)
+     << ";online=" << online_policy_name(policy.online)
+     << ";dw=" << policy.detector.window_size
+     << ";dc=" << policy.detector.consecutive_required
+     << ";drg=" << policy.detector.min_relative_gap
+     << ";sspb=" << policy.ssp_staleness_bound << ";k=" << policy.k_param
+     << ";strg=" << stragglers.num_stragglers << "x"
+     << stragglers.occurrences << "x" << stragglers.extra_latency_ms << "x"
+     << stragglers.max_duration.us() << "x" << stragglers.horizon.us()
+     << ";codec=" << compression.label() << ";ascale=" << actuator_time_scale
+     << ";seed=" << seed;
+  return os.str();
+}
+
+std::optional<double> RunResult::time_to_accuracy(double threshold) const {
+  for (const auto& p : accuracy_curve)
+    if (p.accuracy >= threshold) return p.seconds;
+  return std::nullopt;
+}
+
+TrainingSession::TrainingSession(RunRequest request) : req_(std::move(request)) {
+  if (req_.policy.switch_fraction < 0.0 || req_.policy.switch_fraction > 1.0)
+    throw ConfigError("TrainingSession: switch_fraction must be in [0, 1]");
+  if (req_.workload.total_steps <= 0)
+    throw ConfigError("TrainingSession: total_steps must be > 0");
+  if (req_.cluster.num_workers < 1)
+    throw ConfigError("TrainingSession: need at least one worker");
+}
+
+namespace {
+
+/// Detector adapter: a MetricsSink that feeds task observations into the
+/// straggler detector (teed from the profiler).
+class DetectorSink final : public MetricsSink {
+ public:
+  explicit DetectorSink(StragglerDetector& detector) : detector_(detector) {}
+  void on_task(const TaskObservation& obs) override {
+    detector_.observe(obs.worker, obs.images, obs.task_duration);
+  }
+  void on_update(const UpdateObservation&) override {}
+  void on_eval(std::int64_t, VTime, double) override {}
+
+ private:
+  StragglerDetector& detector_;
+};
+
+std::vector<int> all_workers(std::size_t n) {
+  std::vector<int> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<int>(i);
+  return out;
+}
+
+}  // namespace
+
+RunResult TrainingSession::run() {
+  const Workload& wl = req_.workload;
+  const std::size_t n = req_.cluster.num_workers;
+
+  // --- Substrate: data, model, PS state, cluster model.
+  const DataSplit data = make_synthetic(wl.data);
+  const Dataset eval_subset = data.test.head(std::min<std::size_t>(data.test.size(), 2048));
+
+  Rng root(req_.seed * 0x9E3779B97f4A7C15ULL + 17);
+  Rng init_rng = root.fork(1);
+  Model grad_model = make_model(wl.arch, wl.data.feature_dim, wl.data.num_classes, init_rng);
+  Model eval_model = grad_model.clone();
+
+  const auto shards = make_shards(data.train.size(), n);
+  std::vector<MinibatchSampler> samplers;
+  std::vector<Rng> worker_rngs;
+  samplers.reserve(n);
+  worker_rngs.reserve(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    samplers.emplace_back(shards[w], wl.hyper.batch_size, root.fork(100 + w));
+    worker_rngs.push_back(root.fork(200 + w));
+  }
+
+  TrainingState state(ParameterServer(grad_model.get_params(), wl.hyper.momentum),
+                      std::move(samplers), std::move(worker_rngs));
+
+  const ClusterModel cluster(req_.cluster);
+  const ActuatorModel actuator = ActuatorModel::paper_calibrated(req_.actuator);
+
+  Rng straggler_rng = root.fork(300);
+  StragglerSchedule straggler_schedule;
+  if (req_.stragglers.num_stragglers > 0)
+    straggler_schedule = StragglerSchedule::generate(req_.stragglers, n, straggler_rng);
+
+  const PiecewiseDecay schedule =
+      PiecewiseDecay::resnet_style(wl.hyper.learning_rate, wl.total_steps);
+
+  Profiler profiler;
+  StragglerDetector detector(n, req_.policy.detector);
+  DetectorSink detector_sink(detector);
+  std::vector<MetricsSink*> tees;
+  if (req_.policy.online != OnlinePolicy::kNone) tees.push_back(&detector_sink);
+  if (req_.observer != nullptr) tees.push_back(req_.observer);
+  FanoutSink fanout(tees);
+  if (!tees.empty()) profiler.set_tee(&fanout);
+
+  SimRuntime runtime(cluster, grad_model, eval_model, data.train, eval_subset, profiler);
+
+  // Optional gradient compression: one bank for the whole session (the
+  // per-worker error-feedback residuals are transport state, reset across
+  // protocol switches because the checkpoint-restart abandons in-flight work).
+  std::optional<CompressorBank> compressor_bank = req_.compression.make_bank(n);
+
+  RunResult result;
+  const double ascale = req_.actuator_time_scale;
+  result.init_time_seconds = actuator.init_time(n).scaled(ascale).seconds();
+
+  const std::int64_t first_budget = static_cast<std::int64_t>(
+      std::llround(req_.policy.switch_fraction * static_cast<double>(wl.total_steps)));
+  const std::int64_t steps_per_epoch = static_cast<std::int64_t>(
+      std::max<std::size_t>(1, data.train.size() / wl.hyper.batch_size));
+
+  auto make_phase = [&](Protocol proto, std::int64_t budget,
+                        std::size_t active_count) -> PhaseConfig {
+    // Only the post-switch (second) protocol uses the momentum ablation.
+    const MomentumPolicy mp =
+        proto == req_.policy.first && req_.policy.switch_fraction > 0.0
+            ? MomentumPolicy::kBaseline
+            : req_.policy.momentum_policy;
+    const DerivedHyper h =
+        derive_hyper(proto, active_count, wl.hyper, mp, steps_per_epoch, req_.policy.k_param);
+    PhaseConfig cfg;
+    cfg.protocol = proto;
+    cfg.ssp_staleness_bound = req_.policy.ssp_staleness_bound;
+    cfg.k_param = req_.policy.k_param;
+    cfg.step_budget = budget;
+    cfg.lr_schedule = &schedule;
+    cfg.lr_multiplier = h.lr_multiplier;
+    if (is_synchronous(proto) && active_count > 1) {
+      // Gradual warmup of the linear-scaled synchronous learning rate over
+      // the first 5% of the workload (Goyal et al., the recipe the
+      // configuration policy's scaling rule comes from): multiplier ramps
+      // 1 -> n (1 -> K for the K-sync family).
+      const double full_mult = h.lr_multiplier;
+      const std::int64_t warmup_steps = std::max<std::int64_t>(1, wl.total_steps / 20);
+      cfg.lr_multiplier_schedule = [full_mult, warmup_steps](std::int64_t step) {
+        if (step >= warmup_steps) return full_mult;
+        const double frac = static_cast<double>(step) / static_cast<double>(warmup_steps);
+        return 1.0 + (full_mult - 1.0) * frac;
+      };
+    }
+    cfg.per_worker_batch = h.per_worker_batch;
+    cfg.momentum = h.momentum;
+    cfg.momentum_schedule = h.momentum_schedule;
+    cfg.eval_interval = wl.eval_interval;
+    cfg.divergence_loss_threshold = wl.divergence_loss_threshold;
+    if (compressor_bank) cfg.compressor = &*compressor_bank;
+    return cfg;
+  };
+
+  auto pay_switch = [&]() {
+    // Checkpoint -> actuate -> restore, exactly as the prototype does.
+    const Checkpoint ckpt = state.ps.make_checkpoint(state.global_step);
+    const VTime cost = actuator.switch_time(n).scaled(ascale);
+    state.clock += cost;
+    state.ps.restore(ckpt);
+    if (compressor_bank) compressor_bank->reset();  // residuals die with the restart
+    result.switch_overhead_seconds += cost.seconds();
+    ++result.num_switches;
+  };
+
+  bool diverged = false;
+  const std::vector<int> everyone = all_workers(n);
+
+  if (req_.policy.online == OnlinePolicy::kNone || req_.stragglers.num_stragglers == 0) {
+    // ---------- Offline plan: first protocol, one switch, second protocol.
+    if (first_budget > 0) {
+      const PhaseConfig cfg = make_phase(req_.policy.first, first_budget, n);
+      const PhaseResult pr =
+          runtime.run_phase(state, cfg, everyone, straggler_schedule, nullptr);
+      diverged = pr.end == PhaseEnd::kDiverged;
+    }
+    const std::int64_t remaining = wl.total_steps - state.global_step;
+    if (!diverged && remaining > 0) {
+      if (first_budget > 0) pay_switch();
+      const PhaseConfig cfg = make_phase(req_.policy.second, remaining, n);
+      const PhaseResult pr =
+          runtime.run_phase(state, cfg, everyone, straggler_schedule, nullptr);
+      diverged = pr.end == PhaseEnd::kDiverged;
+    }
+  } else if (req_.policy.online == OnlinePolicy::kGreedy) {
+    // ---------- Greedy: flip to ASP whenever a straggler is present, back to
+    // BSP once clear, until the BSP quota is met; then ASP to the end.
+    std::int64_t bsp_done = 0;
+    bool in_bsp = first_budget > 0;
+    if (!in_bsp) detector.reset();
+    while (!diverged && state.global_step < wl.total_steps) {
+      const std::int64_t remaining = wl.total_steps - state.global_step;
+      if (in_bsp) {
+        const std::int64_t budget = std::min(first_budget - bsp_done, remaining);
+        const PhaseConfig cfg = make_phase(req_.policy.first, budget, n);
+        const std::int64_t before = state.global_step;
+        const PhaseResult pr =
+            runtime.run_phase(state, cfg, everyone, straggler_schedule,
+                              [&](VTime, std::int64_t) { return detector.any_straggler(); });
+        bsp_done += state.global_step - before;
+        diverged = pr.end == PhaseEnd::kDiverged;
+        if (diverged) break;
+        if (pr.end == PhaseEnd::kStopRequested) {
+          log_info("greedy: straggler detected at step ", state.global_step,
+                   ", switching to ASP");
+          pay_switch();
+          in_bsp = false;
+        } else if (bsp_done >= first_budget) {
+          // Quota met: permanent switch to the second protocol.
+          if (state.global_step < wl.total_steps) {
+            pay_switch();
+            const PhaseConfig asp =
+                make_phase(req_.policy.second, wl.total_steps - state.global_step, n);
+            const PhaseResult fr =
+                runtime.run_phase(state, asp, everyone, straggler_schedule, nullptr);
+            diverged = fr.end == PhaseEnd::kDiverged;
+          }
+          break;
+        }
+      } else {
+        // Temporary ASP while the straggler persists.  Once the BSP quota is
+        // met there is nothing to return to, so run uninterrupted.
+        const PhaseConfig cfg = make_phase(req_.policy.second, remaining, n);
+        const StopPredicate until_clear =
+            bsp_done < first_budget
+                ? StopPredicate([&](VTime, std::int64_t) { return !detector.any_straggler(); })
+                : StopPredicate();
+        const PhaseResult pr =
+            runtime.run_phase(state, cfg, everyone, straggler_schedule, until_clear);
+        diverged = pr.end == PhaseEnd::kDiverged;
+        if (diverged) break;
+        if (pr.end == PhaseEnd::kBudgetExhausted) break;  // finished the workload in ASP
+        if (bsp_done < first_budget) {
+          log_info("greedy: stragglers cleared at step ", state.global_step,
+                   ", switching back to BSP");
+          pay_switch();
+          in_bsp = true;
+        }
+      }
+    }
+  } else if (req_.policy.online == OnlinePolicy::kReplace) {
+    // ---------- Replace: evict detected stragglers and provision fresh VMs
+    // in the background (the paper's prescription for *permanent*
+    // stragglers).  A replacement takes over the evicted slot once ready
+    // (~100 s provisioning) and is healthy from then on.  Training never
+    // blocks on provisioning.
+    std::vector<int> active = everyone;
+    std::vector<std::pair<int, VTime>> pending;  // (worker slot, ready time)
+    std::int64_t bsp_done = 0;
+    bool switched = first_budget <= 0;
+    while (!diverged && state.global_step < wl.total_steps) {
+      const bool in_bsp = bsp_done < first_budget;
+      const std::int64_t budget =
+          in_bsp ? first_budget - bsp_done : wl.total_steps - state.global_step;
+      if (!in_bsp && !switched) {
+        pay_switch();
+        switched = true;
+      }
+      const Protocol proto = in_bsp ? req_.policy.first : req_.policy.second;
+      const PhaseConfig cfg = make_phase(proto, budget, active.size());
+      const StopPredicate stop = [&](VTime now, std::int64_t) {
+        if (detector.any_straggler()) return true;
+        for (const auto& [slot, ready] : pending)
+          if (now >= ready) return true;
+        return false;
+      };
+      const std::int64_t before = state.global_step;
+      const PhaseResult pr = runtime.run_phase(state, cfg, active, straggler_schedule, stop);
+      if (in_bsp) bsp_done += state.global_step - before;
+      diverged = pr.end == PhaseEnd::kDiverged;
+      if (diverged) break;
+      if (pr.end == PhaseEnd::kBudgetExhausted) {
+        if (in_bsp) continue;  // BSP quota met: next iteration switches
+        break;                 // workload complete
+      }
+
+      // Stop requested: first integrate any provisioned replacements...
+      bool resized = false;
+      for (auto it = pending.begin(); it != pending.end();) {
+        if (state.clock >= it->second) {
+          log_info("replace: fresh node took over slot ", it->first, " at step ",
+                   state.global_step);
+          straggler_schedule.mask_after(it->first, state.clock);
+          active.push_back(it->first);
+          std::sort(active.begin(), active.end());
+          it = pending.erase(it);
+          resized = true;
+        } else {
+          ++it;
+        }
+      }
+      // ...then evict freshly flagged stragglers and order their replacements.
+      const std::vector<int> flagged = detector.stragglers();
+      std::vector<int> next_active;
+      for (int w : active)
+        if (std::find(flagged.begin(), flagged.end(), w) == flagged.end())
+          next_active.push_back(w);
+      if (next_active.size() >= 2 && next_active.size() < active.size()) {
+        const VTime ready = state.clock + actuator.provision_time().scaled(ascale);
+        for (int w : active)
+          if (std::find(flagged.begin(), flagged.end(), w) != flagged.end()) {
+            log_info("replace: evicting straggler slot ", w, ", replacement at ",
+                     ready.seconds(), "s");
+            pending.emplace_back(w, ready);
+          }
+        active = std::move(next_active);
+        resized = true;
+      }
+      if (resized) state.clock += actuator.resize_time().scaled(ascale);
+      detector.reset();
+    }
+  } else {
+    // ---------- Elastic: evict detected stragglers during the BSP phase,
+    // restore the full cluster for the ASP phase.
+    std::vector<int> active = everyone;
+    std::int64_t bsp_done = 0;
+    while (!diverged && bsp_done < first_budget) {
+      const PhaseConfig cfg =
+          make_phase(req_.policy.first, first_budget - bsp_done, active.size());
+      const std::int64_t before = state.global_step;
+      const PhaseResult pr =
+          runtime.run_phase(state, cfg, active, straggler_schedule,
+                            [&](VTime, std::int64_t) { return detector.any_straggler(); });
+      bsp_done += state.global_step - before;
+      diverged = pr.end == PhaseEnd::kDiverged;
+      if (diverged) break;
+      if (pr.end == PhaseEnd::kStopRequested) {
+        const std::vector<int> flagged = detector.stragglers();
+        std::vector<int> next_active;
+        for (int w : active)
+          if (std::find(flagged.begin(), flagged.end(), w) == flagged.end())
+            next_active.push_back(w);
+        if (next_active.size() >= 2 && next_active.size() < active.size()) {
+          log_info("elastic: evicting ", active.size() - next_active.size(),
+                   " straggler(s) at step ", state.global_step);
+          active = std::move(next_active);
+          state.clock += actuator.resize_time().scaled(ascale);
+          detector.reset();
+        } else {
+          // Nothing safely removable; keep training, detector re-fires later.
+          detector.reset();
+        }
+      }
+    }
+    const std::int64_t remaining = wl.total_steps - state.global_step;
+    if (!diverged && remaining > 0) {
+      if (active.size() < n) state.clock += actuator.resize_time().scaled(ascale);  // restore nodes
+      if (first_budget > 0) pay_switch();
+      const PhaseConfig cfg = make_phase(req_.policy.second, remaining, n);
+      const PhaseResult pr =
+          runtime.run_phase(state, cfg, everyone, straggler_schedule, nullptr);
+      diverged = pr.end == PhaseEnd::kDiverged;
+    }
+  }
+
+  // ---------- Collect results.
+  result.diverged = diverged;
+  result.steps_completed = state.global_step;
+  result.train_time_seconds = state.clock.seconds();
+  const auto converged = profiler.converged_accuracy();
+  result.converged = !diverged && converged.has_value();
+  result.final_accuracy = profiler.final_accuracy();
+  result.best_accuracy = profiler.best_accuracy();
+  result.converged_accuracy =
+      diverged ? 0.0 : (converged ? *converged : profiler.final_accuracy());
+  result.mean_staleness = profiler.mean_staleness();
+  result.final_train_loss = profiler.tail_loss();
+  if (state.clock.seconds() > 0.0)
+    result.throughput_images_per_sec =
+        static_cast<double>(profiler.total_images()) / state.clock.seconds();
+  result.loss_curve = profiler.loss_curve();
+  result.accuracy_curve = profiler.accuracy_curve();
+  return result;
+}
+
+}  // namespace ss

@@ -1,0 +1,134 @@
+// TrainingSession: the Sync-Switch cluster manager.
+//
+// Mirrors the paper's architecture (Figure 9): it takes the user's training
+// script (Workload + ClusterSpec + initial hyper-parameters), consults the
+// policy manager (protocol / timing / configuration policies), launches
+// phases on the runtime, monitors metrics through the profiler, and performs
+// protocol switches via checkpoint -> actuate -> restore, paying the
+// actuator's measured overhead in virtual time.
+//
+// Online straggler policies (Section IV-B2) run here: the greedy policy
+// flips to ASP while a straggler is detected and back once it clears (until
+// the BSP quota is met); the elastic policy evicts detected stragglers for
+// the remainder of the BSP phase and restores the full cluster for ASP.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compress/spec.h"
+#include "core/config_policy.h"
+#include "core/profiler.h"
+#include "core/straggler_detector.h"
+#include "data/synthetic.h"
+#include "nn/zoo.h"
+#include "ps/protocol.h"
+#include "sim/actuator.h"
+#include "sim/cluster.h"
+#include "sim/straggler.h"
+
+namespace ss {
+
+/// What to train: model, data, step budget, initial hyper-parameters.
+struct Workload {
+  ModelArch arch = ModelArch::kResNet32Lite;
+  SyntheticSpec data = SyntheticSpec::cifar10_like();
+  std::int64_t total_steps = 2048;  ///< minibatch-step budget ("64K" scaled)
+  BaseHyper hyper;
+  std::int64_t eval_interval = 128;
+  double divergence_loss_threshold = 50.0;
+};
+
+/// Online straggler-reaction policy (Section IV-B2).  kReplace extends the
+/// paper: it targets *permanent* stragglers, which the paper explicitly
+/// delegates to node replacement ("permanent stragglers are best dealt with
+/// by requesting replacement") — detected stragglers are evicted and a
+/// replacement VM is provisioned in the background (~100 s), rejoining the
+/// cluster healthy once ready.
+enum class OnlinePolicy { kNone, kGreedy, kElastic, kReplace };
+
+std::string online_policy_name(OnlinePolicy p);
+
+/// The full Sync-Switch policy set for one job.
+struct SyncSwitchPolicy {
+  Protocol first = Protocol::kBsp;   ///< protocol policy: BSP first...
+  Protocol second = Protocol::kAsp;  ///< ...then ASP
+  double switch_fraction = 0.0625;   ///< timing policy: fraction under `first`
+  MomentumPolicy momentum_policy = MomentumPolicy::kBaseline;
+  OnlinePolicy online = OnlinePolicy::kNone;
+  DetectorConfig detector;
+  int ssp_staleness_bound = 3;
+  int k_param = 0;  ///< K for the K-variant protocols (0 = cluster size)
+
+  /// Train exclusively with `p` (the BSP / ASP baselines).
+  [[nodiscard]] static SyncSwitchPolicy pure(Protocol p);
+  /// The paper's default hybrid: BSP for `fraction`, then ASP.
+  [[nodiscard]] static SyncSwitchPolicy bsp_to_asp(double fraction);
+  /// The reversed order (Figure 5(a) ablation).
+  [[nodiscard]] static SyncSwitchPolicy asp_to_bsp(double fraction);
+};
+
+/// One training job on one simulated cluster.
+struct RunRequest {
+  Workload workload;
+  ClusterSpec cluster;
+  ActuatorExec actuator = ActuatorExec::kParallel;
+  SyncSwitchPolicy policy;
+  StragglerScenario stragglers;  ///< zero stragglers = clean run
+  CompressionSpec compression;   ///< optional gradient compression on pushes
+  std::uint64_t seed = 1;        ///< repetition seed (init, timing, batching)
+
+  /// Optional pure-observer sink (e.g. a TraceRecorder): receives every
+  /// task/update/eval observation alongside the profiler.  Not owned, not
+  /// part of the cache key (observation cannot change the result).
+  MetricsSink* observer = nullptr;
+
+  /// Scales the actuator's init/switch/resize costs.  The bench setups run
+  /// a ~30x scaled-down step budget, so absolute overheads from the paper's
+  /// Table III are scaled by the same factor to keep overhead:training
+  /// ratios faithful (Table III itself reports the unscaled model).
+  double actuator_time_scale = 1.0;
+
+  /// Canonical string covering every field that affects the result; used as
+  /// the run-cache key and for reproducibility audits.
+  [[nodiscard]] std::string cache_key() const;
+};
+
+/// Everything the paper's evaluation reads off one run.
+struct RunResult {
+  bool diverged = false;
+  bool converged = false;          ///< accuracy stabilized per the 5-eval rule
+  double converged_accuracy = 0.0; ///< falls back to final accuracy if !converged
+  double final_accuracy = 0.0;
+  double best_accuracy = 0.0;
+  double train_time_seconds = 0.0;     ///< virtual, includes switch overhead
+  double init_time_seconds = 0.0;      ///< cluster bring-up (reported separately)
+  double switch_overhead_seconds = 0.0;
+  int num_switches = 0;
+  double mean_staleness = 0.0;
+  double throughput_images_per_sec = 0.0;
+  double final_train_loss = 0.0;
+  std::int64_t steps_completed = 0;
+  std::vector<LossPoint> loss_curve;
+  std::vector<AccuracyPoint> accuracy_curve;
+
+  /// First virtual time (seconds) test accuracy reached `threshold`.
+  [[nodiscard]] std::optional<double> time_to_accuracy(double threshold) const;
+};
+
+/// Runs one job to completion on the simulated cluster.
+class TrainingSession {
+ public:
+  explicit TrainingSession(RunRequest request);
+
+  /// Execute the job.  Never throws on divergence (that is a *result*);
+  /// throws ConfigError on inconsistent requests.
+  RunResult run();
+
+ private:
+  RunRequest req_;
+};
+
+}  // namespace ss

@@ -1,0 +1,84 @@
+#include "core/straggler_detector.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ss {
+
+StragglerDetector::StragglerDetector(std::size_t num_workers, DetectorConfig cfg)
+    : cfg_(cfg),
+      below_count_(static_cast<std::size_t>(num_workers), 0),
+      flagged_(num_workers, false) {
+  if (num_workers == 0) throw ConfigError("StragglerDetector: no workers");
+  if (cfg.window_size == 0) throw ConfigError("StragglerDetector: window_size must be > 0");
+  if (cfg.consecutive_required <= 0)
+    throw ConfigError("StragglerDetector: consecutive_required must be > 0");
+  windows_.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) windows_.emplace_back(cfg.window_size);
+}
+
+void StragglerDetector::observe(int worker, std::size_t images, VTime duration) {
+  if (worker < 0 || static_cast<std::size_t>(worker) >= windows_.size())
+    throw ConfigError("StragglerDetector::observe: worker index out of range");
+  const double seconds = duration.seconds();
+  if (seconds <= 0.0) return;
+  const auto w = static_cast<std::size_t>(worker);
+  windows_[w].add(static_cast<double>(images) / seconds);
+  // One detection pass per cluster-wide window: the paper's "detection
+  // window" covers window_size tasks per worker on average.
+  if (++observations_since_check_ >= cfg_.window_size * windows_.size()) {
+    observations_since_check_ = 0;
+    run_detection();
+  }
+}
+
+void StragglerDetector::run_detection() {
+  if (!warmed_up()) return;
+  // Cluster statistics over per-worker window means.
+  std::vector<double> means;
+  means.reserve(windows_.size());
+  for (const auto& w : windows_) means.push_back(w.mean());
+  const double avg = mean_of(means);
+  const double sigma = stddev_of(means);
+  // Paper rule (S < avg - sigma) with a relative floor: healthy clusters
+  // have near-zero sigma, which would otherwise flag ordinary jitter.
+  const double threshold = avg - std::max(sigma, cfg_.min_relative_gap * avg);
+
+  for (std::size_t k = 0; k < windows_.size(); ++k) {
+    if (means[k] < threshold) {
+      if (below_count_[k] < cfg_.consecutive_required) ++below_count_[k];
+    } else {
+      below_count_[k] = 0;
+    }
+    flagged_[k] = below_count_[k] >= cfg_.consecutive_required;
+  }
+}
+
+std::vector<int> StragglerDetector::stragglers() const {
+  std::vector<int> out;
+  for (std::size_t k = 0; k < flagged_.size(); ++k)
+    if (flagged_[k]) out.push_back(static_cast<int>(k));
+  return out;
+}
+
+bool StragglerDetector::any_straggler() const noexcept {
+  for (bool f : flagged_)
+    if (f) return true;
+  return false;
+}
+
+bool StragglerDetector::warmed_up() const noexcept {
+  for (const auto& w : windows_)
+    if (!w.full()) return false;
+  return true;
+}
+
+void StragglerDetector::reset() {
+  for (auto& w : windows_) w.clear();
+  observations_since_check_ = 0;
+  for (auto& c : below_count_) c = 0;
+  for (std::size_t i = 0; i < flagged_.size(); ++i) flagged_[i] = false;
+}
+
+}  // namespace ss

@@ -1,0 +1,63 @@
+// Throughput-based straggler detection (paper Section IV-B2).
+//
+// "A worker k is identified as a straggler if its training throughput over a
+// sliding window S_k is lower than the difference between the cluster
+// average and standard deviation, S - sigma, for a number of consecutive
+// detection windows."
+//
+// The detector consumes TaskObservations (one per completed worker task) and
+// maintains a per-worker sliding window of throughput samples.  A detection
+// window completes each time a worker's sliding window turns over
+// `window_size` new samples.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/vtime.h"
+
+namespace ss {
+
+struct DetectorConfig {
+  std::size_t window_size = 6;    ///< samples per sliding window
+  int consecutive_required = 3;   ///< windows below threshold to flag
+  /// Guard against false positives when the cluster is healthy and sigma is
+  /// tiny: a worker must be at least this fraction below the cluster mean
+  /// (in addition to the paper's mean - sigma rule) to count as slow.
+  double min_relative_gap = 0.15;
+};
+
+class StragglerDetector {
+ public:
+  StragglerDetector(std::size_t num_workers, DetectorConfig cfg);
+
+  /// Feed one completed task: `images` trained in `duration`.
+  void observe(int worker, std::size_t images, VTime duration);
+
+  /// Workers currently flagged as stragglers.
+  [[nodiscard]] std::vector<int> stragglers() const;
+
+  /// True if any worker is currently flagged.
+  [[nodiscard]] bool any_straggler() const noexcept;
+
+  /// True once every worker has a full window (detection is meaningful).
+  [[nodiscard]] bool warmed_up() const noexcept;
+
+  /// Forget all samples (called after cluster reconfiguration, where
+  /// historical throughput is no longer comparable).
+  void reset();
+
+  [[nodiscard]] const DetectorConfig& config() const noexcept { return cfg_; }
+
+ private:
+  void run_detection();
+
+  DetectorConfig cfg_;
+  std::vector<SlidingWindow> windows_;
+  std::size_t observations_since_check_ = 0;
+  std::vector<int> below_count_;   ///< consecutive windows below threshold
+  std::vector<bool> flagged_;
+};
+
+}  // namespace ss

@@ -1,0 +1,49 @@
+// In-memory labelled dataset with train/test splits, plus worker shards.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ss {
+
+/// A labelled dataset: features are (num_examples, feature_dim) row-major,
+/// labels are ints in [0, num_classes).
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(Tensor features, std::vector<int> labels, int num_classes);
+
+  [[nodiscard]] std::size_t size() const noexcept { return labels_.size(); }
+  [[nodiscard]] std::size_t feature_dim() const noexcept {
+    return features_.rank() == 2 ? features_.dim(1) : 0;
+  }
+  [[nodiscard]] int num_classes() const noexcept { return num_classes_; }
+
+  [[nodiscard]] const Tensor& features() const noexcept { return features_; }
+  [[nodiscard]] std::span<const int> labels() const noexcept { return labels_; }
+
+  /// Copy rows `indices` into a (indices.size(), feature_dim) batch tensor
+  /// and label vector.
+  void gather(std::span<const std::uint32_t> indices, Tensor& batch_x,
+              std::vector<int>& batch_y) const;
+
+  /// First `n` examples as a contiguous view-copy (used for fast periodic
+  /// test evaluation on a subsample).
+  [[nodiscard]] Dataset head(std::size_t n) const;
+
+ private:
+  Tensor features_;
+  std::vector<int> labels_;
+  int num_classes_ = 0;
+};
+
+/// Train/test pair.
+struct DataSplit {
+  Dataset train;
+  Dataset test;
+};
+
+}  // namespace ss

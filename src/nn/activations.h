@@ -1,0 +1,35 @@
+// Stateless activation layers.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace ss {
+
+class ReLU final : public Layer {
+ public:
+  ReLU() = default;
+  const Tensor& forward(const Tensor& x) override;
+  const Tensor& backward(const Tensor& dy) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  [[nodiscard]] std::string describe() const override { return "ReLU"; }
+
+ private:
+  Tensor x_cache_;
+  Tensor y_;
+  Tensor dx_;
+};
+
+class Tanh final : public Layer {
+ public:
+  Tanh() = default;
+  const Tensor& forward(const Tensor& x) override;
+  const Tensor& backward(const Tensor& dy) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  [[nodiscard]] std::string describe() const override { return "Tanh"; }
+
+ private:
+  Tensor y_;   // tanh output cached (backward uses 1 - y^2)
+  Tensor dx_;
+};
+
+}  // namespace ss

@@ -1,0 +1,97 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ss {
+
+BatchNorm::BatchNorm(std::size_t dim, double eps)
+    : dim_(dim),
+      eps_(eps),
+      gamma_({dim}, 1.0f),
+      beta_({dim}, 0.0f),
+      dgamma_({dim}, 0.0f),
+      dbeta_({dim}, 0.0f),
+      inv_std_({dim}, 0.0f) {
+  if (dim == 0) throw ConfigError("BatchNorm: dim must be > 0");
+  if (eps <= 0.0) throw ConfigError("BatchNorm: eps must be > 0");
+}
+
+const Tensor& BatchNorm::forward(const Tensor& x) {
+  if (x.rank() != 2 || x.dim(1) != dim_)
+    throw ShapeError("BatchNorm: expected (N, " + std::to_string(dim_) + ") input, got " +
+                     shape_str(x.shape()));
+  const std::size_t n = x.dim(0);
+  if (n < 2) throw ShapeError("BatchNorm: batch must have >= 2 examples");
+
+  if (xhat_.numel() != x.numel()) {
+    xhat_ = Tensor(x.shape());
+    y_ = Tensor(x.shape());
+    dx_ = Tensor(x.shape());
+  }
+
+  const auto nf = static_cast<float>(n);
+  for (std::size_t j = 0; j < dim_; ++j) {
+    float mean = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) mean += x.at2(i, j);
+    mean /= nf;
+    float var = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float c = x.at2(i, j) - mean;
+      var += c * c;
+    }
+    var /= nf;
+    const float inv = 1.0f / std::sqrt(var + static_cast<float>(eps_));
+    inv_std_[j] = inv;
+    const float g = gamma_[j];
+    const float be = beta_[j];
+    for (std::size_t i = 0; i < n; ++i) {
+      const float xh = (x.at2(i, j) - mean) * inv;
+      xhat_.at2(i, j) = xh;
+      y_.at2(i, j) = g * xh + be;
+    }
+  }
+  return y_;
+}
+
+const Tensor& BatchNorm::backward(const Tensor& dy) {
+  if (dy.shape() != xhat_.shape())
+    throw ShapeError("BatchNorm::backward: dy shape " + shape_str(dy.shape()) +
+                     " does not match cached forward " + shape_str(xhat_.shape()));
+  const std::size_t n = dy.dim(0);
+  const auto nf = static_cast<float>(n);
+
+  // Standard batch-statistics backward:
+  //   dx = (gamma * inv_std / N) * (N*dy - sum(dy) - xhat * sum(dy * xhat))
+  for (std::size_t j = 0; j < dim_; ++j) {
+    float sum_dy = 0.0f;
+    float sum_dy_xhat = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float d = dy.at2(i, j);
+      sum_dy += d;
+      sum_dy_xhat += d * xhat_.at2(i, j);
+    }
+    dgamma_[j] = sum_dy_xhat;
+    dbeta_[j] = sum_dy;
+    const float scale = gamma_[j] * inv_std_[j] / nf;
+    for (std::size_t i = 0; i < n; ++i) {
+      dx_.at2(i, j) =
+          scale * (nf * dy.at2(i, j) - sum_dy - xhat_.at2(i, j) * sum_dy_xhat);
+    }
+  }
+  return dx_;
+}
+
+std::unique_ptr<Layer> BatchNorm::clone() const {
+  auto copy = std::make_unique<BatchNorm>(dim_, eps_);
+  copy->gamma_ = gamma_;
+  copy->beta_ = beta_;
+  return copy;
+}
+
+std::string BatchNorm::describe() const {
+  return "BatchNorm(" + std::to_string(dim_) + ")";
+}
+
+}  // namespace ss

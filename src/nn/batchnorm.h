@@ -1,0 +1,50 @@
+// Batch normalization over features (Ioffe & Szegedy, 2015), the
+// normalization the paper's real ResNet workloads rely on.
+//
+// This implementation always normalizes with the *current batch's*
+// statistics (training-mode BatchNorm) rather than tracking running
+// averages.  Rationale for this substrate: model parameters travel through
+// the parameter server as a flat vector, and running statistics are local
+// worker state that the PS protocols do not synchronize — exactly the
+// ambiguity real distributed BN implementations face.  Using batch
+// statistics everywhere keeps train/eval consistent under every
+// synchronization protocol, at the cost of requiring non-trivial eval batch
+// sizes (our evaluation batches are 128+).  See DESIGN.md.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace ss {
+
+class BatchNorm final : public Layer {
+ public:
+  /// Normalizes each of `dim` features over the batch dimension of an
+  /// (N, dim) input.  gamma initialized to 1, beta to 0.
+  explicit BatchNorm(std::size_t dim, double eps = 1e-5);
+
+  const Tensor& forward(const Tensor& x) override;
+  const Tensor& backward(const Tensor& dy) override;
+  std::vector<Tensor*> params() override { return {&gamma_, &beta_}; }
+  std::vector<Tensor*> grads() override { return {&dgamma_, &dbeta_}; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] double eps() const noexcept { return eps_; }
+
+ private:
+  std::size_t dim_;
+  double eps_;
+  Tensor gamma_;   // (dim)
+  Tensor beta_;    // (dim)
+  Tensor dgamma_;
+  Tensor dbeta_;
+
+  // Caches from forward, used by backward.
+  Tensor xhat_;        // (N, dim) normalized input
+  Tensor inv_std_;     // (dim) 1/sqrt(var + eps)
+  Tensor y_;
+  Tensor dx_;
+};
+
+}  // namespace ss

@@ -1,0 +1,83 @@
+#include "nn/checkpoint.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace ss {
+
+namespace {
+constexpr std::uint32_t kCkptMagic = 0x53535357;  // "SSSW"
+constexpr std::uint32_t kCkptVersion = 1;
+}  // namespace
+
+std::vector<std::uint8_t> Checkpoint::serialize() const {
+  std::vector<std::uint8_t> out;
+  const std::uint64_t np = params.size();
+  const std::uint64_t nv = velocity.size();
+  out.resize(sizeof(kCkptMagic) + sizeof(kCkptVersion) + sizeof(global_step) + sizeof(np) +
+             sizeof(nv) + np * sizeof(float) + nv * sizeof(float));
+  std::uint8_t* p = out.data();
+  auto put = [&p](const void* src, std::size_t n) {
+    std::memcpy(p, src, n);
+    p += n;
+  };
+  put(&kCkptMagic, sizeof(kCkptMagic));
+  put(&kCkptVersion, sizeof(kCkptVersion));
+  put(&global_step, sizeof(global_step));
+  put(&np, sizeof(np));
+  put(&nv, sizeof(nv));
+  put(params.data(), np * sizeof(float));
+  put(velocity.data(), nv * sizeof(float));
+  return out;
+}
+
+Checkpoint Checkpoint::deserialize(std::span<const std::uint8_t> bytes) {
+  Checkpoint ckpt;
+  const std::uint8_t* p = bytes.data();
+  std::size_t remaining = bytes.size();
+  auto get = [&](void* dst, std::size_t n) {
+    if (remaining < n) throw CheckpointError("Checkpoint: truncated data");
+    std::memcpy(dst, p, n);
+    p += n;
+    remaining -= n;
+  };
+  std::uint32_t magic = 0, version = 0;
+  get(&magic, sizeof(magic));
+  if (magic != kCkptMagic) throw CheckpointError("Checkpoint: bad magic");
+  get(&version, sizeof(version));
+  if (version != kCkptVersion) throw CheckpointError("Checkpoint: unsupported version");
+  get(&ckpt.global_step, sizeof(ckpt.global_step));
+  std::uint64_t np = 0, nv = 0;
+  get(&np, sizeof(np));
+  get(&nv, sizeof(nv));
+  ckpt.params.resize(np);
+  ckpt.velocity.resize(nv);
+  get(ckpt.params.data(), np * sizeof(float));
+  get(ckpt.velocity.data(), nv * sizeof(float));
+  if (remaining != 0) throw CheckpointError("Checkpoint: trailing bytes");
+  return ckpt;
+}
+
+void Checkpoint::save(const std::string& path) const {
+  const auto bytes = serialize();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw CheckpointError("Checkpoint::save: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw CheckpointError("Checkpoint::save: write failed");
+}
+
+Checkpoint Checkpoint::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw CheckpointError("Checkpoint::load: cannot open " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) throw CheckpointError("Checkpoint::load: read failed");
+  return deserialize(bytes);
+}
+
+}  // namespace ss

@@ -1,0 +1,32 @@
+// Checkpoint serialization for the protocol-switch mechanism.
+//
+// Sync-Switch's switch is implemented exactly as in the paper (Section V):
+// checkpoint the training state, restart the tasks under the new protocol,
+// restore from the checkpoint.  A checkpoint captures the PS-side state:
+// model parameters, optimizer velocity, and the global step.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ss {
+
+struct Checkpoint {
+  std::int64_t global_step = 0;
+  std::vector<float> params;
+  std::vector<float> velocity;
+
+  /// Binary serialization (little-endian, versioned header).
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static Checkpoint deserialize(std::span<const std::uint8_t> bytes);
+
+  /// File round-trip.
+  void save(const std::string& path) const;
+  [[nodiscard]] static Checkpoint load(const std::string& path);
+
+  bool operator==(const Checkpoint&) const = default;
+};
+
+}  // namespace ss

@@ -1,0 +1,37 @@
+#include "nn/loss.h"
+
+#include "common/error.h"
+#include "tensor/ops.h"
+
+namespace ss {
+
+double SoftmaxCrossEntropy::forward(const Tensor& logits, std::span<const int> labels) {
+  if (logits.rank() != 2 || logits.dim(0) != labels.size())
+    throw ShapeError("SoftmaxCrossEntropy: logits/labels mismatch");
+  if (probs_.rank() != 2 || probs_.dim(0) != logits.dim(0) || probs_.dim(1) != logits.dim(1)) {
+    probs_ = Tensor(logits.shape());
+    dlogits_ = Tensor(logits.shape());
+  }
+  labels_.assign(labels.begin(), labels.end());
+  ops::softmax_rows(logits, probs_);
+  return ops::cross_entropy_mean(probs_, labels_);
+}
+
+const Tensor& SoftmaxCrossEntropy::backward() {
+  ops::softmax_xent_backward(probs_, labels_, dlogits_);
+  return dlogits_;
+}
+
+double top1_accuracy(const Tensor& logits, std::span<const int> labels) {
+  if (logits.rank() != 2 || logits.dim(0) != labels.size())
+    throw ShapeError("top1_accuracy: logits/labels mismatch");
+  std::vector<int> pred(labels.size());
+  ops::argmax_rows(logits, pred);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    if (pred[i] == labels[i]) ++correct;
+  return labels.empty() ? 0.0
+                        : static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace ss

@@ -1,0 +1,35 @@
+// Softmax cross-entropy head.
+//
+// Kept separate from the Layer stack: it consumes logits and labels, returns
+// the scalar batch loss, and produces the logits gradient that seeds
+// Model::backward.  This mirrors the paper's cross-entropy-per-minibatch
+// training-loss metric (Section VI-A).
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace ss {
+
+class SoftmaxCrossEntropy {
+ public:
+  /// Computes probs + mean loss for the batch; call backward() afterwards.
+  double forward(const Tensor& logits, std::span<const int> labels);
+
+  /// dL/dlogits of the most recent forward().
+  const Tensor& backward();
+
+  /// Row-wise probabilities from the last forward (for inspection/tests).
+  [[nodiscard]] const Tensor& probs() const noexcept { return probs_; }
+
+ private:
+  Tensor probs_;
+  Tensor dlogits_;
+  std::vector<int> labels_;
+};
+
+/// Top-1 accuracy of logits vs labels.
+double top1_accuracy(const Tensor& logits, std::span<const int> labels);
+
+}  // namespace ss

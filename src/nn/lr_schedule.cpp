@@ -1,0 +1,31 @@
+#include "nn/lr_schedule.h"
+
+#include "common/error.h"
+
+namespace ss {
+
+PiecewiseDecay::PiecewiseDecay(double base_lr, std::vector<Piece> pieces)
+    : base_lr_(base_lr), pieces_(std::move(pieces)) {
+  for (std::size_t i = 1; i < pieces_.size(); ++i)
+    if (pieces_[i].boundary_step <= pieces_[i - 1].boundary_step)
+      throw ConfigError("PiecewiseDecay: boundaries must be strictly increasing");
+}
+
+double PiecewiseDecay::at(std::int64_t step) const {
+  double factor = 1.0;
+  for (const auto& p : pieces_) {
+    if (step >= p.boundary_step) factor = p.factor;
+    else break;
+  }
+  return base_lr_ * factor;
+}
+
+std::unique_ptr<LrSchedule> PiecewiseDecay::clone() const {
+  return std::make_unique<PiecewiseDecay>(*this);
+}
+
+PiecewiseDecay PiecewiseDecay::resnet_style(double base_lr, std::int64_t total_steps) {
+  return PiecewiseDecay(base_lr, {{total_steps / 2, 0.1}, {total_steps * 3 / 4, 0.01}});
+}
+
+}  // namespace ss

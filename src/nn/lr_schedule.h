@@ -1,0 +1,58 @@
+// Learning-rate schedules.
+//
+// The paper uses the original ResNet recipe: base LR with piecewise decay by
+// x0.1 at 50% of the step budget and x0.01 at 75% (Section VI-A).  Schedules
+// are expressed over *global* step counts so BSP and ASP phases share one
+// clock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ss {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// Learning rate at a global step.
+  [[nodiscard]] virtual double at(std::int64_t step) const = 0;
+  [[nodiscard]] virtual std::unique_ptr<LrSchedule> clone() const = 0;
+};
+
+class ConstantLr final : public LrSchedule {
+ public:
+  explicit ConstantLr(double lr) : lr_(lr) {}
+  [[nodiscard]] double at(std::int64_t) const override { return lr_; }
+  [[nodiscard]] std::unique_ptr<LrSchedule> clone() const override {
+    return std::make_unique<ConstantLr>(lr_);
+  }
+
+ private:
+  double lr_;
+};
+
+/// Piecewise-constant decay: lr = base * factor_i for step >= boundary_i.
+class PiecewiseDecay final : public LrSchedule {
+ public:
+  struct Piece {
+    std::int64_t boundary_step;  ///< first step at which this factor applies
+    double factor;               ///< multiplier on the base LR
+  };
+
+  /// `pieces` must be sorted by boundary_step ascending.
+  PiecewiseDecay(double base_lr, std::vector<Piece> pieces);
+
+  [[nodiscard]] double at(std::int64_t step) const override;
+  [[nodiscard]] std::unique_ptr<LrSchedule> clone() const override;
+
+  /// The paper's ResNet schedule: decay x0.1 at 50% and x0.01 at 75% of
+  /// `total_steps`.
+  [[nodiscard]] static PiecewiseDecay resnet_style(double base_lr, std::int64_t total_steps);
+
+ private:
+  double base_lr_;
+  std::vector<Piece> pieces_;
+};
+
+}  // namespace ss

@@ -1,0 +1,28 @@
+#include "nn/optimizer.h"
+
+#include "common/error.h"
+
+namespace ss {
+
+SgdMomentum::SgdMomentum(std::size_t num_params, double momentum)
+    : momentum_(momentum), accum_(num_params, 0.0f) {
+  if (momentum < 0.0 || momentum >= 1.0)
+    throw ConfigError("SgdMomentum: momentum must be in [0, 1)");
+}
+
+void SgdMomentum::apply(std::span<float> params, std::span<const float> grad, double lr) {
+  if (params.size() != accum_.size() || grad.size() != accum_.size())
+    throw ConfigError("SgdMomentum::apply: size mismatch");
+  const float mu = static_cast<float>(momentum_);
+  const float eta = static_cast<float>(lr);
+  for (std::size_t i = 0; i < accum_.size(); ++i) {
+    accum_[i] = mu * accum_[i] + grad[i];
+    params[i] -= eta * accum_[i];
+  }
+}
+
+void SgdMomentum::reset_velocity() noexcept {
+  for (auto& v : accum_) v = 0.0f;
+}
+
+}  // namespace ss

@@ -1,0 +1,40 @@
+// SGD with momentum over flat parameter vectors.
+//
+// Semantics follow TensorFlow's MomentumOptimizer (the framework the paper
+// builds on): accum = momentum * accum + grad; param -= lr * accum.
+// The optimizer state lives at the parameter server, so it is part of the
+// checkpoint taken when Sync-Switch switches protocols.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ss {
+
+class SgdMomentum {
+ public:
+  SgdMomentum(std::size_t num_params, double momentum);
+
+  /// Apply one update in place.  `lr` is passed per call because the
+  /// learning-rate schedule (and the configuration policy) changes it over
+  /// the course of training.
+  void apply(std::span<float> params, std::span<const float> grad, double lr);
+
+  [[nodiscard]] double momentum() const noexcept { return momentum_; }
+
+  /// Configuration policy hook: momentum may be rescaled when the protocol
+  /// switches (Figure 8(b) ablations).
+  void set_momentum(double momentum) noexcept { momentum_ = momentum; }
+
+  [[nodiscard]] std::span<const float> velocity() const noexcept { return accum_; }
+  [[nodiscard]] std::span<float> mutable_velocity() noexcept { return accum_; }
+
+  /// Reset accumulated momentum (used by the "Zero" momentum ablation).
+  void reset_velocity() noexcept;
+
+ private:
+  double momentum_;
+  std::vector<float> accum_;
+};
+
+}  // namespace ss

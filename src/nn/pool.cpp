@@ -1,0 +1,72 @@
+#include "nn/pool.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace ss {
+
+MaxPool2x2::MaxPool2x2(std::size_t channels, std::size_t height, std::size_t width)
+    : c_(channels), h_(height), w_(width), oh_(height / 2), ow_(width / 2) {
+  if (height < 2 || width < 2) throw ShapeError("MaxPool2x2: input too small");
+}
+
+const Tensor& MaxPool2x2::forward(const Tensor& x) {
+  if (x.rank() != 2 || x.dim(1) != c_ * h_ * w_)
+    throw ShapeError("MaxPool2x2::forward: input shape mismatch");
+  const std::size_t n = x.dim(0);
+  if (y_.rank() != 2 || y_.dim(0) != n || y_.dim(1) != out_features())
+    y_ = Tensor({n, out_features()});
+  argmax_.assign(n * out_features(), 0);
+
+  const float* px = x.data();
+  float* py = y_.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < c_; ++c) {
+      for (std::size_t oi = 0; oi < oh_; ++oi) {
+        for (std::size_t oj = 0; oj < ow_; ++oj) {
+          const std::size_t base = i * (c_ * h_ * w_) + c * h_ * w_;
+          float best = -3.4e38f;
+          std::uint32_t best_idx = 0;
+          for (std::size_t di = 0; di < 2; ++di) {
+            for (std::size_t dj = 0; dj < 2; ++dj) {
+              const std::size_t idx = base + (oi * 2 + di) * w_ + (oj * 2 + dj);
+              if (px[idx] > best) {
+                best = px[idx];
+                best_idx = static_cast<std::uint32_t>(idx);
+              }
+            }
+          }
+          const std::size_t out_idx = i * out_features() + c * oh_ * ow_ + oi * ow_ + oj;
+          py[out_idx] = best;
+          argmax_[out_idx] = best_idx;
+        }
+      }
+    }
+  }
+  return y_;
+}
+
+const Tensor& MaxPool2x2::backward(const Tensor& dy) {
+  const std::size_t n = dy.dim(0);
+  if (dx_.rank() != 2 || dx_.dim(0) != n || dx_.dim(1) != c_ * h_ * w_)
+    dx_ = Tensor({n, c_ * h_ * w_});
+  dx_.fill(0.0f);
+  const float* pdy = dy.data();
+  float* pdx = dx_.data();
+  for (std::size_t k = 0; k < n * out_features(); ++k) pdx[argmax_[k]] += pdy[k];
+  return dx_;
+}
+
+std::unique_ptr<Layer> MaxPool2x2::clone() const {
+  return std::make_unique<MaxPool2x2>(c_, h_, w_);
+}
+
+std::string MaxPool2x2::describe() const {
+  std::ostringstream os;
+  os << "MaxPool2x2(" << c_ << "x" << h_ << "x" << w_ << " -> " << c_ << "x" << oh_ << "x" << ow_
+     << ")";
+  return os.str();
+}
+
+}  // namespace ss

@@ -1,0 +1,28 @@
+// 2x2 max pooling (stride 2) over (N, C*H*W) rows.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace ss {
+
+class MaxPool2x2 final : public Layer {
+ public:
+  MaxPool2x2(std::size_t channels, std::size_t height, std::size_t width);
+
+  const Tensor& forward(const Tensor& x) override;
+  const Tensor& backward(const Tensor& dy) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] std::size_t out_features() const noexcept { return c_ * oh_ * ow_; }
+  [[nodiscard]] std::size_t out_height() const noexcept { return oh_; }
+  [[nodiscard]] std::size_t out_width() const noexcept { return ow_; }
+
+ private:
+  std::size_t c_, h_, w_, oh_, ow_;
+  Tensor y_;
+  Tensor dx_;
+  std::vector<std::uint32_t> argmax_;  // winning input index per output cell
+};
+
+}  // namespace ss

@@ -1,0 +1,282 @@
+#include "ps/group_runtime.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "sim/event_queue.h"
+#include "tensor/ops.h"
+
+namespace ss {
+
+namespace {
+
+constexpr int kRoundDone = 0;
+constexpr int kBroadcastArrive = 1;
+
+constexpr float kSignificanceEps = 1e-8f;
+
+/// One group's replica + local optimizer + broadcast bookkeeping.
+struct Group {
+  std::vector<int> workers;
+  std::vector<float> params;
+  SgdMomentum opt;
+  /// Parameter values as of this group's last outgoing broadcast: the
+  /// significance filter compares against these.
+  std::vector<float> shadow;
+
+  Group(std::vector<int> workers_in, std::vector<float> params_in, double momentum)
+      : workers(std::move(workers_in)),
+        params(std::move(params_in)),
+        opt(params.size(), momentum),
+        shadow(params) {}
+};
+
+/// Sparse delta in flight between groups.
+struct Broadcast {
+  std::size_t from = 0;
+  std::vector<std::uint32_t> index;
+  std::vector<float> delta;
+};
+
+double replica_divergence(const std::vector<Group>& groups) {
+  if (groups.size() < 2) return 0.0;
+  const std::size_t p = groups[0].params.size();
+  double norm_sum = 0.0;
+  for (const auto& g : groups) {
+    double sq = 0.0;
+    for (const float v : g.params) sq += static_cast<double>(v) * v;
+    norm_sum += std::sqrt(sq);
+  }
+  const double mean_norm = norm_sum / static_cast<double>(groups.size());
+  if (mean_norm == 0.0) return 0.0;
+
+  double dist_sum = 0.0;
+  int pairs = 0;
+  for (std::size_t a = 0; a < groups.size(); ++a) {
+    for (std::size_t b = a + 1; b < groups.size(); ++b) {
+      double sq = 0.0;
+      for (std::size_t i = 0; i < p; ++i) {
+        const double d = static_cast<double>(groups[a].params[i]) - groups[b].params[i];
+        sq += d * d;
+      }
+      dist_sum += std::sqrt(sq);
+      ++pairs;
+    }
+  }
+  return dist_sum / pairs / mean_norm;
+}
+
+}  // namespace
+
+GroupRuntime::GroupRuntime(ClusterModel cluster, Model& grad_model, Model& eval_model,
+                           const Dataset& train, const Dataset& eval_set, MetricsSink& sink)
+    : cluster_(std::move(cluster)),
+      grad_model_(grad_model),
+      eval_model_(eval_model),
+      train_(train),
+      eval_set_(eval_set),
+      sink_(sink) {}
+
+GroupPhaseResult GroupRuntime::run(TrainingState& state, const GroupConfig& cfg,
+                                   const StragglerSchedule& stragglers) {
+  if (cfg.lr_schedule == nullptr) throw ConfigError("GroupConfig: lr_schedule is required");
+  if (cfg.num_groups < 1) throw ConfigError("GroupConfig: need at least one group");
+  if (cfg.significance_threshold < 0.0)
+    throw ConfigError("GroupConfig: significance_threshold must be >= 0");
+  const std::size_t n = state.samplers.size();
+  if (cfg.num_groups > n) throw ConfigError("GroupConfig: more groups than workers");
+
+  GroupPhaseResult result;
+  const std::size_t p = state.ps.num_params();
+  const std::size_t b = cfg.per_worker_batch;
+  const std::size_t d = train_.feature_dim();
+
+  // Partition workers round-robin into groups.
+  std::vector<Group> groups;
+  groups.reserve(cfg.num_groups);
+  {
+    std::vector<std::vector<int>> members(cfg.num_groups);
+    for (std::size_t w = 0; w < n; ++w)
+      members[w % cfg.num_groups].push_back(static_cast<int>(w));
+    std::vector<float> init(p);
+    state.ps.pull(init);
+    for (auto& m : members) groups.emplace_back(std::move(m), init, cfg.momentum);
+  }
+
+  EventQueue queue;
+  std::unordered_map<std::uint64_t, Broadcast> in_flight;
+  Tensor batch_x({b, d});
+  std::vector<int> batch_y;
+  std::vector<float> grad(p);
+  std::vector<float> grad_sum(p);
+  std::vector<std::uint32_t> indices;
+
+  const VTime phase_start = state.clock;
+  double significant_fraction_sum = 0.0;
+  double divergence_sum = 0.0;
+  std::int64_t rounds = 0;
+  bool done = false;
+
+  // A group's round duration: the slowest member's task plus the
+  // intra-group barrier overhead.
+  auto round_time = [&](const Group& g, VTime now) {
+    VTime max_task = VTime::zero();
+    for (const int w : g.workers) {
+      const double slow = stragglers.slow_factor(w, now);
+      max_task = std::max(
+          max_task, cluster_.task_time(state.worker_rngs[static_cast<std::size_t>(w)], slow, b));
+    }
+    return max_task + cluster_.sync_overhead(g.workers.size());
+  };
+
+  // Kick off round 1 in every group.
+  for (std::size_t g = 0; g < groups.size(); ++g)
+    queue.schedule(state.clock + round_time(groups[g], state.clock), kRoundDone,
+                   static_cast<int>(g));
+
+  while (!queue.empty() && !done) {
+    const SimEvent ev = queue.pop();
+
+    if (ev.kind == kBroadcastArrive) {
+      // Merge a remote delta into this group's replica (Gaia mirrors apply
+      // remote updates without blocking local compute).
+      auto it = in_flight.find(ev.seq);
+      // The queue assigns fresh seq numbers per schedule, but a broadcast to
+      // G-1 targets is scheduled G-1 times with distinct seqs; each maps to
+      // the shared payload through the side table populated at send time.
+      if (it == in_flight.end()) continue;  // cleared phase-end leftovers
+      const Broadcast& bc = it->second;
+      auto& g = groups[static_cast<std::size_t>(ev.worker)];
+      for (std::size_t i = 0; i < bc.index.size(); ++i) {
+        g.params[bc.index[i]] += bc.delta[i];
+        // The shadow absorbs remote deltas too: a group only ever broadcasts
+        // its *locally generated* changes, never echoes of its peers'.
+        g.shadow[bc.index[i]] += bc.delta[i];
+      }
+      in_flight.erase(it);
+      continue;
+    }
+
+    // kRoundDone: one synchronous round inside group ev.worker.
+    auto& g = groups[static_cast<std::size_t>(ev.worker)];
+    const auto k = static_cast<double>(g.workers.size());
+    std::fill(grad_sum.begin(), grad_sum.end(), 0.0f);
+    double loss_sum = 0.0;
+    for (const int w : g.workers) {
+      auto& sampler = state.samplers[static_cast<std::size_t>(w)];
+      sampler.set_batch_size(b);
+      sampler.next_batch(indices);
+      train_.gather(indices, batch_x, batch_y);
+      loss_sum += grad_model_.gradient_at(g.params, batch_x, batch_y, grad);
+      ops::add_inplace(std::span<float>(grad_sum), std::span<const float>(grad));
+
+      TaskObservation tobs;
+      tobs.worker = w;
+      tobs.completed_at = ev.time;
+      tobs.task_duration = ev.time - state.clock;  // approximate: round span
+      tobs.images = b;
+      sink_.on_task(tobs);
+    }
+    ops::scale_inplace(std::span<float>(grad_sum), static_cast<float>(1.0 / k));
+
+    const double lr = cfg.lr_schedule->at(state.global_step) * cfg.lr_multiplier;
+    g.opt.set_momentum(cfg.momentum);
+    g.opt.apply(g.params, grad_sum, lr);
+
+    state.clock = std::max(state.clock, ev.time);
+    state.global_step += static_cast<std::int64_t>(g.workers.size());
+    result.steps_done += static_cast<std::int64_t>(g.workers.size());
+    ++rounds;
+    divergence_sum += replica_divergence(groups);
+
+    const double mean_loss = loss_sum / k;
+    UpdateObservation uobs;
+    uobs.global_step = state.global_step;
+    uobs.time = ev.time;
+    uobs.train_loss = mean_loss;
+    uobs.staleness = 0;  // intra-group updates are synchronous
+    uobs.protocol = Protocol::kBsp;
+    sink_.on_update(uobs);
+
+    if (!std::isfinite(mean_loss) || mean_loss > cfg.divergence_loss_threshold) {
+      result.end = PhaseEnd::kDiverged;
+      queue.clear();
+      break;
+    }
+
+    // --- Significance filter: broadcast coordinates that moved enough
+    // since this group's last broadcast.
+    if (groups.size() > 1) {
+      Broadcast bc;
+      bc.from = static_cast<std::size_t>(ev.worker);
+      for (std::size_t i = 0; i < p; ++i) {
+        const float delta = g.params[i] - g.shadow[i];
+        if (std::fabs(delta) >
+            cfg.significance_threshold * (std::fabs(g.shadow[i]) + kSignificanceEps)) {
+          bc.index.push_back(static_cast<std::uint32_t>(i));
+          bc.delta.push_back(delta);
+          g.shadow[i] = g.params[i];
+        }
+      }
+      significant_fraction_sum += static_cast<double>(bc.index.size()) / static_cast<double>(p);
+      if (!bc.index.empty()) {
+        ++result.broadcasts;
+        const double sparse_bytes = static_cast<double>(bc.index.size()) *
+                                    (sizeof(std::uint32_t) + sizeof(float)) /
+                                    (static_cast<double>(p) * sizeof(float)) *
+                                    cluster_.spec().payload_bytes;
+        // Schedule one arrival per remote group; each arrival's sequence
+        // number keys its own copy of the payload in the side table.
+        std::vector<std::uint64_t> seqs;
+        for (std::size_t tgt = 0; tgt < groups.size(); ++tgt) {
+          if (tgt == bc.from) continue;
+          seqs.push_back(queue.schedule(ev.time + cluster_.transfer_time(1.0, sparse_bytes),
+                                        kBroadcastArrive, static_cast<int>(tgt)));
+        }
+        for (const std::uint64_t s : seqs) in_flight.emplace(s, bc);
+      }
+    }
+
+    // Evaluate on the across-group average at eval boundaries.
+    if (cfg.eval_interval > 0 && state.global_step / cfg.eval_interval !=
+                                     (state.global_step - static_cast<std::int64_t>(k)) /
+                                         cfg.eval_interval) {
+      std::vector<float> avg(p, 0.0f);
+      for (const auto& grp : groups)
+        ops::add_inplace(std::span<float>(avg), std::span<const float>(grp.params));
+      ops::scale_inplace(std::span<float>(avg), 1.0f / static_cast<float>(groups.size()));
+      eval_model_.set_params(avg);
+      sink_.on_eval(state.global_step, ev.time, eval_model_.evaluate_accuracy(eval_set_));
+    }
+
+    if (result.steps_done >= cfg.step_budget) {
+      queue.clear();
+      done = true;
+      break;
+    }
+
+    // Next round for this group.
+    queue.schedule(ev.time + round_time(g, ev.time), kRoundDone, ev.worker);
+  }
+
+  // Fold the across-group average back into the logical PS so evaluation,
+  // checkpointing and any subsequent phase see the trained model.
+  {
+    std::vector<float> avg(p, 0.0f);
+    for (const auto& grp : groups)
+      ops::add_inplace(std::span<float>(avg), std::span<const float>(grp.params));
+    ops::scale_inplace(std::span<float>(avg), 1.0f / static_cast<float>(groups.size()));
+    state.ps.set_params(avg);
+  }
+
+  if (rounds > 0) {
+    result.mean_significant_fraction = significant_fraction_sum / static_cast<double>(rounds);
+    result.mean_replica_divergence = divergence_sum / static_cast<double>(rounds);
+  }
+  result.elapsed = state.clock - phase_start;
+  return result;
+}
+
+}  // namespace ss

@@ -1,0 +1,81 @@
+// Group-based hybrid synchronization (Gaia, Hsieh et al., NSDI'17, and the
+// grouping SGD of Jiang et al., CCGRID'19 — paper references [9], [10]).
+//
+// The paper's Figure 1 places "group-based" protocols on the
+// throughput/accuracy trade-off frontier that Sync-Switch tries to escape.
+// This runtime implements the canonical design so the comparison can be
+// measured (bench/fig01_design_space):
+//
+//   * Workers are partitioned into G groups ("datacenters").  Each group
+//     owns a full parameter replica and trains it with BSP internally
+//     (synchronous update every round, as Gaia does within a datacenter).
+//   * Across groups, replicas synchronize asynchronously through Gaia's
+//     *significance filter*: after each local round, coordinates whose
+//     accumulated change since the last broadcast exceeds
+//     `significance_threshold * (|w| + eps)` are broadcast to every other
+//     group; insignificant changes stay local.  Broadcasts arrive after a
+//     (sparse-payload) network delay and are merged additively.
+//
+// The replicas therefore drift apart between broadcasts — the protocol's
+// accuracy cost — while no group ever waits for another — its speed win.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ps/sim_runtime.h"
+
+namespace ss {
+
+struct GroupConfig {
+  std::size_t num_groups = 2;
+  /// Gaia's significance threshold: fraction of |w_i| an accumulated change
+  /// must exceed to be broadcast.  Gaia's paper uses ~1% as the initial
+  /// threshold.
+  double significance_threshold = 0.01;
+  std::int64_t step_budget = 0;
+  const LrSchedule* lr_schedule = nullptr;
+  /// Multiplies eta(step) for the intra-group aggregated update (linear
+  /// scaling with the group size is the natural choice).
+  double lr_multiplier = 1.0;
+  std::size_t per_worker_batch = 64;
+  double momentum = 0.9;
+  std::int64_t eval_interval = 128;
+  double divergence_loss_threshold = 50.0;
+};
+
+struct GroupPhaseResult {
+  PhaseEnd end = PhaseEnd::kBudgetExhausted;
+  std::int64_t steps_done = 0;
+  VTime elapsed;
+  /// Fraction of coordinates that passed the significance filter, averaged
+  /// over all broadcasts (Gaia reports this as its traffic reduction).
+  double mean_significant_fraction = 0.0;
+  /// Mean L2 distance between group replicas at round boundaries, relative
+  /// to the mean parameter norm — the drift the significance filter allows.
+  double mean_replica_divergence = 0.0;
+  std::int64_t broadcasts = 0;
+};
+
+class GroupRuntime {
+ public:
+  /// Same substrate contract as SimRuntime: real gradient math on simulated
+  /// time.  `state.ps` provides the initial parameters and receives the
+  /// across-group average when the phase ends (so checkpointing and
+  /// evaluation keep working).
+  GroupRuntime(ClusterModel cluster, Model& grad_model, Model& eval_model, const Dataset& train,
+               const Dataset& eval_set, MetricsSink& sink);
+
+  GroupPhaseResult run(TrainingState& state, const GroupConfig& cfg,
+                       const StragglerSchedule& stragglers);
+
+ private:
+  ClusterModel cluster_;
+  Model& grad_model_;
+  Model& eval_model_;
+  const Dataset& train_;
+  const Dataset& eval_set_;
+  MetricsSink& sink_;
+};
+
+}  // namespace ss

@@ -1,0 +1,52 @@
+#include "ps/param_server.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ss {
+
+ParameterServer::ParameterServer(std::vector<float> init_params, double momentum)
+    : params_(std::move(init_params)), opt_(params_.size(), momentum) {
+  if (params_.empty()) throw ConfigError("ParameterServer: empty parameter vector");
+}
+
+void ParameterServer::pull(std::span<float> out) const {
+  if (out.size() != params_.size()) throw ConfigError("ParameterServer::pull: size mismatch");
+  std::copy(params_.begin(), params_.end(), out.begin());
+}
+
+void ParameterServer::set_params(std::span<const float> params) {
+  if (params.size() != params_.size())
+    throw ConfigError("ParameterServer::set_params: size mismatch");
+  std::copy(params.begin(), params.end(), params_.begin());
+  ++version_;
+}
+
+void ParameterServer::apply(std::span<const float> grad, double lr) {
+  opt_.apply(params_, grad, lr);
+  ++version_;
+}
+
+Checkpoint ParameterServer::make_checkpoint(std::int64_t global_step) const {
+  Checkpoint ckpt;
+  ckpt.global_step = global_step;
+  ckpt.params = params_;
+  ckpt.velocity.assign(opt_.velocity().begin(), opt_.velocity().end());
+  return ckpt;
+}
+
+void ParameterServer::restore(const Checkpoint& ckpt) {
+  if (ckpt.params.size() != params_.size() || ckpt.velocity.size() != params_.size())
+    throw CheckpointError("ParameterServer::restore: checkpoint size mismatch");
+  params_ = ckpt.params;
+  std::copy(ckpt.velocity.begin(), ckpt.velocity.end(), opt_.mutable_velocity().begin());
+}
+
+bool ParameterServer::healthy() const noexcept {
+  for (float p : params_)
+    if (!std::isfinite(p)) return false;
+  return true;
+}
+
+}  // namespace ss

@@ -1,0 +1,737 @@
+#include "ps/sim_runtime.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/error.h"
+#include "sim/event_queue.h"
+#include "tensor/ops.h"
+
+namespace ss {
+
+namespace {
+
+// Event kinds for the async protocols.
+constexpr int kPullDone = 0;
+constexpr int kPushArrive = 1;
+
+}  // namespace
+
+SimRuntime::SimRuntime(ClusterModel cluster, Model& grad_model, Model& eval_model,
+                       const Dataset& train, const Dataset& eval_set, MetricsSink& sink)
+    : cluster_(std::move(cluster)),
+      grad_model_(grad_model),
+      eval_model_(eval_model),
+      train_(train),
+      eval_set_(eval_set),
+      sink_(sink) {}
+
+double SimRuntime::momentum_at(const PhaseConfig& cfg, std::int64_t steps_into_phase) const {
+  if (cfg.momentum_schedule) return cfg.momentum_schedule(steps_into_phase);
+  return cfg.momentum;
+}
+
+void SimRuntime::maybe_eval(TrainingState& state, const PhaseConfig& cfg) {
+  if (cfg.eval_interval <= 0) return;
+  const std::int64_t bucket = state.global_step / cfg.eval_interval;
+  if (bucket == last_eval_bucket_) return;
+  last_eval_bucket_ = bucket;
+  if (!state.ps.healthy()) return;  // divergence handled by the caller
+  eval_model_.set_params(state.ps.params());
+  const double acc = eval_model_.evaluate_accuracy(eval_set_);
+  sink_.on_eval(state.global_step, state.clock, acc);
+}
+
+PhaseResult SimRuntime::run_phase(TrainingState& state, const PhaseConfig& cfg,
+                                  const std::vector<int>& active_workers,
+                                  const StragglerSchedule& stragglers,
+                                  const StopPredicate& stop) {
+  if (cfg.lr_schedule == nullptr) throw ConfigError("PhaseConfig: lr_schedule is required");
+  if (active_workers.empty()) throw ConfigError("run_phase: no active workers");
+  for (int w : active_workers)
+    if (w < 0 || static_cast<std::size_t>(w) >= state.samplers.size())
+      throw ConfigError("run_phase: active worker index out of range");
+  // Reset the eval bucket so a fresh phase re-evaluates on its first boundary.
+  last_eval_bucket_ = state.global_step / std::max<std::int64_t>(cfg.eval_interval, 1);
+
+  switch (cfg.protocol) {
+    case Protocol::kBsp:
+      return run_bsp(state, cfg, active_workers, stragglers, stop);
+    case Protocol::kAsp:
+      return run_async(state, cfg, active_workers, stragglers, stop,
+                       /*bounded_staleness=*/false, /*dynamic_bound=*/false);
+    case Protocol::kSsp:
+      return run_async(state, cfg, active_workers, stragglers, stop,
+                       /*bounded_staleness=*/true, /*dynamic_bound=*/false);
+    case Protocol::kDssp:
+      return run_async(state, cfg, active_workers, stragglers, stop,
+                       /*bounded_staleness=*/true, /*dynamic_bound=*/true);
+    case Protocol::kKSync:
+      return run_ksync(state, cfg, active_workers, stragglers, stop, /*batch_mode=*/false);
+    case Protocol::kKBatchSync:
+      return run_ksync(state, cfg, active_workers, stragglers, stop, /*batch_mode=*/true);
+    case Protocol::kKAsync:
+      return run_kasync(state, cfg, active_workers, stragglers, stop,
+                        /*distinct_workers=*/true);
+    case Protocol::kKBatchAsync:
+      return run_kasync(state, cfg, active_workers, stragglers, stop,
+                        /*distinct_workers=*/false);
+  }
+  throw ConfigError("run_phase: unknown protocol");
+}
+
+PhaseResult SimRuntime::run_bsp(TrainingState& state, const PhaseConfig& cfg,
+                                const std::vector<int>& active,
+                                const StragglerSchedule& stragglers, const StopPredicate& stop) {
+  PhaseResult result;
+  const std::size_t n = active.size();
+  const std::size_t p = state.ps.num_params();
+  const std::size_t b = cfg.per_worker_batch;
+  const std::size_t d = train_.feature_dim();
+
+  std::vector<float> snapshot(p);
+  std::vector<float> grad(p);
+  std::vector<float> grad_sum(p);
+  Tensor batch_x({b, d});
+  std::vector<int> batch_y;
+  std::vector<std::uint32_t> indices;
+
+  const VTime phase_start = state.clock;
+  while (result.steps_done < cfg.step_budget) {
+    // --- Parallel compute: every worker trains one minibatch on the same
+    // parameter version; the barrier waits for the slowest.
+    state.ps.pull(snapshot);
+    std::fill(grad_sum.begin(), grad_sum.end(), 0.0f);
+    double loss_sum = 0.0;
+    VTime max_task = VTime::zero();
+    // Compression shrinks the push in proportion to the codec's wire ratio.
+    // The ratio is applied to the *calibrated* payload model, not the raw
+    // parameter count, so setups whose payload_bytes stands in for a larger
+    // real model keep a faithful relative speedup.
+    const double push_bytes =
+        cfg.compressor
+            ? cluster_.spec().payload_bytes *
+                  static_cast<double>(cfg.compressor->wire_bytes(p)) /
+                  (static_cast<double>(p) * sizeof(float))
+            : cluster_.spec().payload_bytes;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int w = active[i];
+      auto& wrng = state.worker_rngs[static_cast<std::size_t>(w)];
+      const double slow = stragglers.slow_factor(w, state.clock);
+      // pull (full parameters) + compute + push (possibly compressed).
+      const VTime task = cluster_.transfer_time(slow) + cluster_.compute_time(wrng, slow, b) +
+                         cluster_.transfer_time(slow, push_bytes);
+      max_task = std::max(max_task, task);
+
+      auto& sampler = state.samplers[static_cast<std::size_t>(w)];
+      sampler.set_batch_size(b);
+      sampler.next_batch(indices);
+      train_.gather(indices, batch_x, batch_y);
+      loss_sum += grad_model_.gradient_at(snapshot, batch_x, batch_y, grad);
+      if (cfg.compressor) cfg.compressor->transform(w, grad, wrng);
+      result.push_bytes += static_cast<std::int64_t>(std::llround(push_bytes));
+      ops::add_inplace(std::span<float>(grad_sum), std::span<const float>(grad));
+
+      TaskObservation tobs;
+      tobs.worker = w;
+      tobs.completed_at = state.clock + task;
+      tobs.task_duration = task;
+      tobs.images = b;
+      sink_.on_task(tobs);
+    }
+    // Average the gradients (TF SyncReplicasOptimizer semantics): the
+    // aggregated update is a true batch-(n*b) gradient step.
+    ops::scale_inplace(std::span<float>(grad_sum), 1.0f / static_cast<float>(n));
+
+    const double mult = cfg.lr_multiplier_schedule ? cfg.lr_multiplier_schedule(state.global_step)
+                                                   : cfg.lr_multiplier;
+    const double lr = cfg.lr_schedule->at(state.global_step) * mult;
+    state.ps.optimizer().set_momentum(momentum_at(cfg, result.steps_done));
+    state.ps.apply(grad_sum, lr);
+
+    state.clock += max_task + cluster_.sync_overhead(n);
+    state.global_step += static_cast<std::int64_t>(n);
+    result.steps_done += static_cast<std::int64_t>(n);
+
+    const double mean_loss = loss_sum / static_cast<double>(n);
+    UpdateObservation uobs;
+    uobs.global_step = state.global_step;
+    uobs.time = state.clock;
+    uobs.train_loss = mean_loss;
+    uobs.staleness = 0;
+    uobs.protocol = Protocol::kBsp;
+    sink_.on_update(uobs);
+
+    if (!std::isfinite(mean_loss) || mean_loss > cfg.divergence_loss_threshold ||
+        !state.ps.healthy()) {
+      result.end = PhaseEnd::kDiverged;
+      result.elapsed = state.clock - phase_start;
+      return result;
+    }
+
+    maybe_eval(state, cfg);
+
+    if (stop && stop(state.clock, state.global_step)) {
+      result.end = PhaseEnd::kStopRequested;
+      result.elapsed = state.clock - phase_start;
+      return result;
+    }
+  }
+  result.end = PhaseEnd::kBudgetExhausted;
+  result.elapsed = state.clock - phase_start;
+  return result;
+}
+
+PhaseResult SimRuntime::run_async(TrainingState& state, const PhaseConfig& cfg,
+                                  const std::vector<int>& active,
+                                  const StragglerSchedule& stragglers, const StopPredicate& stop,
+                                  bool bounded_staleness, bool dynamic_bound) {
+  PhaseResult result;
+  const std::size_t p = state.ps.num_params();
+  const std::size_t b = cfg.per_worker_batch;
+  const std::size_t d = train_.feature_dim();
+
+  // Per-worker in-flight task state.
+  struct InFlight {
+    std::vector<float> snapshot;           // params pulled
+    std::vector<std::uint32_t> indices;    // minibatch drawn at pull time
+    std::int64_t pull_version = 0;
+    VTime pull_started;
+    std::int64_t local_clock = 0;  // completed local steps (for SSP)
+    bool parked = false;           // waiting on the SSP staleness bound
+  };
+  std::vector<InFlight> inflight(state.samplers.size());
+
+  EventQueue queue;
+  Tensor batch_x({b, d});
+  std::vector<int> batch_y;
+  std::vector<float> grad(p);
+
+  const VTime phase_start = state.clock;
+  std::int64_t total_staleness = 0;
+  std::int64_t updates = 0;
+  bool stop_spawning = false;  // no new pulls once the budget/stop is reached
+  // DSSP (Zhao et al.): the effective bound floats in [s, s + r].  Each time
+  // a fast worker would block, the bound is raised one notch (up to s + r)
+  // so it can proceed; whenever all workers are within the base bound the
+  // extra credit resets.  SSP is the special case r = 0.
+  std::int64_t effective_bound = cfg.ssp_staleness_bound;
+
+  auto min_local_clock = [&]() {
+    std::int64_t m = std::numeric_limits<std::int64_t>::max();
+    for (int w : active) m = std::min(m, inflight[static_cast<std::size_t>(w)].local_clock);
+    return m;
+  };
+
+  auto start_pull = [&](int w, VTime now) {
+    const double slow = stragglers.slow_factor(w, now);
+    queue.schedule(now + cluster_.transfer_time(slow), kPullDone, w);
+  };
+
+  // Kick off: every active worker starts pulling at phase start, staggered
+  // over up to one cycle.  Async task launches are never synchronized in a
+  // real PS deployment (session setup times vary per node); starting all
+  // workers in lockstep would push n near-identical gradients as a wave,
+  // an artifact that destabilizes training right after a protocol switch.
+  const VTime cycle = cluster_.mean_cycle(b);
+  for (int w : active) {
+    inflight[static_cast<std::size_t>(w)].snapshot.resize(p);
+    const double offset = state.worker_rngs[static_cast<std::size_t>(w)].uniform();
+    start_pull(w, state.clock + cycle.scaled(offset));
+  }
+
+  while (!queue.empty()) {
+    const SimEvent ev = queue.pop();
+    const int w = ev.worker;
+    auto& fl = inflight[static_cast<std::size_t>(w)];
+
+    if (ev.kind == kPullDone) {
+      // Snapshot the *current* parameters: any pushes applied while this
+      // pull was in flight are visible, later ones are not.
+      state.ps.pull(fl.snapshot);
+      fl.pull_version = state.ps.version();
+      fl.pull_started = ev.time;
+      auto& sampler = state.samplers[static_cast<std::size_t>(w)];
+      sampler.set_batch_size(b);
+      sampler.next_batch(fl.indices);
+      const double slow = stragglers.slow_factor(w, ev.time);
+      const double push_bytes =
+          cfg.compressor
+              ? cluster_.spec().payload_bytes *
+                    static_cast<double>(cfg.compressor->wire_bytes(p)) /
+                    (static_cast<double>(p) * sizeof(float))
+              : cluster_.spec().payload_bytes;
+      const VTime busy =
+          cluster_.compute_time(state.worker_rngs[static_cast<std::size_t>(w)], slow, b) +
+          cluster_.transfer_time(slow, push_bytes);
+      queue.schedule(ev.time + busy, kPushArrive, w);
+      continue;
+    }
+
+    // kPushArrive: the gradient (computed against the pulled snapshot)
+    // reaches the PS and is applied immediately.
+    train_.gather(fl.indices, batch_x, batch_y);
+    const double loss = grad_model_.gradient_at(fl.snapshot, batch_x, batch_y, grad);
+    if (cfg.compressor) {
+      cfg.compressor->transform(w, grad, state.worker_rngs[static_cast<std::size_t>(w)]);
+      result.push_bytes += static_cast<std::int64_t>(std::llround(
+          cluster_.spec().payload_bytes * static_cast<double>(cfg.compressor->wire_bytes(p)) /
+          (static_cast<double>(p) * sizeof(float))));
+    } else {
+      result.push_bytes += static_cast<std::int64_t>(cluster_.spec().payload_bytes);
+    }
+    const std::int64_t staleness = state.ps.version() - fl.pull_version;
+
+    const double mult = cfg.lr_multiplier_schedule ? cfg.lr_multiplier_schedule(state.global_step)
+                                                   : cfg.lr_multiplier;
+    const double lr = cfg.lr_schedule->at(state.global_step) * mult;
+    state.ps.optimizer().set_momentum(momentum_at(cfg, result.steps_done));
+    state.ps.apply(grad, lr);
+    state.clock = ev.time + cluster_.spec().async_apply;
+    state.global_step += 1;
+    result.steps_done += 1;
+    total_staleness += staleness;
+    ++updates;
+    fl.local_clock += 1;
+
+    TaskObservation tobs;
+    tobs.worker = w;
+    tobs.completed_at = state.clock;
+    tobs.task_duration = state.clock - fl.pull_started;
+    tobs.images = b;
+    sink_.on_task(tobs);
+
+    UpdateObservation uobs;
+    uobs.global_step = state.global_step;
+    uobs.time = state.clock;
+    uobs.train_loss = loss;
+    uobs.staleness = staleness;
+    uobs.protocol = dynamic_bound ? Protocol::kDssp
+                    : bounded_staleness ? Protocol::kSsp
+                                        : Protocol::kAsp;
+    sink_.on_update(uobs);
+
+    if (!std::isfinite(loss) || loss > cfg.divergence_loss_threshold || !state.ps.healthy()) {
+      result.end = PhaseEnd::kDiverged;
+      queue.clear();
+      break;
+    }
+
+    maybe_eval(state, cfg);
+
+    if (!stop_spawning && stop && stop(state.clock, state.global_step)) {
+      result.end = PhaseEnd::kStopRequested;
+      stop_spawning = true;
+      queue.clear();  // in-flight work is abandoned, as in a checkpoint-restart
+      break;
+    }
+
+    if (result.steps_done >= cfg.step_budget) {
+      stop_spawning = true;
+      queue.clear();  // drain: remaining in-flight tasks are discarded
+      break;
+    }
+
+    // Schedule this worker's next cycle, honoring the (possibly dynamic)
+    // staleness bound.
+    if (!stop_spawning) {
+      bool proceed = true;
+      if (bounded_staleness) {
+        const std::int64_t gap = fl.local_clock - min_local_clock();
+        if (gap > effective_bound) {
+          if (dynamic_bound &&
+              effective_bound < cfg.ssp_staleness_bound + cfg.dssp_staleness_upper) {
+            ++effective_bound;  // DSSP: lend credit instead of blocking
+          } else {
+            proceed = false;
+          }
+        }
+      }
+      if (proceed) {
+        start_pull(w, state.clock);
+      } else {
+        fl.parked = true;  // must wait for stragglers to catch up
+      }
+      // This push may have advanced the minimum clock: wake parked workers
+      // whose constraint now holds, and relax the DSSP credit once the
+      // cluster is back within the base bound.
+      if (bounded_staleness) {
+        const std::int64_t m = min_local_clock();
+        std::int64_t max_gap = 0;
+        for (int other : active) {
+          auto& ofl = inflight[static_cast<std::size_t>(other)];
+          max_gap = std::max(max_gap, ofl.local_clock - m);
+          if (ofl.parked && ofl.local_clock - m <= effective_bound) {
+            ofl.parked = false;
+            start_pull(other, state.clock);
+          }
+        }
+        if (dynamic_bound && max_gap <= cfg.ssp_staleness_bound)
+          effective_bound = cfg.ssp_staleness_bound;
+      }
+    }
+  }
+
+  if (updates > 0)
+    result.mean_staleness = static_cast<double>(total_staleness) / static_cast<double>(updates);
+  result.elapsed = state.clock - phase_start;
+  return result;
+}
+
+namespace {
+
+/// Effective K for the K-variant protocols: defaults to the active cluster
+/// size, clamped to [1, n].
+std::size_t effective_k(const PhaseConfig& cfg, std::size_t n) {
+  const std::size_t k = cfg.k_param > 0 ? static_cast<std::size_t>(cfg.k_param) : n;
+  return std::clamp<std::size_t>(k, 1, n);
+}
+
+}  // namespace
+
+PhaseResult SimRuntime::run_ksync(TrainingState& state, const PhaseConfig& cfg,
+                                  const std::vector<int>& active,
+                                  const StragglerSchedule& stragglers, const StopPredicate& stop,
+                                  bool batch_mode) {
+  // Dutta et al. [11]: each round, every worker computes on the same
+  // parameter snapshot; the PS aggregates the first K contributions and
+  // cancels the rest.  K-sync takes one gradient per worker (the K fastest
+  // *workers*); K-batch-sync lets fast workers contribute several minibatches
+  // (the first K *batches*).  K = n reduces to BSP exactly.
+  PhaseResult result;
+  const std::size_t n = active.size();
+  const std::size_t k = effective_k(cfg, n);
+  const std::size_t p = state.ps.num_params();
+  const std::size_t b = cfg.per_worker_batch;
+  const std::size_t d = train_.feature_dim();
+
+  std::vector<float> snapshot(p);
+  std::vector<float> grad(p);
+  std::vector<float> grad_sum(p);
+  Tensor batch_x({b, d});
+  std::vector<int> batch_y;
+  std::vector<std::uint32_t> indices;
+
+  // One round's contribution: (arrival time within round, worker).
+  struct Arrival {
+    VTime at;
+    VTime duration;
+    int worker;
+  };
+
+  // Compression shrinks the push leg (same calibrated-ratio model as the
+  // BSP/async paths).
+  const double ksync_push_bytes =
+      cfg.compressor ? cluster_.spec().payload_bytes *
+                           static_cast<double>(cfg.compressor->wire_bytes(p)) /
+                           (static_cast<double>(p) * sizeof(float))
+                     : cluster_.spec().payload_bytes;
+  auto draw_task = [&](int w, VTime now) {
+    const double slow = stragglers.slow_factor(w, now);
+    auto& wrng = state.worker_rngs[static_cast<std::size_t>(w)];
+    return cluster_.transfer_time(slow) + cluster_.compute_time(wrng, slow, b) +
+           cluster_.transfer_time(slow, ksync_push_bytes);
+  };
+
+  const VTime phase_start = state.clock;
+  while (result.steps_done < cfg.step_budget) {
+    state.ps.pull(snapshot);
+    std::fill(grad_sum.begin(), grad_sum.end(), 0.0f);
+    double loss_sum = 0.0;
+    VTime round = VTime::zero();
+
+    std::vector<Arrival> winners;
+    winners.reserve(k);
+    if (!batch_mode) {
+      // Draw one task per worker (in worker order, to keep RNG consumption
+      // identical to BSP); keep the K earliest completions.
+      std::vector<Arrival> tasks;
+      tasks.reserve(n);
+      for (int w : active) {
+        const VTime t = draw_task(w, state.clock);
+        tasks.push_back({t, t, w});
+      }
+      std::sort(tasks.begin(), tasks.end(), [](const Arrival& a, const Arrival& c) {
+        if (a.at != c.at) return a.at < c.at;
+        return a.worker < c.worker;
+      });
+      winners.assign(tasks.begin(), tasks.begin() + static_cast<std::ptrdiff_t>(k));
+      round = winners.back().at;
+      result.cancelled_tasks += static_cast<std::int64_t>(n - k);
+    } else {
+      // Fast workers pipeline batches until K total arrive.  Simulate each
+      // worker's sequence of completions with a simple time-ordered merge.
+      std::vector<VTime> next(n);      // next completion, relative to round start
+      std::vector<VTime> started(n);   // when that task started
+      for (std::size_t i = 0; i < n; ++i) {
+        const int w = active[i];
+        next[i] = draw_task(w, state.clock);
+        started[i] = VTime::zero();
+      }
+      for (std::size_t c = 0; c < k; ++c) {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < n; ++i)
+          if (next[i] < next[best]) best = i;
+        const int w = active[best];
+        winners.push_back({next[best], next[best] - started[best], w});
+        round = next[best];
+        started[best] = next[best];
+        next[best] = next[best] + draw_task(w, state.clock + next[best]);
+      }
+      // The n in-flight tasks at the cutoff are abandoned part-way; they are
+      // not counted in cancelled_tasks (which counts *completed* waste).
+    }
+
+    // Compute the K winning gradients against the shared snapshot, in a
+    // deterministic order (worker index, then arrival) for reproducibility.
+    std::sort(winners.begin(), winners.end(), [](const Arrival& a, const Arrival& c) {
+      if (a.worker != c.worker) return a.worker < c.worker;
+      return a.at < c.at;
+    });
+    for (const Arrival& a : winners) {
+      auto& sampler = state.samplers[static_cast<std::size_t>(a.worker)];
+      sampler.set_batch_size(b);
+      sampler.next_batch(indices);
+      train_.gather(indices, batch_x, batch_y);
+      loss_sum += grad_model_.gradient_at(snapshot, batch_x, batch_y, grad);
+      if (cfg.compressor)
+        cfg.compressor->transform(a.worker, grad,
+                                  state.worker_rngs[static_cast<std::size_t>(a.worker)]);
+      result.push_bytes += static_cast<std::int64_t>(std::llround(ksync_push_bytes));
+      ops::add_inplace(std::span<float>(grad_sum), std::span<const float>(grad));
+
+      TaskObservation tobs;
+      tobs.worker = a.worker;
+      tobs.completed_at = state.clock + a.at;
+      tobs.task_duration = a.duration;
+      tobs.images = b;
+      sink_.on_task(tobs);
+    }
+    ops::scale_inplace(std::span<float>(grad_sum), 1.0f / static_cast<float>(k));
+
+    const double mult = cfg.lr_multiplier_schedule ? cfg.lr_multiplier_schedule(state.global_step)
+                                                   : cfg.lr_multiplier;
+    const double lr = cfg.lr_schedule->at(state.global_step) * mult;
+    state.ps.optimizer().set_momentum(momentum_at(cfg, result.steps_done));
+    state.ps.apply(grad_sum, lr);
+
+    state.clock += round + cluster_.sync_overhead(k);
+    state.global_step += static_cast<std::int64_t>(k);
+    result.steps_done += static_cast<std::int64_t>(k);
+
+    const double mean_loss = loss_sum / static_cast<double>(k);
+    UpdateObservation uobs;
+    uobs.global_step = state.global_step;
+    uobs.time = state.clock;
+    uobs.train_loss = mean_loss;
+    uobs.staleness = 0;
+    uobs.protocol = batch_mode ? Protocol::kKBatchSync : Protocol::kKSync;
+    sink_.on_update(uobs);
+
+    if (!std::isfinite(mean_loss) || mean_loss > cfg.divergence_loss_threshold ||
+        !state.ps.healthy()) {
+      result.end = PhaseEnd::kDiverged;
+      result.elapsed = state.clock - phase_start;
+      return result;
+    }
+
+    maybe_eval(state, cfg);
+
+    if (stop && stop(state.clock, state.global_step)) {
+      result.end = PhaseEnd::kStopRequested;
+      result.elapsed = state.clock - phase_start;
+      return result;
+    }
+  }
+  result.end = PhaseEnd::kBudgetExhausted;
+  result.elapsed = state.clock - phase_start;
+  return result;
+}
+
+PhaseResult SimRuntime::run_kasync(TrainingState& state, const PhaseConfig& cfg,
+                                   const std::vector<int>& active,
+                                   const StragglerSchedule& stragglers,
+                                   const StopPredicate& stop, bool distinct_workers) {
+  // Dutta et al. [11]: workers run at their own pace (no cancellations); the
+  // PS buffers incoming gradients and applies their average once K have
+  // arrived (K-async: from K distinct workers; K-batch-async: any K).
+  // Buffered gradients carry the staleness of their own pull.  K = 1
+  // reduces to ASP-with-one-element-buffer (identical updates, one extra
+  // copy).
+  PhaseResult result;
+  const std::size_t n = active.size();
+  const std::size_t k = effective_k(cfg, n);
+  const std::size_t p = state.ps.num_params();
+  const std::size_t b = cfg.per_worker_batch;
+  const std::size_t d = train_.feature_dim();
+
+  struct InFlight {
+    std::vector<float> snapshot;
+    std::vector<std::uint32_t> indices;
+    std::int64_t pull_version = 0;
+    VTime pull_started;
+  };
+  std::vector<InFlight> inflight(state.samplers.size());
+
+  struct Buffered {
+    std::vector<float> grad;
+    std::int64_t staleness = 0;
+    double loss = 0.0;
+    int worker = 0;
+  };
+  std::vector<Buffered> buffer;
+  buffer.reserve(k + n);
+
+  EventQueue queue;
+  Tensor batch_x({b, d});
+  std::vector<int> batch_y;
+  std::vector<float> grad(p);
+  std::vector<float> grad_sum(p);
+
+  const VTime phase_start = state.clock;
+  std::int64_t total_staleness = 0;
+  std::int64_t contributions = 0;
+
+  auto start_pull = [&](int w, VTime now) {
+    const double slow = stragglers.slow_factor(w, now);
+    queue.schedule(now + cluster_.transfer_time(slow), kPullDone, w);
+  };
+
+  const VTime cycle = cluster_.mean_cycle(b);
+  for (int w : active) {
+    inflight[static_cast<std::size_t>(w)].snapshot.resize(p);
+    const double offset = state.worker_rngs[static_cast<std::size_t>(w)].uniform();
+    start_pull(w, state.clock + cycle.scaled(offset));
+  }
+
+  bool done = false;
+  while (!queue.empty() && !done) {
+    const SimEvent ev = queue.pop();
+    const int w = ev.worker;
+    auto& fl = inflight[static_cast<std::size_t>(w)];
+
+    if (ev.kind == kPullDone) {
+      state.ps.pull(fl.snapshot);
+      fl.pull_version = state.ps.version();
+      fl.pull_started = ev.time;
+      auto& sampler = state.samplers[static_cast<std::size_t>(w)];
+      sampler.set_batch_size(b);
+      sampler.next_batch(fl.indices);
+      const double slow = stragglers.slow_factor(w, ev.time);
+      const double push_bytes =
+          cfg.compressor
+              ? cluster_.spec().payload_bytes *
+                    static_cast<double>(cfg.compressor->wire_bytes(p)) /
+                    (static_cast<double>(p) * sizeof(float))
+              : cluster_.spec().payload_bytes;
+      const VTime busy =
+          cluster_.compute_time(state.worker_rngs[static_cast<std::size_t>(w)], slow, b) +
+          cluster_.transfer_time(slow, push_bytes);
+      queue.schedule(ev.time + busy, kPushArrive, w);
+      continue;
+    }
+
+    // kPushArrive: buffer this gradient; maybe trigger an aggregated update.
+    train_.gather(fl.indices, batch_x, batch_y);
+    Buffered item;
+    item.loss = grad_model_.gradient_at(fl.snapshot, batch_x, batch_y, grad);
+    if (cfg.compressor)
+      cfg.compressor->transform(w, grad, state.worker_rngs[static_cast<std::size_t>(w)]);
+    item.grad.assign(grad.begin(), grad.end());
+    item.staleness = state.ps.version() - fl.pull_version;
+    item.worker = w;
+    buffer.push_back(std::move(item));
+    result.push_bytes += static_cast<std::int64_t>(std::llround(
+        cfg.compressor ? cluster_.spec().payload_bytes *
+                             static_cast<double>(cfg.compressor->wire_bytes(p)) /
+                             (static_cast<double>(p) * sizeof(float))
+                       : cluster_.spec().payload_bytes));
+
+    TaskObservation tobs;
+    tobs.worker = w;
+    tobs.completed_at = ev.time;
+    tobs.task_duration = ev.time - fl.pull_started;
+    tobs.images = b;
+    sink_.on_task(tobs);
+
+    // The worker immediately begins its next cycle (no cancellation, no
+    // parking in this family).
+    start_pull(w, ev.time);
+
+    bool trigger = false;
+    if (distinct_workers) {
+      std::set<int> distinct;
+      for (const auto& it : buffer) distinct.insert(it.worker);
+      trigger = distinct.size() >= k;
+    } else {
+      trigger = buffer.size() >= k;
+    }
+    if (!trigger) continue;
+
+    // Aggregate the buffered gradients into one update.
+    std::fill(grad_sum.begin(), grad_sum.end(), 0.0f);
+    double loss_sum = 0.0;
+    std::int64_t stale_sum = 0;
+    for (const auto& it : buffer) {
+      ops::add_inplace(std::span<float>(grad_sum), std::span<const float>(it.grad));
+      loss_sum += it.loss;
+      stale_sum += it.staleness;
+    }
+    const auto m = static_cast<double>(buffer.size());
+    ops::scale_inplace(std::span<float>(grad_sum), static_cast<float>(1.0 / m));
+
+    const double mult = cfg.lr_multiplier_schedule ? cfg.lr_multiplier_schedule(state.global_step)
+                                                   : cfg.lr_multiplier;
+    const double lr = cfg.lr_schedule->at(state.global_step) * mult;
+    state.ps.optimizer().set_momentum(momentum_at(cfg, result.steps_done));
+    state.ps.apply(grad_sum, lr);
+    state.clock = ev.time + cluster_.spec().async_apply;
+    state.global_step += static_cast<std::int64_t>(buffer.size());
+    result.steps_done += static_cast<std::int64_t>(buffer.size());
+    total_staleness += stale_sum;
+    contributions += static_cast<std::int64_t>(buffer.size());
+
+    UpdateObservation uobs;
+    uobs.global_step = state.global_step;
+    uobs.time = state.clock;
+    uobs.train_loss = loss_sum / m;
+    uobs.staleness =
+        static_cast<std::int64_t>(stale_sum / static_cast<std::int64_t>(buffer.size()));
+    uobs.protocol = distinct_workers ? Protocol::kKAsync : Protocol::kKBatchAsync;
+    sink_.on_update(uobs);
+    buffer.clear();
+
+    if (!std::isfinite(uobs.train_loss) || uobs.train_loss > cfg.divergence_loss_threshold ||
+        !state.ps.healthy()) {
+      result.end = PhaseEnd::kDiverged;
+      queue.clear();
+      done = true;
+      break;
+    }
+
+    maybe_eval(state, cfg);
+
+    if (stop && stop(state.clock, state.global_step)) {
+      result.end = PhaseEnd::kStopRequested;
+      queue.clear();  // abandoned in-flight work, as in a checkpoint-restart
+      done = true;
+      break;
+    }
+
+    if (result.steps_done >= cfg.step_budget) {
+      queue.clear();
+      done = true;
+      break;
+    }
+  }
+
+  if (contributions > 0)
+    result.mean_staleness =
+        static_cast<double>(total_staleness) / static_cast<double>(contributions);
+  result.elapsed = state.clock - phase_start;
+  return result;
+}
+
+}  // namespace ss

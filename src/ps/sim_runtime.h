@@ -1,0 +1,190 @@
+// Event-driven distributed-training runtime: "virtual time, real math".
+//
+// Gradients are computed by real forward/backward passes on the model; *when*
+// they are computed and *which parameter version* they see is decided by the
+// discrete-event cluster model.  This reproduces the semantics in the paper's
+// Figure 3 exactly:
+//
+//  * BSP: all active workers pull the same parameters, compute in parallel,
+//    and the PS applies the averaged gradient once the barrier completes
+//    (equivalent to large-batch minibatch SGD — tested).
+//  * ASP: each worker pulls a snapshot, computes, and pushes at its own pace;
+//    the PS applies immediately, so a gradient is stale by however many
+//    updates other workers landed in between (~n-1 on average — tested).
+//  * SSP: ASP within a staleness bound on worker clocks.
+//
+// Step accounting: the unit of workload is the *minibatch step* (one worker
+// batch of B examples).  A BSP aggregated update consumes n minibatch steps,
+// an ASP update consumes one; both protocols therefore process the same
+// number of examples for the same step budget, and the LR schedule is
+// indexed by this shared counter.  See EXPERIMENTS.md §"Step semantics".
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/vtime.h"
+#include "compress/bank.h"
+#include "data/batcher.h"
+#include "data/dataset.h"
+#include "nn/lr_schedule.h"
+#include "nn/model.h"
+#include "ps/param_server.h"
+#include "ps/protocol.h"
+#include "sim/cluster.h"
+#include "sim/straggler.h"
+
+namespace ss {
+
+/// Emitted whenever one worker task (pull+compute+push) completes.  This is
+/// the signal the straggler detector consumes.
+struct TaskObservation {
+  int worker = 0;
+  VTime completed_at;
+  VTime task_duration;
+  std::size_t images = 0;
+};
+
+/// Emitted on every PS update.
+struct UpdateObservation {
+  std::int64_t global_step = 0;  ///< minibatch steps completed (after this update)
+  VTime time;
+  double train_loss = 0.0;
+  std::int64_t staleness = 0;  ///< PS versions advanced between pull and push
+  Protocol protocol = Protocol::kBsp;
+};
+
+/// Receives training telemetry (implemented by the core profiler).
+class MetricsSink {
+ public:
+  virtual ~MetricsSink() = default;
+  virtual void on_task(const TaskObservation& obs) = 0;
+  virtual void on_update(const UpdateObservation& obs) = 0;
+  virtual void on_eval(std::int64_t global_step, VTime time, double test_accuracy) = 0;
+};
+
+/// No-op sink for tests.
+class NullMetricsSink final : public MetricsSink {
+ public:
+  void on_task(const TaskObservation&) override {}
+  void on_update(const UpdateObservation&) override {}
+  void on_eval(std::int64_t, VTime, double) override {}
+};
+
+/// Everything that persists across phases of one training session.
+struct TrainingState {
+  TrainingState(ParameterServer ps_in, std::vector<MinibatchSampler> samplers_in,
+                std::vector<Rng> worker_rngs_in)
+      : ps(std::move(ps_in)),
+        samplers(std::move(samplers_in)),
+        worker_rngs(std::move(worker_rngs_in)) {}
+
+  ParameterServer ps;
+  std::vector<MinibatchSampler> samplers;  ///< one per worker slot
+  std::vector<Rng> worker_rngs;            ///< timing jitter streams
+  std::int64_t global_step = 0;            ///< minibatch steps completed
+  VTime clock;                             ///< virtual wall clock
+};
+
+/// Hyper-parameters and knobs for one phase (already derived by the
+/// configuration policy).
+struct PhaseConfig {
+  Protocol protocol = Protocol::kBsp;
+  int ssp_staleness_bound = 3;       ///< fixed bound for kSsp; lower bound for kDssp
+  int dssp_staleness_upper = 8;      ///< upper bound r for kDssp (bound in [s, s+r])
+  int k_param = 0;                   ///< K for the K-variant protocols; 0 = cluster size
+  std::int64_t step_budget = 0;      ///< minibatch steps to run in this phase
+  const LrSchedule* lr_schedule = nullptr;  ///< absolute eta(step), required
+  double lr_multiplier = 1.0;        ///< config policy: n for BSP, 1 for ASP
+  /// Optional override of lr_multiplier as a function of the global step.
+  /// Used for the gradual warmup of the linear-scaled BSP learning rate
+  /// (Goyal et al., the recipe behind the paper's configuration policy).
+  std::function<double(std::int64_t)> lr_multiplier_schedule;
+  std::size_t per_worker_batch = 64;
+  double momentum = 0.9;
+  /// Optional momentum override evaluated per update as a function of
+  /// minibatch steps completed *inside this phase* (Figure 8(b) ablations).
+  std::function<double(std::int64_t)> momentum_schedule;
+  std::int64_t eval_interval = 128;  ///< minibatch steps between test evals
+  double divergence_loss_threshold = 50.0;
+  /// Optional gradient compression applied to every push (paper §VII calls
+  /// compression orthogonal and combinable with Sync-Switch; see
+  /// bench/ablation_compression).  Not owned; must outlive the phase.  The
+  /// gradient math sees the decoded (lossy) values and the network model
+  /// charges the push for the codec's wire bytes.
+  CompressorBank* compressor = nullptr;
+};
+
+/// Why a phase ended.
+enum class PhaseEnd {
+  kBudgetExhausted,
+  kStopRequested,  ///< stop predicate returned true
+  kDiverged,
+};
+
+struct PhaseResult {
+  PhaseEnd end = PhaseEnd::kBudgetExhausted;
+  std::int64_t steps_done = 0;  ///< minibatch steps completed in this phase
+  VTime elapsed;                ///< virtual time this phase took
+  double mean_staleness = 0.0;  ///< average gradient staleness over the phase
+  std::int64_t push_bytes = 0;  ///< gradient bytes pushed over the wire
+  /// K-sync / K-batch-sync only: completed-but-discarded worker tasks (the
+  /// straggler work the protocol cancels at each round).
+  std::int64_t cancelled_tasks = 0;
+};
+
+/// Predicate polled after every worker-task completion; return true to end
+/// the phase (used by online straggler policies).
+using StopPredicate = std::function<bool(VTime now, std::int64_t global_step)>;
+
+/// Executes one synchronization phase on the simulated cluster.
+class SimRuntime {
+ public:
+  /// `grad_model` and `eval_model` are working replicas (their parameters
+  /// are overwritten); `eval_set` is the held-out data used for the periodic
+  /// accuracy evaluations.  The cluster model is copied (it is a small value
+  /// type), so passing a temporary is safe.
+  SimRuntime(ClusterModel cluster, Model& grad_model, Model& eval_model,
+             const Dataset& train, const Dataset& eval_set, MetricsSink& sink);
+
+  /// Run a phase.  `active_workers` are the participating worker indices
+  /// (the elastic policy shrinks this set); `stragglers` provides slowdown
+  /// factors over virtual time; `stop` may be null.
+  PhaseResult run_phase(TrainingState& state, const PhaseConfig& cfg,
+                        const std::vector<int>& active_workers,
+                        const StragglerSchedule& stragglers, const StopPredicate& stop);
+
+ private:
+  PhaseResult run_bsp(TrainingState& state, const PhaseConfig& cfg,
+                      const std::vector<int>& active, const StragglerSchedule& stragglers,
+                      const StopPredicate& stop);
+  PhaseResult run_async(TrainingState& state, const PhaseConfig& cfg,
+                        const std::vector<int>& active, const StragglerSchedule& stragglers,
+                        const StopPredicate& stop, bool bounded_staleness,
+                        bool dynamic_bound);
+  /// K-sync (batch_mode = false) and K-batch-sync (batch_mode = true).
+  PhaseResult run_ksync(TrainingState& state, const PhaseConfig& cfg,
+                        const std::vector<int>& active, const StragglerSchedule& stragglers,
+                        const StopPredicate& stop, bool batch_mode);
+  /// K-async (distinct_workers = true) and K-batch-async (false).
+  PhaseResult run_kasync(TrainingState& state, const PhaseConfig& cfg,
+                         const std::vector<int>& active, const StragglerSchedule& stragglers,
+                         const StopPredicate& stop, bool distinct_workers);
+
+  /// Evaluate test accuracy if `global_step` crossed an eval boundary.
+  void maybe_eval(TrainingState& state, const PhaseConfig& cfg);
+
+  double momentum_at(const PhaseConfig& cfg, std::int64_t steps_into_phase) const;
+
+  ClusterModel cluster_;
+  Model& grad_model_;
+  Model& eval_model_;
+  const Dataset& train_;
+  const Dataset& eval_set_;
+  MetricsSink& sink_;
+  std::int64_t last_eval_bucket_ = -1;
+};
+
+}  // namespace ss

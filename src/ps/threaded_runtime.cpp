@@ -1,0 +1,158 @@
+#include "ps/threaded_runtime.h"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <condition_variable>
+#include <thread>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "tensor/ops.h"
+
+namespace ss {
+
+namespace {
+
+struct WorkerContext {
+  Model model;
+  MinibatchSampler sampler;
+  Tensor batch_x;
+  std::vector<int> batch_y;
+  std::vector<float> snapshot;
+  std::vector<float> grad;
+  std::int64_t staleness_sum = 0;
+};
+
+}  // namespace
+
+ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
+                                   const ThreadedTrainConfig& cfg) {
+  if (cfg.num_workers == 0) throw ConfigError("threaded_train: num_workers must be > 0");
+  if (cfg.steps_per_worker <= 0) throw ConfigError("threaded_train: steps must be > 0");
+
+  const std::size_t p = prototype.num_params();
+  const std::size_t d = train.feature_dim();
+  SharedParameterServer ps(prototype.get_params(), cfg.momentum);
+
+  Rng root(cfg.seed);
+  const auto shards = make_shards(train.size(), cfg.num_workers);
+  std::vector<WorkerContext> ctx;
+  ctx.reserve(cfg.num_workers);
+  for (std::size_t w = 0; w < cfg.num_workers; ++w) {
+    WorkerContext c{
+        prototype.clone(),
+        MinibatchSampler(shards[w], cfg.batch_size, root.fork(w + 1)),
+        Tensor({cfg.batch_size, d}),
+        {},
+        std::vector<float>(p),
+        std::vector<float>(p),
+        0,
+    };
+    ctx.push_back(std::move(c));
+  }
+
+  std::atomic<std::int64_t> total_updates{0};
+  std::int64_t result_max_gap = 0;
+
+  if (cfg.protocol == Protocol::kBsp) {
+    // Round-based: all workers compute on the same snapshot, worker 0
+    // aggregates after the barrier and applies one averaged update.
+    std::vector<float> agg(p);
+    std::barrier round_barrier(static_cast<std::ptrdiff_t>(cfg.num_workers));
+    std::vector<float> shared_snapshot = ps.snapshot();
+
+    auto worker_fn = [&](std::size_t w) {
+      auto& c = ctx[w];
+      std::vector<std::uint32_t> indices;
+      for (std::int64_t step = 0; step < cfg.steps_per_worker; ++step) {
+        c.sampler.next_batch(indices);
+        train.gather(indices, c.batch_x, c.batch_y);
+        c.model.gradient_at(shared_snapshot, c.batch_x, c.batch_y, c.grad);
+        round_barrier.arrive_and_wait();  // all gradients ready
+        if (w == 0) {
+          std::fill(agg.begin(), agg.end(), 0.0f);
+          for (auto& other : ctx)
+            ops::add_inplace(std::span<float>(agg), std::span<const float>(other.grad));
+          ops::scale_inplace(std::span<float>(agg),
+                             1.0f / static_cast<float>(cfg.num_workers));
+          ps.push(agg, cfg.lr, ps.version());
+          total_updates.fetch_add(1, std::memory_order_relaxed);
+          shared_snapshot = ps.snapshot();
+        }
+        round_barrier.arrive_and_wait();  // updated snapshot visible
+      }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(cfg.num_workers);
+    for (std::size_t w = 0; w < cfg.num_workers; ++w) threads.emplace_back(worker_fn, w);
+    for (auto& t : threads) t.join();
+  } else if (cfg.protocol == Protocol::kAsp || cfg.protocol == Protocol::kSsp) {
+    // ASP: free-running workers.  SSP: free-running within the staleness
+    // bound — a worker whose local clock would run more than `bound` steps
+    // ahead of the slowest parks on the condition variable until the
+    // laggard's push advances the minimum.
+    const bool bounded = cfg.protocol == Protocol::kSsp;
+    const auto bound = static_cast<std::int64_t>(cfg.ssp_staleness_bound);
+    if (bounded && bound < 0) throw ConfigError("threaded_train: negative staleness bound");
+
+    std::mutex clock_mu;
+    std::condition_variable clock_cv;
+    std::vector<std::int64_t> local_clock(cfg.num_workers, 0);
+    std::atomic<std::int64_t> max_gap{0};
+    auto min_clock = [&] {
+      return *std::min_element(local_clock.begin(), local_clock.end());
+    };
+
+    auto worker_fn = [&](std::size_t w) {
+      auto& c = ctx[w];
+      std::vector<std::uint32_t> indices;
+      for (std::int64_t step = 0; step < cfg.steps_per_worker; ++step) {
+        if (cfg.pre_step_hook) cfg.pre_step_hook(w, step);
+        {
+          std::unique_lock<std::mutex> lock(clock_mu);
+          if (bounded)
+            clock_cv.wait(lock, [&] { return step - min_clock() <= bound; });
+          const std::int64_t gap = step - min_clock();
+          std::int64_t seen = max_gap.load(std::memory_order_relaxed);
+          while (gap > seen &&
+                 !max_gap.compare_exchange_weak(seen, gap, std::memory_order_relaxed)) {
+          }
+        }
+        const std::int64_t pull_version = ps.pull_with_version(c.snapshot);
+        c.sampler.next_batch(indices);
+        train.gather(indices, c.batch_x, c.batch_y);
+        c.model.gradient_at(c.snapshot, c.batch_x, c.batch_y, c.grad);
+        c.staleness_sum += ps.push(c.grad, cfg.lr, pull_version);
+        total_updates.fetch_add(1, std::memory_order_relaxed);
+        {
+          const std::lock_guard<std::mutex> lock(clock_mu);
+          local_clock[w] = step + 1;
+        }
+        clock_cv.notify_all();
+      }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(cfg.num_workers);
+    for (std::size_t w = 0; w < cfg.num_workers; ++w) threads.emplace_back(worker_fn, w);
+    for (auto& t : threads) t.join();
+    result_max_gap = max_gap.load();
+  } else {
+    throw ConfigError("threaded_train: protocol " + protocol_name(cfg.protocol) +
+                      " is simulator-only (supported here: BSP, ASP, SSP)");
+  }
+
+  ThreadedTrainResult result;
+  result.total_updates = total_updates.load();
+  result.max_clock_gap = result_max_gap;
+  result.final_params = ps.snapshot();
+  if (cfg.protocol != Protocol::kBsp && result.total_updates > 0) {
+    std::int64_t total_staleness = 0;
+    for (const auto& c : ctx) total_staleness += c.staleness_sum;
+    result.mean_staleness =
+        static_cast<double>(total_staleness) / static_cast<double>(result.total_updates);
+  }
+  return result;
+}
+
+}  // namespace ss

@@ -1,0 +1,101 @@
+// Real multi-threaded parameter-server runtime.
+//
+// The simulator (sim_runtime.h) provides deterministic science; this runtime
+// proves the same PS/protocol logic is actually concurrent-safe by running
+// workers as OS threads against a mutex-protected parameter server:
+//
+//  * BSP uses a std::barrier per round; worker 0 aggregates and applies.
+//  * ASP workers freely pull/push under the PS mutex at their own pace.
+//  * SSP workers free-run within the staleness bound: a worker whose local
+//    clock is more than `ssp_staleness_bound` steps ahead of the slowest
+//    parks on a condition variable until the laggard catches up.
+//
+// Used by tests and the `threaded_training` example.  Wall-clock timing here
+// is real, so results are NOT deterministic in update order for ASP (that is
+// the point) — but invariants (parameter finiteness, update counts, loss
+// decrease on easy problems) hold and are tested.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "data/batcher.h"
+#include "data/dataset.h"
+#include "nn/lr_schedule.h"
+#include "nn/model.h"
+#include "ps/param_server.h"
+#include "ps/protocol.h"
+
+namespace ss {
+
+/// Thread-safe facade over ParameterServer.
+class SharedParameterServer {
+ public:
+  SharedParameterServer(std::vector<float> init_params, double momentum)
+      : ps_(std::move(init_params), momentum) {}
+
+  void pull(std::span<float> out) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ps_.pull(out);
+  }
+
+  std::int64_t pull_with_version(std::span<float> out) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ps_.pull(out);
+    return ps_.version();
+  }
+
+  /// Returns the staleness of this push (versions advanced since `pull_version`).
+  std::int64_t push(std::span<const float> grad, double lr, std::int64_t pull_version) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const std::int64_t staleness = ps_.version() - pull_version;
+    ps_.apply(grad, lr);
+    return staleness;
+  }
+
+  [[nodiscard]] std::vector<float> snapshot() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return {ps_.params().begin(), ps_.params().end()};
+  }
+
+  [[nodiscard]] std::int64_t version() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return ps_.version();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  ParameterServer ps_;
+};
+
+struct ThreadedTrainConfig {
+  Protocol protocol = Protocol::kBsp;
+  std::size_t num_workers = 4;
+  std::size_t batch_size = 32;
+  std::int64_t steps_per_worker = 100;  ///< local steps each worker performs
+  double lr = 0.05;
+  double momentum = 0.9;
+  std::uint64_t seed = 99;
+  int ssp_staleness_bound = 3;  ///< local-clock gap bound for kSsp
+  /// Test hook: called by each worker before every local step (e.g. to make
+  /// one worker artificially slow).  Must be thread-safe; may be null.
+  std::function<void(std::size_t worker, std::int64_t step)> pre_step_hook;
+};
+
+struct ThreadedTrainResult {
+  std::int64_t total_updates = 0;   ///< PS updates applied
+  double mean_staleness = 0.0;      ///< over ASP pushes (0 for BSP)
+  /// Largest observed local-clock gap (fastest minus slowest worker) at any
+  /// step start.  For kSsp this is <= ssp_staleness_bound by construction.
+  std::int64_t max_clock_gap = 0;
+  std::vector<float> final_params;
+};
+
+/// Train `prototype` (cloned per worker) on `train` with real threads.
+/// Returns the final parameters; throws on internal inconsistency.
+ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
+                                   const ThreadedTrainConfig& cfg);
+
+}  // namespace ss

@@ -1,0 +1,144 @@
+#include "ps/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace ss {
+
+FanoutSink::FanoutSink(std::vector<MetricsSink*> sinks) : sinks_(std::move(sinks)) {
+  for (const MetricsSink* s : sinks_)
+    if (s == nullptr) throw ConfigError("FanoutSink: null sink");
+}
+
+void FanoutSink::on_task(const TaskObservation& obs) {
+  for (MetricsSink* s : sinks_) s->on_task(obs);
+}
+
+void FanoutSink::on_update(const UpdateObservation& obs) {
+  for (MetricsSink* s : sinks_) s->on_update(obs);
+}
+
+void FanoutSink::on_eval(std::int64_t global_step, VTime time, double test_accuracy) {
+  for (MetricsSink* s : sinks_) s->on_eval(global_step, time, test_accuracy);
+}
+
+TraceRecorder::TraceRecorder(std::size_t max_events) : max_events_(max_events) {
+  if (max_events == 0) throw ConfigError("TraceRecorder: max_events must be > 0");
+}
+
+bool TraceRecorder::room() noexcept {
+  if (total_recorded() < max_events_) return true;
+  ++dropped_;
+  return false;
+}
+
+void TraceRecorder::on_task(const TaskObservation& obs) {
+  if (room()) tasks_.push_back(obs);
+}
+
+void TraceRecorder::on_update(const UpdateObservation& obs) {
+  if (room()) updates_.push_back(obs);
+}
+
+void TraceRecorder::on_eval(std::int64_t global_step, VTime time, double test_accuracy) {
+  if (room()) evals_.push_back({global_step, time, test_accuracy});
+}
+
+void TraceRecorder::clear() {
+  tasks_.clear();
+  updates_.clear();
+  evals_.clear();
+  dropped_ = 0;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& os) const {
+  // Chrome trace-event "JSON array" format: one event object per line.
+  // pid 1 = the simulated cluster; tid = worker index (+1 so 0 stays free
+  // for the PS row).  Timestamps are microseconds, which VTime stores
+  // natively.
+  os << "[\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+
+  // Thread-name metadata rows.
+  sep();
+  os << R"({"ph":"M","pid":1,"tid":0,"name":"thread_name","args":{"name":"parameter server"}})";
+  std::int64_t max_worker = -1;
+  for (const auto& t : tasks_) max_worker = std::max<std::int64_t>(max_worker, t.worker);
+  for (std::int64_t w = 0; w <= max_worker; ++w) {
+    sep();
+    os << R"({"ph":"M","pid":1,"tid":)" << (w + 1)
+       << R"(,"name":"thread_name","args":{"name":")" << json_escape("worker " + std::to_string(w))
+       << R"("}})";
+  }
+
+  for (const auto& t : tasks_) {
+    const std::int64_t start_us = (t.completed_at - t.task_duration).us();
+    sep();
+    os << R"({"ph":"X","pid":1,"tid":)" << (t.worker + 1) << R"(,"ts":)" << start_us
+       << R"(,"dur":)" << t.task_duration.us() << R"(,"name":"task","args":{"images":)"
+       << t.images << "}}";
+  }
+  for (const auto& u : updates_) {
+    sep();
+    os << R"({"ph":"i","pid":1,"tid":0,"s":"t","ts":)" << u.time.us() << R"(,"name":")"
+       << json_escape(protocol_name(u.protocol)) << R"( update","args":{"step":)"
+       << u.global_step << R"(,"loss":)" << u.train_loss << R"(,"staleness":)" << u.staleness
+       << "}}";
+  }
+  for (const auto& e : evals_) {
+    sep();
+    os << R"({"ph":"C","pid":1,"ts":)" << e.time.us()
+       << R"(,"name":"test accuracy","args":{"accuracy":)" << e.accuracy << "}}";
+  }
+  os << "\n]\n";
+}
+
+void TraceRecorder::save_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw IoError("TraceRecorder: cannot open " + path);
+  write_chrome_trace(out);
+  if (!out.good()) throw IoError("TraceRecorder: write failed for " + path);
+}
+
+}  // namespace ss

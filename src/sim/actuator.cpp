@@ -1,0 +1,56 @@
+#include "sim/actuator.h"
+
+#include "common/error.h"
+
+namespace ss {
+
+std::string actuator_exec_name(ActuatorExec exec) {
+  return exec == ActuatorExec::kSequential ? "Sequential" : "Parallel";
+}
+
+ActuatorModel::ActuatorModel(ActuatorExec exec, Params params) : exec_(exec), params_(params) {
+  if (params_.init_base < VTime::zero() || params_.switch_base < VTime::zero())
+    throw ConfigError("ActuatorModel: negative base cost");
+}
+
+ActuatorModel ActuatorModel::paper_calibrated(ActuatorExec exec) {
+  // Solved from Table III's two cluster sizes (8 and 16 nodes):
+  //   sequential: init = 46 + 13.875n     switch = 15 + 9.375n
+  //   parallel:   init = 52 +  4.75n      switch = 19 + 2.125n
+  if (exec == ActuatorExec::kSequential) {
+    return ActuatorModel(exec, Params{
+                                   VTime::from_seconds(46.0),
+                                   VTime::from_seconds(13.875),
+                                   VTime::from_seconds(15.0),
+                                   VTime::from_seconds(9.375),
+                               });
+  }
+  return ActuatorModel(exec, Params{
+                                 VTime::from_seconds(52.0),
+                                 VTime::from_seconds(4.75),
+                                 VTime::from_seconds(19.0),
+                                 VTime::from_seconds(2.125),
+                             });
+}
+
+VTime ActuatorModel::init_time(std::size_t n) const noexcept {
+  return params_.init_base + params_.init_per_node.scaled(static_cast<double>(n));
+}
+
+VTime ActuatorModel::switch_time(std::size_t n) const noexcept {
+  return params_.switch_base + params_.switch_per_node.scaled(static_cast<double>(n));
+}
+
+VTime ActuatorModel::resize_time() const noexcept {
+  // A barrier-group membership change is roughly one switch_base of
+  // coordination without the per-node checkpoint/restart fan-out.
+  return params_.switch_base.scaled(0.25);
+}
+
+VTime ActuatorModel::provision_time() const noexcept {
+  // Paper Section IV-B2: "the time to provision a new cloud server -- we use
+  // 100 seconds based on empirical measurement reported by prior work".
+  return VTime::from_seconds(100.0);
+}
+
+}  // namespace ss

@@ -1,0 +1,66 @@
+// Configuration actuator cost model (paper Section V and Table III).
+//
+// Sync-Switch pays real wall-clock overhead when it (a) initializes the
+// training cluster and (b) switches protocols (checkpoint -> propagate new
+// configs -> restart from checkpoint).  The paper measures both for a
+// sequential actuator and for its parallel actuator.  We reproduce the
+// measured scaling as affine models in the cluster size, calibrated to the
+// paper's Table III:
+//
+//   execution   cluster   init(s)   switch(s)
+//   sequential    8        157        90
+//   parallel      8         90        36
+//   sequential   16        268       165
+//   parallel     16        128        53
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/vtime.h"
+
+namespace ss {
+
+enum class ActuatorExec { kSequential, kParallel };
+
+std::string actuator_exec_name(ActuatorExec exec);
+
+/// Affine-in-n cost model for cluster actuation.
+class ActuatorModel {
+ public:
+  struct Params {
+    VTime init_base;
+    VTime init_per_node;
+    VTime switch_base;
+    VTime switch_per_node;
+  };
+
+  ActuatorModel(ActuatorExec exec, Params params);
+
+  /// Calibrated to the paper's Table III measurements.
+  [[nodiscard]] static ActuatorModel paper_calibrated(ActuatorExec exec);
+
+  /// Time to bring up a cluster of n nodes (VM boot, TF runtime start, ...).
+  [[nodiscard]] VTime init_time(std::size_t n) const noexcept;
+
+  /// Time for one protocol switch on n nodes: checkpoint + propagate +
+  /// restart from checkpoint.
+  [[nodiscard]] VTime switch_time(std::size_t n) const noexcept;
+
+  /// Cheap membership change (elastic policy node remove/restore): no
+  /// checkpoint/restart needed, just barrier-group reconfiguration.
+  [[nodiscard]] VTime resize_time() const noexcept;
+
+  /// Time to provision a replacement cloud VM (paper Section IV-B2 uses
+  /// 100 s, the empirical bound from prior work it cites).  Provisioning
+  /// runs in the background: training continues on the remaining nodes.
+  [[nodiscard]] VTime provision_time() const noexcept;
+
+  [[nodiscard]] ActuatorExec exec() const noexcept { return exec_; }
+
+ private:
+  ActuatorExec exec_;
+  Params params_;
+};
+
+}  // namespace ss

@@ -1,0 +1,46 @@
+#include "sim/cluster.h"
+
+#include <cmath>
+
+namespace ss {
+
+ClusterModel::ClusterModel(ClusterSpec spec) : spec_(spec) {}
+
+VTime ClusterModel::transfer_time(double slow_factor) const noexcept {
+  return transfer_time(slow_factor, spec_.payload_bytes);
+}
+
+VTime ClusterModel::transfer_time(double slow_factor, double bytes) const noexcept {
+  const double wire_s = bytes / spec_.bandwidth_bps;
+  const VTime base = spec_.net_latency + VTime::from_seconds(wire_s);
+  return base.scaled(slow_factor);
+}
+
+VTime ClusterModel::compute_time(Rng& rng, double slow_factor,
+                                 std::size_t batch) const noexcept {
+  // Lognormal with mean 1: exp(N(-s^2/2, s)).
+  const double s = spec_.compute_jitter_sigma;
+  const double jitter = s > 0.0 ? rng.lognormal(-0.5 * s * s, s) : 1.0;
+  const double batch_scale =
+      static_cast<double>(batch) / static_cast<double>(spec_.reference_batch);
+  return spec_.compute_per_batch.scaled(jitter * slow_factor * batch_scale);
+}
+
+VTime ClusterModel::task_time(Rng& rng, double slow_factor, std::size_t batch) const noexcept {
+  return transfer_time(slow_factor) + compute_time(rng, slow_factor, batch) +
+         transfer_time(slow_factor);
+}
+
+VTime ClusterModel::sync_overhead(std::size_t n) const noexcept {
+  const double nn = static_cast<double>(n);
+  return spec_.sync_base + spec_.sync_quad.scaled(nn * nn);
+}
+
+VTime ClusterModel::mean_cycle(std::size_t batch) const noexcept {
+  const double batch_scale =
+      static_cast<double>(batch) / static_cast<double>(spec_.reference_batch);
+  return transfer_time(1.0) + spec_.compute_per_batch.scaled(batch_scale) +
+         transfer_time(1.0);
+}
+
+}  // namespace ss

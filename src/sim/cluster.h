@@ -1,0 +1,92 @@
+// Cluster cost model: how long compute, communication and synchronization
+// take on the simulated GPU cluster.
+//
+// The model mirrors the paper's testbed (Section VI-A): n GCP nodes, one
+// K80-class GPU each, parameter servers collocated with workers.  Costs:
+//
+//   worker task   = pull + compute + push            (paper Fig. 3)
+//   BSP step      = max over workers(task) + sync_overhead(n)
+//   ASP cycle     = task + async apply
+//
+// sync_overhead models the barrier: gradient gather/aggregate/broadcast
+// through the collocated PS shards.  It grows superlinearly with cluster
+// size (incast congestion at the PSs), which is what makes BSP's per-step
+// cost at n=16 disproportionately worse — the effect behind the paper's
+// Figure 13/Table I setup-3 numbers.  Constants are calibrated in
+// bench/setups.h so the BSP:ASP ratios match the paper's (see
+// EXPERIMENTS.md).
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "common/vtime.h"
+
+namespace ss {
+
+/// Static description of the simulated cluster + workload cost inputs.
+struct ClusterSpec {
+  std::size_t num_workers = 8;
+
+  /// Virtual per-batch GPU compute time for this workload (mean) at the
+  /// reference batch size.  Stands in for "ResNet32 on a K80 with batch B"
+  /// style numbers; actual compute scales with batch / reference_batch.
+  VTime compute_per_batch = VTime::from_ms(120.0);
+
+  /// Batch size `compute_per_batch` refers to.
+  std::size_t reference_batch = 64;
+
+  /// Lognormal sigma of per-step compute jitter (multiplicative, mean 1).
+  double compute_jitter_sigma = 0.12;
+
+  /// One-way network latency per transfer.
+  VTime net_latency = VTime::from_ms(2.0);
+
+  /// Model size on the wire, bytes (parameters ~= gradients).
+  double payload_bytes = 4.0 * 13000;
+
+  /// Network bandwidth, bytes/second.
+  double bandwidth_bps = 100.0 * 1024 * 1024;
+
+  /// Barrier overhead = sync_base + sync_quad * n^2.
+  VTime sync_base = VTime::from_ms(280.0);
+  VTime sync_quad = VTime::from_ms(6.5);
+
+  /// PS-side apply cost for one asynchronous update.
+  VTime async_apply = VTime::from_ms(1.0);
+};
+
+/// Per-(worker, step) sampled durations.
+class ClusterModel {
+ public:
+  explicit ClusterModel(ClusterSpec spec);
+
+  [[nodiscard]] const ClusterSpec& spec() const noexcept { return spec_; }
+
+  /// One parameter pull or gradient push (they are symmetric), given the
+  /// multiplicative slowdown currently applied to this worker (1.0 = none).
+  [[nodiscard]] VTime transfer_time(double slow_factor) const noexcept;
+
+  /// A transfer of `bytes` on the wire (gradient compression shrinks the
+  /// push below `payload_bytes`; the pull stays full-size).
+  [[nodiscard]] VTime transfer_time(double slow_factor, double bytes) const noexcept;
+
+  /// Forward+backward compute for one minibatch of `batch` examples, with
+  /// jitter.  Cost scales linearly with batch / reference_batch.
+  [[nodiscard]] VTime compute_time(Rng& rng, double slow_factor, std::size_t batch) const noexcept;
+
+  /// Full worker task: pull + compute + push.
+  [[nodiscard]] VTime task_time(Rng& rng, double slow_factor, std::size_t batch) const noexcept;
+
+  /// Barrier overhead for `n` participating workers.
+  [[nodiscard]] VTime sync_overhead(std::size_t n) const noexcept;
+
+  /// Expected (jitter-free) worker cycle for a batch: pull + compute + push.
+  /// Used to stagger asynchronous worker start-ups over one cycle.
+  [[nodiscard]] VTime mean_cycle(std::size_t batch) const noexcept;
+
+ private:
+  ClusterSpec spec_;
+};
+
+}  // namespace ss

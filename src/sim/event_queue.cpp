@@ -1,0 +1,33 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+
+namespace ss {
+
+std::uint64_t EventQueue::schedule(VTime time, int kind, int worker) {
+  SimEvent ev;
+  ev.time = time;
+  ev.seq = next_seq_++;
+  ev.kind = kind;
+  ev.worker = worker;
+  heap_.push(ev);
+  return ev.seq;
+}
+
+VTime EventQueue::peek_time() const {
+  if (heap_.empty()) throw std::logic_error("EventQueue::peek_time on empty queue");
+  return heap_.top().time;
+}
+
+SimEvent EventQueue::pop() {
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty queue");
+  SimEvent ev = heap_.top();
+  heap_.pop();
+  return ev;
+}
+
+void EventQueue::clear() noexcept {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace ss

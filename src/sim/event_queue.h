@@ -1,0 +1,54 @@
+// Discrete-event core: a time-ordered queue with deterministic tie-breaking.
+//
+// Ties are broken by insertion sequence number so that two events scheduled
+// for the same virtual microsecond always fire in schedule order — this is
+// what makes whole-cluster simulations reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/vtime.h"
+
+namespace ss {
+
+/// Event payload: the runtime interprets (kind, worker).  Keeping this a
+/// plain struct (no type-erased callbacks) keeps the queue allocation-free
+/// and the event order trivially auditable in tests.
+struct SimEvent {
+  VTime time;
+  std::uint64_t seq = 0;  ///< assigned by the queue
+  int kind = 0;           ///< runtime-defined discriminator
+  int worker = -1;        ///< worker index or -1
+};
+
+class EventQueue {
+ public:
+  /// Schedule an event; returns the assigned sequence number.
+  std::uint64_t schedule(VTime time, int kind, int worker);
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Earliest event time (queue must be non-empty).
+  [[nodiscard]] VTime peek_time() const;
+
+  /// Pop the earliest event.
+  SimEvent pop();
+
+  /// Drop every pending event (used when a phase is aborted/interrupted).
+  void clear() noexcept;
+
+ private:
+  struct Later {
+    bool operator()(const SimEvent& a, const SimEvent& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<SimEvent, std::vector<SimEvent>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ss

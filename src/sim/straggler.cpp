@@ -1,0 +1,116 @@
+#include "sim/straggler.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ss {
+
+StragglerScenario StragglerScenario::mild() {
+  StragglerScenario s;
+  s.num_stragglers = 1;
+  s.occurrences = 1;
+  s.extra_latency_ms = 10.0;
+  return s;
+}
+
+StragglerScenario StragglerScenario::moderate() {
+  StragglerScenario s;
+  s.num_stragglers = 2;
+  s.occurrences = 4;
+  s.extra_latency_ms = 30.0;
+  return s;
+}
+
+StragglerSchedule::StragglerSchedule(std::vector<StragglerEvent> events)
+    : events_(std::move(events)) {
+  for (const auto& e : events_)
+    if (e.slow_factor < 1.0) throw ConfigError("StragglerEvent: slow_factor must be >= 1");
+}
+
+double StragglerSchedule::latency_to_slow_factor(double extra_latency_ms) noexcept {
+  // 10 ms of injected per-message latency ~= 1.8x task time, 30 ms ~= 3.4x.
+  // This matches the relative BSP throughput drops in the paper's Fig. 4(b).
+  constexpr double kLatencyUnitMs = 12.5;
+  return 1.0 + extra_latency_ms / kLatencyUnitMs;
+}
+
+StragglerSchedule StragglerSchedule::permanent(int worker, double slow_factor) {
+  StragglerEvent ev;
+  ev.worker = worker;
+  ev.start = VTime::zero();
+  ev.duration = VTime::from_minutes(1e6);  // effectively forever
+  ev.slow_factor = slow_factor;
+  return StragglerSchedule({ev});
+}
+
+void StragglerSchedule::mask_after(int worker, VTime t) {
+  std::vector<StragglerEvent> kept;
+  kept.reserve(events_.size());
+  for (StragglerEvent ev : events_) {
+    if (ev.worker != worker || ev.start + ev.duration <= t) {
+      kept.push_back(ev);
+      continue;
+    }
+    if (ev.start >= t) continue;  // entirely after the replacement: dropped
+    ev.duration = t - ev.start;   // overlapping: clipped at the replacement
+    kept.push_back(ev);
+  }
+  events_ = std::move(kept);
+}
+
+StragglerSchedule StragglerSchedule::generate(const StragglerScenario& scenario,
+                                              std::size_t num_workers, Rng& rng) {
+  if (scenario.num_stragglers < 0 ||
+      static_cast<std::size_t>(scenario.num_stragglers) >= std::max<std::size_t>(num_workers, 1))
+    throw ConfigError("StragglerScenario: unique stragglers must be < cluster size");
+
+  // Choose distinct victim workers.
+  std::vector<std::uint32_t> ids(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) ids[i] = static_cast<std::uint32_t>(i);
+  rng.shuffle(ids);
+
+  const double factor = latency_to_slow_factor(scenario.extra_latency_ms);
+  std::vector<StragglerEvent> events;
+  for (int k = 0; k < scenario.num_stragglers; ++k) {
+    for (int o = 0; o < scenario.occurrences; ++o) {
+      StragglerEvent e;
+      e.worker = static_cast<int>(ids[static_cast<std::size_t>(k)]);
+      e.start = VTime::from_seconds(rng.uniform(0.0, scenario.horizon.seconds()));
+      e.duration = scenario.max_duration.scaled(rng.uniform(0.6, 1.0));
+      e.slow_factor = factor;
+      events.push_back(e);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const StragglerEvent& a, const StragglerEvent& b) { return a.start < b.start; });
+  return StragglerSchedule(std::move(events));
+}
+
+double StragglerSchedule::slow_factor(int worker, VTime t) const noexcept {
+  double factor = 1.0;
+  for (const auto& e : events_) {
+    if (e.worker != worker) continue;
+    if (t >= e.start && t < e.start + e.duration) factor = std::max(factor, e.slow_factor);
+  }
+  return factor;
+}
+
+bool StragglerSchedule::any_active(VTime t) const noexcept {
+  for (const auto& e : events_)
+    if (t >= e.start && t < e.start + e.duration) return true;
+  return false;
+}
+
+VTime StragglerSchedule::next_clear_time(VTime t) const noexcept {
+  VTime latest_end = VTime::from_seconds(-1.0);
+  for (const auto& e : events_) {
+    if (t >= e.start && t < e.start + e.duration) {
+      const VTime end = e.start + e.duration;
+      if (end > latest_end) latest_end = end;
+    }
+  }
+  return latest_end;
+}
+
+}  // namespace ss

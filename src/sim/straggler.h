@@ -1,0 +1,87 @@
+// Transient straggler injection (paper Section IV-B2 and VI-B3).
+//
+// A transient straggler is a worker that is temporarily slowed (the paper
+// emulates datacenter contention by injecting 10ms / 30ms network latency
+// for up to ~100 s — the time to provision a replacement VM).  We express
+// slowness as a multiplicative slowdown on the worker's task time, derived
+// from the injected latency: every PS message the worker exchanges is
+// delayed, so a step that takes `t` cleanly takes roughly
+// `t * (1 + latency / latency_unit)`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/vtime.h"
+
+namespace ss {
+
+/// One slowdown episode on one worker.
+struct StragglerEvent {
+  int worker = 0;
+  VTime start;
+  VTime duration;
+  double slow_factor = 1.0;  ///< task-time multiplier while active (> 1)
+};
+
+/// Paper-style scenario description (Section VI-B3): how many distinct
+/// straggler workers, how many occurrences each, and the emulated extra
+/// network latency per message.
+struct StragglerScenario {
+  int num_stragglers = 0;      ///< distinct slowed workers
+  int occurrences = 0;         ///< episodes per straggler
+  double extra_latency_ms = 0; ///< injected latency (10 = mild, 30 = moderate)
+  VTime max_duration = VTime::from_seconds(100.0);  ///< provisioning bound
+  VTime horizon = VTime::from_minutes(30.0);        ///< episodes start within
+
+  /// Mild scenario 1 of the paper: 1 straggler, 1 occurrence, 10 ms.
+  [[nodiscard]] static StragglerScenario mild();
+  /// Moderate scenario 2: 2 stragglers, 4 occurrences, 30 ms.
+  [[nodiscard]] static StragglerScenario moderate();
+};
+
+/// Time-indexed straggler schedule queried by the runtimes.
+class StragglerSchedule {
+ public:
+  StragglerSchedule() = default;
+  explicit StragglerSchedule(std::vector<StragglerEvent> events);
+
+  /// Generate a schedule from a scenario: distinct workers are chosen from
+  /// [0, num_workers); episode starts are uniform over the horizon; episode
+  /// durations are uniform in [0.6, 1.0] * max_duration.
+  [[nodiscard]] static StragglerSchedule generate(const StragglerScenario& scenario,
+                                                  std::size_t num_workers, Rng& rng);
+
+  /// A worker slowed by `slow_factor` for the whole run (permanent
+  /// straggler; the paper's replacement policies target these).
+  [[nodiscard]] static StragglerSchedule permanent(int worker, double slow_factor);
+
+  /// Node replacement: worker `worker`'s slot is healthy from `t` on (a
+  /// freshly provisioned VM took over the slot).  Episodes overlapping `t`
+  /// are clipped; later ones are dropped.
+  void mask_after(int worker, VTime t);
+
+  /// Slowdown factor for `worker` at time `t` (1.0 when healthy).  When
+  /// multiple episodes overlap the largest factor applies.
+  [[nodiscard]] double slow_factor(int worker, VTime t) const noexcept;
+
+  /// True if any worker is slowed at time `t`.
+  [[nodiscard]] bool any_active(VTime t) const noexcept;
+
+  /// Earliest episode end-time after `t`, or VTime::from_seconds(-1) when no
+  /// episode is active (used by online policies to plan the switch-back).
+  [[nodiscard]] VTime next_clear_time(VTime t) const noexcept;
+
+  [[nodiscard]] const std::vector<StragglerEvent>& events() const noexcept { return events_; }
+
+  /// Latency-to-slowdown conversion shared by scenario generation: a step's
+  /// messages are each delayed by `extra_latency`, adding roughly
+  /// latency/latency_unit of relative slowdown.
+  [[nodiscard]] static double latency_to_slow_factor(double extra_latency_ms) noexcept;
+
+ private:
+  std::vector<StragglerEvent> events_;
+};
+
+}  // namespace ss

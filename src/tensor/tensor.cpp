@@ -1,0 +1,64 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace ss {
+
+std::size_t shape_numel(const Shape& shape) noexcept {
+  std::size_t n = 1;
+  for (auto d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+
+std::string shape_str(const Shape& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), fill) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (data_.size() != shape_numel(shape_))
+    throw ShapeError("Tensor: data size " + std::to_string(data_.size()) +
+                     " does not match shape " + shape_str(shape_));
+}
+
+std::size_t Tensor::dim(std::size_t i) const {
+  if (i >= shape_.size()) throw ShapeError("Tensor::dim index out of range");
+  return shape_[i];
+}
+
+void Tensor::fill(float v) noexcept {
+  for (auto& x : data_) x = v;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (shape_numel(new_shape) != data_.size())
+    throw ShapeError("Tensor::reshaped: numel mismatch " + shape_str(shape_) + " -> " +
+                     shape_str(new_shape));
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = data_;
+  return out;
+}
+
+bool Tensor::all_finite() const noexcept {
+  for (float x : data_)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
+
+}  // namespace ss

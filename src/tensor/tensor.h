@@ -1,0 +1,67 @@
+// Dense float32 tensor.
+//
+// Deliberately simple: contiguous row-major storage, explicit shapes, no
+// broadcasting magic.  All the math the NN layers need lives in ops.h as
+// free functions taking spans/tensors, which keeps this type a plain value
+// type (Rule of Zero).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ss {
+
+/// Shape of a tensor: up to 4 dimensions in practice (N,C,H,W or N,D).
+using Shape = std::vector<std::size_t>;
+
+/// Number of elements a shape describes.
+std::size_t shape_numel(const Shape& shape) noexcept;
+
+/// Human-readable "[a, b, c]".
+std::string shape_str(const Shape& shape);
+
+/// Contiguous row-major float tensor.  Copyable/movable value type.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, float fill);
+  Tensor(Shape shape, std::vector<float> data);
+
+  [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+  [[nodiscard]] std::size_t numel() const noexcept { return data_.size(); }
+  [[nodiscard]] std::size_t dim(std::size_t i) const;
+  [[nodiscard]] std::size_t rank() const noexcept { return shape_.size(); }
+
+  [[nodiscard]] float* data() noexcept { return data_.data(); }
+  [[nodiscard]] const float* data() const noexcept { return data_.data(); }
+  [[nodiscard]] std::span<float> span() noexcept { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const float> span() const noexcept {
+    return {data_.data(), data_.size()};
+  }
+
+  float& operator[](std::size_t i) noexcept { return data_[i]; }
+  float operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  /// 2-D accessors (row-major); bounds unchecked in release builds.
+  float& at2(std::size_t r, std::size_t c) noexcept { return data_[r * shape_[1] + c]; }
+  float at2(std::size_t r, std::size_t c) const noexcept { return data_[r * shape_[1] + c]; }
+
+  /// Set every element to v.
+  void fill(float v) noexcept;
+
+  /// Reinterpret the same storage with a new shape (numel must match).
+  [[nodiscard]] Tensor reshaped(Shape new_shape) const;
+
+  /// True if every element is finite.
+  [[nodiscard]] bool all_finite() const noexcept;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace ss

@@ -1,0 +1,47 @@
+#include "sim/actuator.h"
+
+#include <gtest/gtest.h>
+
+namespace ss {
+namespace {
+
+TEST(Actuator, MatchesPaperTableIII) {
+  const auto seq = ActuatorModel::paper_calibrated(ActuatorExec::kSequential);
+  const auto par = ActuatorModel::paper_calibrated(ActuatorExec::kParallel);
+  // Paper Table III, ResNet32 training clusters.
+  EXPECT_NEAR(seq.init_time(8).seconds(), 157.0, 1.0);
+  EXPECT_NEAR(seq.switch_time(8).seconds(), 90.0, 1.0);
+  EXPECT_NEAR(par.init_time(8).seconds(), 90.0, 1.0);
+  EXPECT_NEAR(par.switch_time(8).seconds(), 36.0, 1.0);
+  EXPECT_NEAR(seq.init_time(16).seconds(), 268.0, 1.0);
+  EXPECT_NEAR(seq.switch_time(16).seconds(), 165.0, 1.0);
+  EXPECT_NEAR(par.init_time(16).seconds(), 128.0, 1.0);
+  EXPECT_NEAR(par.switch_time(16).seconds(), 53.0, 1.0);
+}
+
+class ActuatorSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ActuatorSizeSweep, ParallelBeatsSequential) {
+  const std::size_t n = GetParam();
+  const auto seq = ActuatorModel::paper_calibrated(ActuatorExec::kSequential);
+  const auto par = ActuatorModel::paper_calibrated(ActuatorExec::kParallel);
+  EXPECT_LT(par.init_time(n), seq.init_time(n));
+  EXPECT_LT(par.switch_time(n), seq.switch_time(n));
+  EXPECT_LT(par.resize_time(), par.switch_time(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ActuatorSizeSweep, ::testing::Values(4u, 8u, 16u, 32u, 64u));
+
+TEST(Actuator, CostsGrowWithClusterSize) {
+  const auto par = ActuatorModel::paper_calibrated(ActuatorExec::kParallel);
+  EXPECT_LT(par.init_time(8), par.init_time(16));
+  EXPECT_LT(par.switch_time(8), par.switch_time(16));
+}
+
+TEST(Actuator, ExecName) {
+  EXPECT_EQ(actuator_exec_name(ActuatorExec::kSequential), "Sequential");
+  EXPECT_EQ(actuator_exec_name(ActuatorExec::kParallel), "Parallel");
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,215 @@
+// BatchNorm and ResidualBlock: shapes, statistics, gradient checks, and
+// behavior inside models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "nn/batchnorm.h"
+#include "nn/loss.h"
+#include "nn/residual.h"
+
+namespace ss {
+namespace {
+
+/// Numeric gradient check through a softmax-CE head (mirrors the helper in
+/// test_nn_layers.cpp).
+void check_layer_gradients(Layer& layer, Tensor x, const std::vector<int>& labels,
+                           double tol = 5e-3) {
+  SoftmaxCrossEntropy head;
+  auto loss_of = [&](const Tensor& input) {
+    const Tensor& out = layer.forward(input);
+    return head.forward(out, labels);
+  };
+
+  loss_of(x);
+  const Tensor& dx = layer.backward(head.backward());
+  std::vector<Tensor> param_grads;
+  for (Tensor* g : layer.grads()) param_grads.push_back(*g);
+  const Tensor dx_copy = dx;
+
+  const double eps = 1e-3;
+  auto params = layer.params();
+  for (std::size_t t = 0; t < params.size(); ++t) {
+    Tensor& p = *params[t];
+    for (std::size_t i = 0; i < std::min<std::size_t>(p.numel(), 24); ++i) {
+      const float orig = p[i];
+      p[i] = orig + static_cast<float>(eps);
+      const double lp = loss_of(x);
+      p[i] = orig - static_cast<float>(eps);
+      const double lm = loss_of(x);
+      p[i] = orig;
+      EXPECT_NEAR(param_grads[t][i], (lp - lm) / (2 * eps), tol)
+          << "param tensor " << t << " index " << i;
+    }
+  }
+  for (std::size_t i = 0; i < std::min<std::size_t>(x.numel(), 24); ++i) {
+    const float orig = x[i];
+    x[i] = orig + static_cast<float>(eps);
+    const double lp = loss_of(x);
+    x[i] = orig - static_cast<float>(eps);
+    const double lm = loss_of(x);
+    x[i] = orig;
+    EXPECT_NEAR(dx_copy[i], (lp - lm) / (2 * eps), tol) << "input index " << i;
+  }
+}
+
+Tensor random_input(Shape shape, std::uint64_t seed, float scale = 1.0f) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    t[i] = scale * static_cast<float>(rng.gaussian());
+  return t;
+}
+
+TEST(BatchNorm, ValidatesConstruction) {
+  EXPECT_THROW(BatchNorm(0), ConfigError);
+  EXPECT_THROW(BatchNorm(4, 0.0), ConfigError);
+  EXPECT_THROW(BatchNorm(4, -1.0), ConfigError);
+}
+
+TEST(BatchNorm, RejectsWrongShapes) {
+  BatchNorm bn(4);
+  Tensor wrong({3, 5});
+  EXPECT_THROW(bn.forward(wrong), ShapeError);
+  Tensor one_row({1, 4});
+  EXPECT_THROW(bn.forward(one_row), ShapeError);  // batch stats need N >= 2
+}
+
+TEST(BatchNorm, NormalizesToZeroMeanUnitVariance) {
+  BatchNorm bn(3);
+  // Shifted/scaled input: output columns must be ~N(0,1) under gamma=1, beta=0.
+  Tensor x = random_input({64, 3}, 7);
+  // Scales well above sqrt(eps) so the eps regularizer stays negligible.
+  for (std::size_t i = 0; i < 64; ++i) {
+    x.at2(i, 0) = x.at2(i, 0) * 5.0f + 100.0f;
+    x.at2(i, 1) = x.at2(i, 1) * 0.5f - 3.0f;
+  }
+  const Tensor& y = bn.forward(x);
+  for (std::size_t j = 0; j < 3; ++j) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (std::size_t i = 0; i < 64; ++i) mean += y.at2(i, j);
+    mean /= 64.0;
+    for (std::size_t i = 0; i < 64; ++i) {
+      const double c = y.at2(i, j) - mean;
+      var += c * c;
+    }
+    var /= 64.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4) << "feature " << j;
+    EXPECT_NEAR(var, 1.0, 1e-2) << "feature " << j;
+  }
+}
+
+TEST(BatchNorm, GammaBetaScaleAndShift) {
+  BatchNorm bn(2);
+  auto params = bn.params();
+  (*params[0])[0] = 3.0f;   // gamma feature 0
+  (*params[1])[0] = -1.0f;  // beta feature 0
+  Tensor x = random_input({32, 2}, 9);
+  const Tensor& y = bn.forward(x);
+  double mean = 0.0;
+  double var = 0.0;
+  for (std::size_t i = 0; i < 32; ++i) mean += y.at2(i, 0);
+  mean /= 32.0;
+  for (std::size_t i = 0; i < 32; ++i) {
+    const double c = y.at2(i, 0) - mean;
+    var += c * c;
+  }
+  var /= 32.0;
+  EXPECT_NEAR(mean, -1.0, 1e-5);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 1e-2);
+}
+
+TEST(BatchNorm, InvariantToInputShiftAndScale) {
+  BatchNorm a(3);
+  BatchNorm b(3);
+  Tensor x = random_input({16, 3}, 11);
+  Tensor x2 = x;
+  for (std::size_t i = 0; i < x2.numel(); ++i) x2[i] = x2[i] * 7.0f + 2.5f;
+  const Tensor& ya = a.forward(x);
+  const Tensor& yb = b.forward(x2);
+  for (std::size_t i = 0; i < ya.numel(); ++i) EXPECT_NEAR(ya[i], yb[i], 2e-4) << i;
+}
+
+TEST(BatchNorm, NumericGradientCheck) {
+  BatchNorm bn(4);
+  // Make gamma/beta non-trivial so their gradients are exercised.
+  auto params = bn.params();
+  for (std::size_t j = 0; j < 4; ++j) {
+    (*params[0])[j] = 0.5f + 0.25f * static_cast<float>(j);
+    (*params[1])[j] = -0.2f + 0.1f * static_cast<float>(j);
+  }
+  check_layer_gradients(bn, random_input({6, 4}, 13), {0, 1, 2, 3, 0, 1});
+}
+
+TEST(BatchNorm, BackwardRejectsMismatchedShape) {
+  BatchNorm bn(3);
+  Tensor x = random_input({8, 3}, 15);
+  bn.forward(x);
+  Tensor bad({4, 3});
+  EXPECT_THROW(bn.backward(bad), ShapeError);
+}
+
+TEST(BatchNorm, CloneCopiesLearnedScale) {
+  BatchNorm bn(2);
+  (*bn.params()[0])[0] = 2.5f;
+  (*bn.params()[1])[1] = -0.75f;
+  auto copy = bn.clone();
+  EXPECT_EQ((*copy->params()[0])[0], 2.5f);
+  EXPECT_EQ((*copy->params()[1])[1], -0.75f);
+  EXPECT_EQ(copy->describe(), bn.describe());
+}
+
+TEST(ResidualBlock, PreservesShape) {
+  Rng rng(17);
+  ResidualBlock block(8, rng);
+  Tensor x = random_input({4, 8}, 18);
+  const Tensor& y = block.forward(x);
+  EXPECT_EQ(y.shape(), x.shape());
+}
+
+TEST(ResidualBlock, NumericGradientCheck) {
+  Rng rng(19);
+  ResidualBlock block(5, rng);
+  check_layer_gradients(block, random_input({6, 5}, 20), {0, 1, 2, 3, 4, 0}, 8e-3);
+}
+
+TEST(ResidualBlock, SkipPathPassesSignalWhenBranchIsZeroed) {
+  Rng rng(21);
+  ResidualBlock block(4, rng);
+  // Zero the second Dense + BN gamma so the branch contributes nothing.
+  auto params = block.params();
+  // params order: fc1(W,b), bn1(gamma,beta), fc2(W,b), bn2(gamma,beta)
+  ASSERT_EQ(params.size(), 8u);
+  params[6]->fill(0.0f);  // bn2 gamma = 0 kills the branch
+  params[7]->fill(0.0f);  // bn2 beta = 0
+  Tensor x = random_input({4, 4}, 22);
+  const Tensor& y = block.forward(x);
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    const float expect = x[i] > 0.0f ? x[i] : 0.0f;  // ReLU(x + 0)
+    EXPECT_NEAR(y[i], expect, 1e-6) << i;
+  }
+}
+
+TEST(ResidualBlock, ExposesAllParameterTensors) {
+  Rng rng(23);
+  ResidualBlock block(4, rng);
+  EXPECT_EQ(block.params().size(), 8u);
+  EXPECT_EQ(block.grads().size(), 8u);
+  // Params and grads are parallel in shape.
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_EQ(block.params()[i]->shape(), block.grads()[i]->shape()) << i;
+}
+
+TEST(ResidualBlock, CloneIsDeepAndIndependent) {
+  Rng rng(25);
+  ResidualBlock block(4, rng);
+  auto copy = block.clone();
+  (*block.params()[0])[0] += 1.0f;
+  EXPECT_NE((*block.params()[0])[0], (*copy->params()[0])[0]);
+}
+
+}  // namespace
+}  // namespace ss

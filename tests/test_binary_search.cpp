@@ -1,0 +1,110 @@
+#include "core/binary_search.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ss {
+namespace {
+
+/// Stub training landscape: accuracy 0.92 at or above the knee, sliding
+/// down below it; time proportional to 0.15 + 0.85 * fraction.
+TrialFn landscape(double knee, int* calls = nullptr) {
+  return [knee, calls](double fraction, int) {
+    if (calls) ++*calls;
+    TrialOutcome out;
+    out.converged_accuracy = fraction >= knee ? 0.92 : 0.92 - 2.0 * (knee - fraction);
+    out.train_time_seconds = 100.0 * (0.15 + 0.85 * fraction);
+    return out;
+  };
+}
+
+TEST(BinarySearch, FindsKneeOnMonotoneLandscape) {
+  BinarySearchConfig cfg;
+  cfg.beta = 0.01;
+  cfg.max_settings = 5;
+  cfg.runs_per_setting = 1;
+  const auto result = binary_search_timing(landscape(0.0625), cfg);
+  EXPECT_DOUBLE_EQ(result.switch_fraction, 0.0625);
+  EXPECT_NEAR(result.target_accuracy, 0.92, 1e-9);
+}
+
+TEST(BinarySearch, DeeperKneeNeedsMoreBsp) {
+  BinarySearchConfig cfg;
+  cfg.max_settings = 5;
+  cfg.runs_per_setting = 1;
+  const auto result = binary_search_timing(landscape(0.4), cfg);
+  // The search keeps the smallest in-band dyadic fraction >= knee.
+  EXPECT_DOUBLE_EQ(result.switch_fraction, 0.40625);
+}
+
+TEST(BinarySearch, CountsSessionsAndCost) {
+  BinarySearchConfig cfg;
+  cfg.max_settings = 3;
+  cfg.runs_per_setting = 2;
+  int calls = 0;
+  const auto result = binary_search_timing(landscape(0.25, &calls), cfg);
+  // 2 BSP baseline runs + 3 settings x 2 runs.
+  EXPECT_EQ(result.sessions_run, 8);
+  EXPECT_EQ(calls, 8);
+  EXPECT_GT(result.search_cost_seconds, 0.0);
+  EXPECT_EQ(result.explored.size(), 3u);
+}
+
+TEST(BinarySearch, ProvidedTargetSkipsBspRuns) {
+  BinarySearchConfig cfg;
+  cfg.max_settings = 2;
+  cfg.runs_per_setting = 1;
+  cfg.target_accuracy = 0.92;
+  int calls = 0;
+  binary_search_timing(landscape(0.25, &calls), cfg);
+  EXPECT_EQ(calls, 2);  // no baseline runs
+}
+
+TEST(BinarySearch, DivergedTrialsAreOutOfBand) {
+  BinarySearchConfig cfg;
+  cfg.max_settings = 3;
+  cfg.runs_per_setting = 1;
+  cfg.target_accuracy = 0.9;
+  // Everything below 50% diverges; 50%+ is fine.
+  const auto result = binary_search_timing(
+      [](double fraction, int) {
+        TrialOutcome out;
+        out.diverged = fraction < 0.5;
+        out.converged_accuracy = out.diverged ? 0.0 : 0.9;
+        out.train_time_seconds = 10.0;
+        return out;
+      },
+      cfg);
+  EXPECT_DOUBLE_EQ(result.switch_fraction, 0.5);
+  for (const auto& c : result.explored)
+    if (c.fraction < 0.5) EXPECT_FALSE(c.in_band);
+}
+
+TEST(BinarySearch, RejectsBadConfig) {
+  BinarySearchConfig cfg;
+  cfg.max_settings = 0;
+  EXPECT_THROW(binary_search_timing(landscape(0.1), cfg), ConfigError);
+  EXPECT_THROW(binary_search_timing(nullptr, BinarySearchConfig{}), ConfigError);
+}
+
+class KneeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(KneeSweep, ResultIsInBandAndMinimal) {
+  const double knee = GetParam();
+  BinarySearchConfig cfg;
+  cfg.max_settings = 6;
+  cfg.runs_per_setting = 1;
+  const auto result = binary_search_timing(landscape(knee), cfg);
+  // Found fraction achieves the accuracy band (beta = 0.01 allows the
+  // landscape to sit up to 0.005 below the knee)...
+  EXPECT_GE(result.switch_fraction, knee - 0.005 - 1e-12);
+  // ...and is within one search-resolution above the knee.
+  EXPECT_LE(result.switch_fraction - knee, 1.0 / (1 << 6) + 0.005 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Knees, KneeSweep,
+                         ::testing::Values(0.03125, 0.0625, 0.125, 0.3, 0.5, 0.77));
+
+}  // namespace
+}  // namespace ss

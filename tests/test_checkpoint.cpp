@@ -1,0 +1,61 @@
+#include "nn/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ss {
+namespace {
+
+Checkpoint sample() {
+  Checkpoint c;
+  c.global_step = 12345;
+  c.params = {1.0f, -2.5f, 3.25f};
+  c.velocity = {0.1f, 0.2f, -0.3f};
+  return c;
+}
+
+TEST(Checkpoint, SerializeRoundTrip) {
+  const Checkpoint c = sample();
+  const auto bytes = c.serialize();
+  const Checkpoint back = Checkpoint::deserialize(bytes);
+  EXPECT_EQ(back, c);
+}
+
+TEST(Checkpoint, EmptyVectorsRoundTrip) {
+  Checkpoint c;
+  c.global_step = 0;
+  EXPECT_EQ(Checkpoint::deserialize(c.serialize()), c);
+}
+
+TEST(Checkpoint, TruncatedDataThrows) {
+  auto bytes = sample().serialize();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(Checkpoint::deserialize(bytes), CheckpointError);
+}
+
+TEST(Checkpoint, BadMagicThrows) {
+  auto bytes = sample().serialize();
+  bytes[0] ^= 0xFF;
+  EXPECT_THROW(Checkpoint::deserialize(bytes), CheckpointError);
+}
+
+TEST(Checkpoint, TrailingBytesThrow) {
+  auto bytes = sample().serialize();
+  bytes.push_back(0);
+  EXPECT_THROW(Checkpoint::deserialize(bytes), CheckpointError);
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  const Checkpoint c = sample();
+  const std::string path = ::testing::TempDir() + "/ss_ckpt.bin";
+  c.save(path);
+  EXPECT_EQ(Checkpoint::load(path), c);
+}
+
+TEST(Checkpoint, LoadMissingFileThrows) {
+  EXPECT_THROW(Checkpoint::load("/nonexistent/dir/x.bin"), CheckpointError);
+}
+
+}  // namespace
+}  // namespace ss

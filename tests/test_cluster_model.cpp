@@ -1,0 +1,70 @@
+#include "sim/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace ss {
+namespace {
+
+ClusterSpec spec() {
+  ClusterSpec c;
+  c.num_workers = 8;
+  c.compute_per_batch = VTime::from_ms(100.0);
+  c.reference_batch = 64;
+  c.compute_jitter_sigma = 0.0;  // deterministic for formula checks
+  c.net_latency = VTime::from_ms(2.0);
+  c.payload_bytes = 1024.0 * 1024.0;
+  c.bandwidth_bps = 1024.0 * 1024.0;  // 1 MiB/s -> 1 s wire time
+  c.sync_base = VTime::from_ms(50.0);
+  c.sync_quad = VTime::from_ms(1.0);
+  return c;
+}
+
+TEST(ClusterModel, TransferTimeIsLatencyPlusWire) {
+  const ClusterModel m(spec());
+  EXPECT_NEAR(m.transfer_time(1.0).seconds(), 1.002, 1e-6);
+  EXPECT_NEAR(m.transfer_time(2.0).seconds(), 2.004, 1e-6);
+}
+
+TEST(ClusterModel, ComputeScalesWithBatchAndSlowdown) {
+  const ClusterModel m(spec());
+  Rng rng(1);
+  EXPECT_NEAR(m.compute_time(rng, 1.0, 64).ms(), 100.0, 1e-6);
+  EXPECT_NEAR(m.compute_time(rng, 1.0, 128).ms(), 200.0, 1e-6);
+  EXPECT_NEAR(m.compute_time(rng, 3.0, 64).ms(), 300.0, 1e-6);
+}
+
+TEST(ClusterModel, JitterHasMeanOne) {
+  auto s = spec();
+  s.compute_jitter_sigma = 0.3;
+  const ClusterModel m(s);
+  Rng rng(2);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += m.compute_time(rng, 1.0, 64).ms();
+  EXPECT_NEAR(sum / n, 100.0, 2.0);
+}
+
+TEST(ClusterModel, TaskIsPullComputePush) {
+  const ClusterModel m(spec());
+  Rng rng(3);
+  const double task = m.task_time(rng, 1.0, 64).seconds();
+  EXPECT_NEAR(task, 1.002 + 0.1 + 1.002, 1e-6);
+}
+
+TEST(ClusterModel, SyncOverheadGrowsSuperlinearly) {
+  const ClusterModel m(spec());
+  const double s8 = m.sync_overhead(8).ms();
+  const double s16 = m.sync_overhead(16).ms();
+  EXPECT_NEAR(s8, 50.0 + 64.0, 1e-6);
+  EXPECT_NEAR(s16, 50.0 + 256.0, 1e-6);
+  EXPECT_GT(s16 / s8, 16.0 / 8.0);  // superlinear in n
+}
+
+TEST(ClusterModel, MeanCycleIsJitterFreeTask) {
+  const ClusterModel m(spec());
+  EXPECT_NEAR(m.mean_cycle(64).seconds(), 2.104, 1e-6);
+  EXPECT_NEAR(m.mean_cycle(128).seconds(), 2.204, 1e-6);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,78 @@
+// CompressionSpec: the declarative codec configuration carried by RunRequest.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "compress/spec.h"
+#include "core/session.h"
+
+namespace ss {
+namespace {
+
+TEST(CompressionSpec, NoneIsDisabled) {
+  const CompressionSpec s = CompressionSpec::none();
+  EXPECT_FALSE(s.enabled());
+  EXPECT_EQ(s.label(), "none");
+  EXPECT_FALSE(s.make_bank(4).has_value());
+}
+
+TEST(CompressionSpec, FactoriesSetKindAndLabel) {
+  EXPECT_EQ(CompressionSpec::topk(0.01).label(), "topk(1%)");
+  EXPECT_EQ(CompressionSpec::topk(0.001).label(), "topk(0.1%)");
+  EXPECT_EQ(CompressionSpec::qsgd(15).label(), "qsgd(s=15)");
+  EXPECT_EQ(CompressionSpec::terngrad().label(), "terngrad");
+  EXPECT_TRUE(CompressionSpec::topk(0.01).enabled());
+}
+
+TEST(CompressionSpec, MakeBankPicksFeedbackByBias) {
+  const auto topk = CompressionSpec::topk(0.1).make_bank(4);
+  ASSERT_TRUE(topk.has_value());
+  EXPECT_TRUE(topk->error_feedback());  // biased codec
+  EXPECT_EQ(topk->num_workers(), 4u);
+
+  const auto qsgd = CompressionSpec::qsgd(15).make_bank(4);
+  ASSERT_TRUE(qsgd.has_value());
+  EXPECT_FALSE(qsgd->error_feedback());  // unbiased codec
+}
+
+TEST(CompressionSpec, InvalidParamsSurfaceAtBankCreation) {
+  EXPECT_THROW(CompressionSpec::topk(0.0).make_bank(2), ConfigError);
+  EXPECT_THROW(CompressionSpec::qsgd(0).make_bank(2), ConfigError);
+}
+
+TEST(CompressionSpec, CacheKeyCoversTheCodec) {
+  RunRequest a;
+  RunRequest b = a;
+  b.compression = CompressionSpec::qsgd(15);
+  RunRequest c = a;
+  c.compression = CompressionSpec::qsgd(255);
+  EXPECT_NE(a.cache_key(), b.cache_key());
+  EXPECT_NE(b.cache_key(), c.cache_key());
+  EXPECT_NE(b.cache_key().find("qsgd(s=15)"), std::string::npos);
+}
+
+TEST(CompressionSpec, SessionRunsWithEveryCodecKind) {
+  for (const CompressionSpec& spec :
+       {CompressionSpec::none(), CompressionSpec::topk(0.1), CompressionSpec::terngrad(),
+        CompressionSpec::qsgd(15)}) {
+    RunRequest req;
+    req.workload.arch = ModelArch::kLinear;
+    req.workload.data = SyntheticSpec::cifar10_like();
+    req.workload.data.train_size = 512;
+    req.workload.data.test_size = 256;
+    req.workload.data.num_classes = 4;
+    req.workload.data.feature_dim = 16;
+    req.workload.total_steps = 128;
+    req.workload.hyper.batch_size = 16;
+    req.workload.eval_interval = 64;
+    req.cluster.num_workers = 4;
+    req.policy = SyncSwitchPolicy::bsp_to_asp(0.25);
+    req.compression = spec;
+    req.actuator_time_scale = 0.01;
+    const RunResult r = TrainingSession(req).run();
+    EXPECT_FALSE(r.diverged) << spec.label();
+    EXPECT_EQ(r.steps_completed, 128) << spec.label();
+  }
+}
+
+}  // namespace
+}  // namespace ss

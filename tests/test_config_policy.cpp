@@ -1,0 +1,84 @@
+#include "core/config_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ss {
+namespace {
+
+BaseHyper base() {
+  BaseHyper h;
+  h.batch_size = 128;
+  h.learning_rate = 0.1;
+  h.momentum = 0.9;
+  return h;
+}
+
+class ClusterSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ClusterSizeSweep, BspUsesLinearScaling) {
+  const std::size_t n = GetParam();
+  const auto d = derive_hyper(Protocol::kBsp, n, base(), MomentumPolicy::kBaseline, 256);
+  // Paper Section IV-C: BSP batch nB (B per worker), LR n*eta, momentum mu.
+  EXPECT_EQ(d.per_worker_batch, 128u);
+  EXPECT_DOUBLE_EQ(d.lr_multiplier, static_cast<double>(n));
+  EXPECT_DOUBLE_EQ(d.momentum, 0.9);
+  EXPECT_FALSE(d.momentum_schedule);
+}
+
+TEST_P(ClusterSizeSweep, AspKeepsBaseValues) {
+  const std::size_t n = GetParam();
+  const auto d = derive_hyper(Protocol::kAsp, n, base(), MomentumPolicy::kBaseline, 256);
+  EXPECT_EQ(d.per_worker_batch, 128u);
+  EXPECT_DOUBLE_EQ(d.lr_multiplier, 1.0);
+  EXPECT_DOUBLE_EQ(d.momentum, 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ClusterSizeSweep, ::testing::Values(1u, 2u, 8u, 16u, 64u));
+
+TEST(ConfigPolicy, ZeroAndFixedScaledMomentum) {
+  const auto zero = derive_hyper(Protocol::kAsp, 8, base(), MomentumPolicy::kZero, 256);
+  EXPECT_DOUBLE_EQ(zero.momentum, 0.0);
+  const auto fixed = derive_hyper(Protocol::kAsp, 8, base(), MomentumPolicy::kFixedScaled, 256);
+  EXPECT_DOUBLE_EQ(fixed.momentum, 1.0 / 8.0);
+}
+
+TEST(ConfigPolicy, NonlinearRampDoublesPerEpochAndCaps) {
+  const auto d = derive_hyper(Protocol::kAsp, 8, base(), MomentumPolicy::kNonlinearRamp, 100);
+  ASSERT_TRUE(d.momentum_schedule);
+  EXPECT_DOUBLE_EQ(d.momentum_schedule(0), 1.0 / 8.0);     // epoch 0: 2^0/n
+  EXPECT_DOUBLE_EQ(d.momentum_schedule(100), 2.0 / 8.0);   // epoch 1: 2^1/n
+  EXPECT_DOUBLE_EQ(d.momentum_schedule(200), 4.0 / 8.0);   // epoch 2
+  EXPECT_DOUBLE_EQ(d.momentum_schedule(300), 0.9);         // capped at mu
+  EXPECT_DOUBLE_EQ(d.momentum_schedule(10000), 0.9);
+}
+
+TEST(ConfigPolicy, LinearRampGrowsPerEpochAndCaps) {
+  const auto d = derive_hyper(Protocol::kAsp, 8, base(), MomentumPolicy::kLinearRamp, 100);
+  ASSERT_TRUE(d.momentum_schedule);
+  EXPECT_DOUBLE_EQ(d.momentum_schedule(0), 1.0 / 8.0);
+  EXPECT_DOUBLE_EQ(d.momentum_schedule(300), 3.0 / 8.0);  // epoch 3: i/n
+  EXPECT_DOUBLE_EQ(d.momentum_schedule(700), 7.0 / 8.0);  // epoch 7, below the cap
+  EXPECT_DOUBLE_EQ(d.momentum_schedule(800), 0.9);        // epoch 8 -> capped at mu
+}
+
+TEST(ConfigPolicy, SspTreatedLikeAsp) {
+  const auto d = derive_hyper(Protocol::kSsp, 8, base(), MomentumPolicy::kBaseline, 256);
+  EXPECT_DOUBLE_EQ(d.lr_multiplier, 1.0);
+}
+
+TEST(ConfigPolicy, RejectsBadArguments) {
+  EXPECT_THROW(derive_hyper(Protocol::kBsp, 0, base(), MomentumPolicy::kBaseline, 256),
+               ConfigError);
+  EXPECT_THROW(derive_hyper(Protocol::kBsp, 8, base(), MomentumPolicy::kBaseline, 0),
+               ConfigError);
+}
+
+TEST(ConfigPolicy, Names) {
+  EXPECT_EQ(momentum_policy_name(MomentumPolicy::kBaseline), "Baseline");
+  EXPECT_EQ(momentum_policy_name(MomentumPolicy::kNonlinearRamp), "NonlinearRamp");
+}
+
+}  // namespace
+}  // namespace ss

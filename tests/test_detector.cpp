@@ -1,0 +1,110 @@
+#include "core/straggler_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ss {
+namespace {
+
+/// Feed one full detection window of tasks for every worker; `slow` worker
+/// takes `slow_factor` times longer per task.
+void feed_round(StragglerDetector& d, std::size_t workers, std::size_t window, int slow,
+                double slow_factor) {
+  for (std::size_t rep = 0; rep < window; ++rep) {
+    for (std::size_t w = 0; w < workers; ++w) {
+      const double secs = (static_cast<int>(w) == slow) ? 0.1 * slow_factor : 0.1;
+      d.observe(static_cast<int>(w), 64, VTime::from_seconds(secs));
+    }
+  }
+}
+
+TEST(Detector, FlagsAfterConsecutiveWindows) {
+  DetectorConfig cfg;
+  cfg.window_size = 4;
+  cfg.consecutive_required = 3;
+  StragglerDetector d(8, cfg);
+
+  feed_round(d, 8, 4, 3, 3.0);
+  EXPECT_TRUE(d.warmed_up());
+  EXPECT_FALSE(d.any_straggler()) << "one bad window must not flag yet";
+  feed_round(d, 8, 4, 3, 3.0);
+  EXPECT_FALSE(d.any_straggler());
+  feed_round(d, 8, 4, 3, 3.0);
+  EXPECT_TRUE(d.any_straggler());
+  EXPECT_EQ(d.stragglers(), std::vector<int>{3});
+}
+
+TEST(Detector, RecoveryClearsFlag) {
+  DetectorConfig cfg;
+  cfg.window_size = 4;
+  cfg.consecutive_required = 2;
+  StragglerDetector d(4, cfg);
+  feed_round(d, 4, 4, 1, 4.0);
+  feed_round(d, 4, 4, 1, 4.0);
+  EXPECT_TRUE(d.any_straggler());
+  // Straggler returns to normal speed; after a full healthy window the
+  // flag must clear.
+  feed_round(d, 4, 4, -1, 1.0);
+  EXPECT_FALSE(d.any_straggler());
+}
+
+TEST(Detector, HealthyClusterNeverFlags) {
+  DetectorConfig cfg;
+  cfg.window_size = 4;
+  cfg.consecutive_required = 2;
+  StragglerDetector d(8, cfg);
+  for (int i = 0; i < 10; ++i) feed_round(d, 8, 4, -1, 1.0);
+  EXPECT_FALSE(d.any_straggler());
+}
+
+TEST(Detector, ResetForgetsHistory) {
+  DetectorConfig cfg;
+  cfg.window_size = 2;
+  cfg.consecutive_required = 1;
+  StragglerDetector d(4, cfg);
+  feed_round(d, 4, 2, 0, 5.0);
+  EXPECT_TRUE(d.any_straggler());
+  d.reset();
+  EXPECT_FALSE(d.any_straggler());
+  EXPECT_FALSE(d.warmed_up());
+}
+
+TEST(Detector, NotWarmedUpUntilAllWindowsFull) {
+  DetectorConfig cfg;
+  cfg.window_size = 3;
+  cfg.consecutive_required = 1;
+  StragglerDetector d(2, cfg);
+  d.observe(0, 64, VTime::from_seconds(0.1));
+  EXPECT_FALSE(d.warmed_up());
+}
+
+TEST(Detector, RejectsBadConfigAndInput) {
+  EXPECT_THROW(StragglerDetector(0, DetectorConfig{}), ConfigError);
+  DetectorConfig bad;
+  bad.window_size = 0;
+  EXPECT_THROW(StragglerDetector(4, bad), ConfigError);
+  StragglerDetector d(2, DetectorConfig{});
+  EXPECT_THROW(d.observe(5, 64, VTime::from_seconds(0.1)), ConfigError);
+}
+
+class ConsecutiveSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConsecutiveSweep, FlagRequiresExactlyConfiguredWindows) {
+  const int required = GetParam();
+  DetectorConfig cfg;
+  cfg.window_size = 4;
+  cfg.consecutive_required = required;
+  StragglerDetector d(4, cfg);
+  for (int round = 1; round <= required; ++round) {
+    feed_round(d, 4, 4, 2, 3.0);
+    if (round < required)
+      EXPECT_FALSE(d.any_straggler()) << "flagged after only " << round << " windows";
+  }
+  EXPECT_TRUE(d.any_straggler());
+}
+
+INSTANTIATE_TEST_SUITE_P(Requirements, ConsecutiveSweep, ::testing::Values(1, 2, 3, 5));
+
+}  // namespace
+}  // namespace ss

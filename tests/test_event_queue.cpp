@@ -1,0 +1,60 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ss {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.schedule(VTime::from_ms(30.0), 1, 0);
+  q.schedule(VTime::from_ms(10.0), 2, 1);
+  q.schedule(VTime::from_ms(20.0), 3, 2);
+  EXPECT_EQ(q.pop().kind, 2);
+  EXPECT_EQ(q.pop().kind, 3);
+  EXPECT_EQ(q.pop().kind, 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesBreakBySequence) {
+  EventQueue q;
+  const VTime t = VTime::from_ms(5.0);
+  for (int i = 0; i < 10; ++i) q.schedule(t, i, i);
+  for (int i = 0; i < 10; ++i) {
+    const SimEvent ev = q.pop();
+    EXPECT_EQ(ev.kind, i) << "same-time events must fire in schedule order";
+  }
+}
+
+TEST(EventQueue, PeekDoesNotPop) {
+  EventQueue q;
+  q.schedule(VTime::from_ms(7.0), 0, 0);
+  EXPECT_EQ(q.peek_time(), VTime::from_ms(7.0));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, EmptyAccessThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), std::logic_error);
+  EXPECT_THROW((void)q.peek_time(), std::logic_error);
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.schedule(VTime::from_ms(i), i, i);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CarriesWorkerPayload) {
+  EventQueue q;
+  q.schedule(VTime::from_ms(1.0), 42, 7);
+  const SimEvent ev = q.pop();
+  EXPECT_EQ(ev.kind, 42);
+  EXPECT_EQ(ev.worker, 7);
+}
+
+}  // namespace
+}  // namespace ss

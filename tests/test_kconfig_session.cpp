@@ -1,0 +1,153 @@
+// Configuration policy and TrainingSession coverage for the K-variant
+// protocol family: hyper-parameter derivation, session-level runs, and
+// hybrid policies that mix K protocols with Sync-Switch switching.
+#include <gtest/gtest.h>
+
+#include "core/config_policy.h"
+#include "core/session.h"
+
+namespace ss {
+namespace {
+
+constexpr std::int64_t kStepsPerEpoch = 32;
+
+BaseHyper base_hyper() {
+  BaseHyper h;
+  h.batch_size = 64;
+  h.learning_rate = 0.1;
+  h.momentum = 0.9;
+  return h;
+}
+
+// ----------------------------------------------------------- derive_hyper
+
+TEST(DeriveHyperK, KSyncScalesLearningRateWithK) {
+  const auto d = derive_hyper(Protocol::kKSync, 8, base_hyper(), MomentumPolicy::kBaseline,
+                              kStepsPerEpoch, 4);
+  EXPECT_DOUBLE_EQ(d.lr_multiplier, 4.0);
+  EXPECT_DOUBLE_EQ(d.momentum, 0.9);  // synchronous: momentum kept
+  EXPECT_EQ(d.per_worker_batch, 64u);
+}
+
+TEST(DeriveHyperK, KBatchSyncBehavesLikeKSync) {
+  const auto a = derive_hyper(Protocol::kKSync, 8, base_hyper(), MomentumPolicy::kBaseline,
+                              kStepsPerEpoch, 6);
+  const auto b = derive_hyper(Protocol::kKBatchSync, 8, base_hyper(),
+                              MomentumPolicy::kBaseline, kStepsPerEpoch, 6);
+  EXPECT_DOUBLE_EQ(a.lr_multiplier, b.lr_multiplier);
+  EXPECT_DOUBLE_EQ(a.momentum, b.momentum);
+}
+
+TEST(DeriveHyperK, DefaultKMeansClusterSize) {
+  const auto d = derive_hyper(Protocol::kKSync, 8, base_hyper(), MomentumPolicy::kBaseline,
+                              kStepsPerEpoch, 0);
+  EXPECT_DOUBLE_EQ(d.lr_multiplier, 8.0);  // K = n: same as BSP's linear scaling
+}
+
+TEST(DeriveHyperK, OversizedKClampsToClusterSize) {
+  const auto d = derive_hyper(Protocol::kKAsync, 4, base_hyper(), MomentumPolicy::kBaseline,
+                              kStepsPerEpoch, 100);
+  EXPECT_DOUBLE_EQ(d.lr_multiplier, 4.0);
+}
+
+TEST(DeriveHyperK, KAsyncAppliesTheMomentumPolicy) {
+  const auto d = derive_hyper(Protocol::kKAsync, 8, base_hyper(), MomentumPolicy::kZero,
+                              kStepsPerEpoch, 2);
+  EXPECT_DOUBLE_EQ(d.lr_multiplier, 2.0);
+  EXPECT_DOUBLE_EQ(d.momentum, 0.0);  // async family: ablation policy applies
+}
+
+TEST(DeriveHyperK, AspIsUnaffectedByKParam) {
+  const auto d = derive_hyper(Protocol::kAsp, 8, base_hyper(), MomentumPolicy::kBaseline,
+                              kStepsPerEpoch, 4);
+  EXPECT_DOUBLE_EQ(d.lr_multiplier, 1.0);
+}
+
+// -------------------------------------------------------- session support
+
+RunRequest small_request() {
+  RunRequest req;
+  req.workload.arch = ModelArch::kLinear;
+  req.workload.data = SyntheticSpec::cifar10_like();
+  req.workload.data.train_size = 512;
+  req.workload.data.test_size = 256;
+  req.workload.data.num_classes = 4;
+  req.workload.data.feature_dim = 16;
+  req.workload.data.class_separation = 1.2;
+  req.workload.total_steps = 256;
+  req.workload.hyper.batch_size = 16;
+  req.workload.hyper.learning_rate = 0.05;
+  req.workload.eval_interval = 64;
+  req.cluster.num_workers = 4;
+  req.cluster.compute_per_batch = VTime::from_ms(20.0);
+  req.cluster.reference_batch = 16;
+  req.cluster.sync_base = VTime::from_ms(10.0);
+  req.cluster.sync_quad = VTime::from_ms(0.2);
+  req.actuator_time_scale = 0.01;
+  return req;
+}
+
+TEST(KSession, PureKAsyncTrainsToCompletion) {
+  RunRequest req = small_request();
+  req.policy = SyncSwitchPolicy::pure(Protocol::kKAsync);
+  req.policy.k_param = 2;
+  const RunResult r = TrainingSession(req).run();
+  ASSERT_FALSE(r.diverged);
+  EXPECT_EQ(r.steps_completed, 256);
+  EXPECT_GT(r.converged_accuracy, 0.6);
+  EXPECT_GT(r.mean_staleness, 0.0);  // async: staleness is real
+}
+
+TEST(KSession, PureKSyncTrainsToCompletion) {
+  RunRequest req = small_request();
+  req.policy = SyncSwitchPolicy::pure(Protocol::kKSync);
+  req.policy.k_param = 3;
+  const RunResult r = TrainingSession(req).run();
+  ASSERT_FALSE(r.diverged);
+  EXPECT_GE(r.steps_completed, 256);
+  EXPECT_GT(r.converged_accuracy, 0.6);
+  EXPECT_EQ(r.mean_staleness, 0.0);  // synchronous rounds
+}
+
+TEST(KSession, KSyncToAspHybridSwitches) {
+  // Sync-Switch is protocol-agnostic (Section VI preamble): start with
+  // K-sync, switch to ASP at 25%.
+  RunRequest req = small_request();
+  req.policy.first = Protocol::kKSync;
+  req.policy.second = Protocol::kAsp;
+  req.policy.switch_fraction = 0.25;
+  req.policy.k_param = 3;
+  const RunResult r = TrainingSession(req).run();
+  ASSERT_FALSE(r.diverged);
+  EXPECT_EQ(r.num_switches, 1);
+  EXPECT_GT(r.converged_accuracy, 0.6);
+}
+
+TEST(KSession, CacheKeyCoversK) {
+  RunRequest a = small_request();
+  a.policy = SyncSwitchPolicy::pure(Protocol::kKAsync);
+  a.policy.k_param = 2;
+  RunRequest b = a;
+  b.policy.k_param = 3;
+  EXPECT_NE(a.cache_key(), b.cache_key());
+}
+
+TEST(KSession, KSyncWithKEqualNMatchesBspSession) {
+  RunRequest bsp = small_request();
+  bsp.policy = SyncSwitchPolicy::pure(Protocol::kBsp);
+  RunRequest ks = small_request();
+  ks.policy = SyncSwitchPolicy::pure(Protocol::kKSync);
+  ks.policy.k_param = 4;  // = cluster size
+
+  const RunResult rb = TrainingSession(bsp).run();
+  const RunResult rk = TrainingSession(ks).run();
+  ASSERT_FALSE(rb.diverged);
+  ASSERT_FALSE(rk.diverged);
+  // Identical seeds and equivalent protocols: same learned accuracy and
+  // identical virtual time.
+  EXPECT_DOUBLE_EQ(rb.converged_accuracy, rk.converged_accuracy);
+  EXPECT_DOUBLE_EQ(rb.train_time_seconds, rk.train_time_seconds);
+}
+
+}  // namespace
+}  // namespace ss

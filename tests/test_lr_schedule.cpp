@@ -1,0 +1,62 @@
+#include "nn/lr_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ss {
+namespace {
+
+TEST(ConstantLr, AlwaysSame) {
+  ConstantLr lr(0.1);
+  EXPECT_DOUBLE_EQ(lr.at(0), 0.1);
+  EXPECT_DOUBLE_EQ(lr.at(1000000), 0.1);
+}
+
+TEST(PiecewiseDecay, AppliesFactorsAtBoundaries) {
+  PiecewiseDecay lr(1.0, {{10, 0.1}, {20, 0.01}});
+  EXPECT_DOUBLE_EQ(lr.at(0), 1.0);
+  EXPECT_DOUBLE_EQ(lr.at(9), 1.0);
+  EXPECT_DOUBLE_EQ(lr.at(10), 0.1);
+  EXPECT_DOUBLE_EQ(lr.at(19), 0.1);
+  EXPECT_DOUBLE_EQ(lr.at(20), 0.01);
+  EXPECT_DOUBLE_EQ(lr.at(1000), 0.01);
+}
+
+TEST(PiecewiseDecay, ResnetStyleMatchesPaperSchedule) {
+  // x0.1 at 50% of the budget, x0.01 at 75% (paper Section VI-A).
+  const auto lr = PiecewiseDecay::resnet_style(0.1, 64000);
+  EXPECT_DOUBLE_EQ(lr.at(31999), 0.1);
+  EXPECT_DOUBLE_EQ(lr.at(32000), 0.01);
+  EXPECT_DOUBLE_EQ(lr.at(47999), 0.01);
+  EXPECT_DOUBLE_EQ(lr.at(48000), 0.001);
+}
+
+TEST(PiecewiseDecay, RejectsUnsortedBoundaries) {
+  EXPECT_THROW(PiecewiseDecay(1.0, {{20, 0.1}, {10, 0.01}}), ConfigError);
+  EXPECT_THROW(PiecewiseDecay(1.0, {{10, 0.1}, {10, 0.01}}), ConfigError);
+}
+
+TEST(PiecewiseDecay, CloneBehavesIdentically) {
+  PiecewiseDecay lr(0.5, {{100, 0.1}});
+  const auto copy = lr.clone();
+  for (std::int64_t s : {0, 50, 100, 200})
+    EXPECT_DOUBLE_EQ(copy->at(s), lr.at(s));
+}
+
+class ScheduleMonotoneSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ScheduleMonotoneSweep, NonIncreasingOverTime) {
+  const auto lr = PiecewiseDecay::resnet_style(0.1, GetParam());
+  double prev = 1e9;
+  for (std::int64_t s = 0; s < GetParam(); s += std::max<std::int64_t>(1, GetParam() / 64)) {
+    EXPECT_LE(lr.at(s), prev + 1e-12);
+    prev = lr.at(s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, ScheduleMonotoneSweep,
+                         ::testing::Values(64, 1000, 2048, 64000));
+
+}  // namespace
+}  // namespace ss

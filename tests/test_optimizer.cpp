@@ -1,0 +1,52 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ss {
+namespace {
+
+TEST(SgdMomentum, MatchesHandComputedTrajectory) {
+  // TF MomentumOptimizer: accum = mu*accum + g; p -= lr*accum.
+  SgdMomentum opt(1, 0.9);
+  std::vector<float> p = {1.0f};
+  const std::vector<float> g = {0.5f};
+  opt.apply(p, g, 0.1);
+  // accum = 0.5, p = 1 - 0.05 = 0.95
+  EXPECT_NEAR(p[0], 0.95f, 1e-6);
+  opt.apply(p, g, 0.1);
+  // accum = 0.9*0.5 + 0.5 = 0.95, p = 0.95 - 0.095 = 0.855
+  EXPECT_NEAR(p[0], 0.855f, 1e-6);
+}
+
+TEST(SgdMomentum, ZeroMomentumIsPlainSgd) {
+  SgdMomentum opt(2, 0.0);
+  std::vector<float> p = {1.0f, -1.0f};
+  const std::vector<float> g = {1.0f, 2.0f};
+  opt.apply(p, g, 0.5);
+  EXPECT_NEAR(p[0], 0.5f, 1e-6);
+  EXPECT_NEAR(p[1], -2.0f, 1e-6);
+}
+
+TEST(SgdMomentum, VelocityResetAndSetMomentum) {
+  SgdMomentum opt(1, 0.9);
+  std::vector<float> p = {0.0f};
+  opt.apply(p, std::vector<float>{1.0f}, 0.1);
+  EXPECT_NE(opt.velocity()[0], 0.0f);
+  opt.reset_velocity();
+  EXPECT_EQ(opt.velocity()[0], 0.0f);
+  opt.set_momentum(0.5);
+  EXPECT_DOUBLE_EQ(opt.momentum(), 0.5);
+}
+
+TEST(SgdMomentum, RejectsBadArguments) {
+  EXPECT_THROW(SgdMomentum(1, 1.0), ConfigError);
+  EXPECT_THROW(SgdMomentum(1, -0.1), ConfigError);
+  SgdMomentum opt(2, 0.9);
+  std::vector<float> p = {0.0f};
+  EXPECT_THROW(opt.apply(p, std::vector<float>{1.0f, 2.0f}, 0.1), ConfigError);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,65 @@
+#include "ps/param_server.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace ss {
+namespace {
+
+TEST(ParameterServer, PullCopiesParams) {
+  ParameterServer ps({1.0f, 2.0f, 3.0f}, 0.9);
+  std::vector<float> out(3);
+  ps.pull(out);
+  EXPECT_EQ(out, (std::vector<float>{1.0f, 2.0f, 3.0f}));
+  std::vector<float> wrong(2);
+  EXPECT_THROW(ps.pull(wrong), ConfigError);
+}
+
+TEST(ParameterServer, ApplyAdvancesVersion) {
+  ParameterServer ps({0.0f}, 0.0);
+  EXPECT_EQ(ps.version(), 0);
+  ps.apply(std::vector<float>{1.0f}, 0.1);
+  EXPECT_EQ(ps.version(), 1);
+  EXPECT_NEAR(ps.params()[0], -0.1f, 1e-6);
+}
+
+TEST(ParameterServer, CheckpointRestoreRoundTrip) {
+  ParameterServer ps({1.0f, 2.0f}, 0.9);
+  ps.apply(std::vector<float>{0.5f, -0.5f}, 0.1);
+  const Checkpoint ckpt = ps.make_checkpoint(42);
+  EXPECT_EQ(ckpt.global_step, 42);
+
+  // Mutate further, then restore.
+  ps.apply(std::vector<float>{1.0f, 1.0f}, 0.1);
+  ps.restore(ckpt);
+  EXPECT_EQ(std::vector<float>(ps.params().begin(), ps.params().end()), ckpt.params);
+  EXPECT_EQ(std::vector<float>(ps.optimizer().velocity().begin(),
+                               ps.optimizer().velocity().end()),
+            ckpt.velocity);
+}
+
+TEST(ParameterServer, RestoreSizeMismatchThrows) {
+  ParameterServer ps({1.0f, 2.0f}, 0.9);
+  Checkpoint bad;
+  bad.params = {1.0f};
+  bad.velocity = {0.0f};
+  EXPECT_THROW(ps.restore(bad), CheckpointError);
+}
+
+TEST(ParameterServer, HealthyDetectsNonFinite) {
+  ParameterServer ps({1.0f}, 0.0);
+  EXPECT_TRUE(ps.healthy());
+  ps.apply(std::vector<float>{std::numeric_limits<float>::infinity()}, 1.0);
+  EXPECT_FALSE(ps.healthy());
+}
+
+TEST(ParameterServer, EmptyParamsRejected) {
+  EXPECT_THROW(ParameterServer({}, 0.9), ConfigError);
+}
+
+}  // namespace
+}  // namespace ss

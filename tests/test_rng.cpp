@@ -1,0 +1,133 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace ss {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsIndependentOfParentContinuation) {
+  Rng parent(7);
+  Rng child = parent.fork(3);
+  // Forked stream must be deterministic given (seed, fork order, stream id).
+  Rng parent2(7);
+  Rng child2 = parent2.fork(3);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child.next_u64(), child2.next_u64());
+}
+
+TEST(Rng, ForkStreamsDiffer) {
+  Rng parent(7);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  for (auto v : seen) EXPECT_LT(v, 7u);
+}
+
+TEST(Rng, GaussianMomentsApproximatelyStandard) {
+  Rng rng(14);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalWithMeanOneParameterization) {
+  Rng rng(15);
+  const double sigma = 0.2;
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.lognormal(-0.5 * sigma * sigma, sigma);
+  EXPECT_NEAR(sum / n, 1.0, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(16);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(18);
+  std::vector<std::uint32_t> v(100);
+  for (std::uint32_t i = 0; i < 100; ++i) v[i] = i;
+  auto sorted = v;
+  rng.shuffle(v);
+  EXPECT_FALSE(std::is_sorted(v.begin(), v.end()));  // astronomically unlikely
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformMeanNearHalf) {
+  Rng rng(GetParam());
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1ull, 2ull, 99ull, 12345ull, 0xDEADBEEFull));
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,100 @@
+#include "core/run_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace ss {
+namespace {
+
+RunResult sample_result() {
+  RunResult r;
+  r.diverged = false;
+  r.converged = true;
+  r.converged_accuracy = 0.921;
+  r.final_accuracy = 0.919;
+  r.best_accuracy = 0.925;
+  r.train_time_seconds = 123.5;
+  r.init_time_seconds = 9.0;
+  r.switch_overhead_seconds = 0.7;
+  r.num_switches = 1;
+  r.mean_staleness = 6.8;
+  r.throughput_images_per_sec = 4096.0;
+  r.final_train_loss = 0.43;
+  r.steps_completed = 2048;
+  r.loss_curve = {{16, 1.5, 2.1}, {32, 3.0, 1.4}};
+  r.accuracy_curve = {{64, 6.0, 0.55}, {128, 12.0, 0.73}};
+  return r;
+}
+
+RunRequest small_request(std::uint64_t seed) {
+  RunRequest req;
+  req.workload.arch = ModelArch::kLinear;
+  req.workload.data.num_classes = 3;
+  req.workload.data.feature_dim = 8;
+  req.workload.data.train_size = 256;
+  req.workload.data.test_size = 128;
+  req.workload.total_steps = 64;
+  req.workload.hyper.batch_size = 16;
+  req.workload.eval_interval = 16;
+  req.cluster.num_workers = 2;
+  req.seed = seed;
+  return req;
+}
+
+TEST(RunResultSerialization, RoundTripPreservesEverything) {
+  const RunResult r = sample_result();
+  const auto parsed = parse_run_result(serialize_run_result(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->converged_accuracy, r.converged_accuracy);
+  EXPECT_EQ(parsed->num_switches, r.num_switches);
+  EXPECT_EQ(parsed->steps_completed, r.steps_completed);
+  ASSERT_EQ(parsed->loss_curve.size(), 2u);
+  EXPECT_EQ(parsed->loss_curve[1].loss, 1.4);
+  ASSERT_EQ(parsed->accuracy_curve.size(), 2u);
+  EXPECT_EQ(parsed->accuracy_curve[0].accuracy, 0.55);
+}
+
+TEST(RunResultSerialization, RejectsGarbage) {
+  EXPECT_FALSE(parse_run_result("not a run result").has_value());
+  EXPECT_FALSE(parse_run_result("").has_value());
+  // Truncated payload.
+  const std::string good = serialize_run_result(sample_result());
+  EXPECT_FALSE(parse_run_result(good.substr(0, good.size() / 2)).has_value());
+}
+
+TEST(RunCache, StoreThenLoad) {
+  const std::string dir = ::testing::TempDir() + "/ss_cache_a";
+  std::filesystem::remove_all(dir);
+  const RunCache cache(dir);
+  const RunRequest req = small_request(1);
+  EXPECT_FALSE(cache.load(req).has_value());
+  cache.store(req, sample_result());
+  const auto loaded = cache.load(req);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->converged_accuracy, 0.921);
+}
+
+TEST(RunCache, DifferentRequestsDifferentSlots) {
+  const std::string dir = ::testing::TempDir() + "/ss_cache_b";
+  std::filesystem::remove_all(dir);
+  const RunCache cache(dir);
+  cache.store(small_request(1), sample_result());
+  EXPECT_FALSE(cache.load(small_request(2)).has_value());
+  EXPECT_NE(RunCache::hash_key(small_request(1)), RunCache::hash_key(small_request(2)));
+}
+
+TEST(RunCache, RunCachedExecutesOnceThenReuses) {
+  const std::string dir = ::testing::TempDir() + "/ss_cache_c";
+  std::filesystem::remove_all(dir);
+  const RunCache cache(dir);
+  const RunRequest req = small_request(3);
+  const RunResult first = cache.run_cached(req);
+  const RunResult second = cache.run_cached(req);
+  EXPECT_DOUBLE_EQ(first.converged_accuracy, second.converged_accuracy);
+  EXPECT_DOUBLE_EQ(first.train_time_seconds, second.train_time_seconds);
+  EXPECT_TRUE(cache.load(req).has_value());
+}
+
+}  // namespace
+}  // namespace ss

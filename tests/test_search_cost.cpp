@@ -1,0 +1,111 @@
+#include "core/search_cost.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ss {
+namespace {
+
+/// Logs with a knee at 0.125: accuracy 0.92 at/above, lower below, times
+/// linear in the BSP fraction.  `noise` spreads repetitions symmetrically.
+RunLogs make_logs(double noise, int reps = 5) {
+  RunLogs logs;
+  // Full dyadic grid at the search resolution (multiples of 1/32) so any
+  // search path has a log to sample from.
+  std::vector<double> fractions;
+  for (int k = 0; k <= 32; ++k) fractions.push_back(k / 32.0);
+  for (double f : fractions) {
+    TimingLog log;
+    const double base_acc = f >= 0.125 ? 0.92 : 0.92 - 1.5 * (0.125 - f);
+    for (int r = 0; r < reps; ++r) {
+      const double delta = reps > 1 ? noise * (2.0 * r / (reps - 1) - 1.0) : 0.0;
+      log.accuracies.push_back(base_acc + delta);
+      log.times_seconds.push_back(100.0 * (0.15 + 0.85 * f));
+      log.diverged.push_back(false);
+    }
+    logs[f] = std::move(log);
+  }
+  return logs;
+}
+
+TEST(SearchCost, GroundTruthFindsKnee) {
+  const SearchCostAnalyzer analyzer(make_logs(0.0), 0.01, 5);
+  EXPECT_DOUBLE_EQ(analyzer.ground_truth(), 0.125);
+}
+
+TEST(SearchCost, NoiselessLogsAlwaysSucceed) {
+  const SearchCostAnalyzer analyzer(make_logs(0.0), 0.01, 5);
+  Rng rng(1);
+  const auto report = analyzer.analyze({false, 5, 5}, 200, rng);
+  EXPECT_DOUBLE_EQ(report.success_probability, 1.0);
+  EXPECT_GT(report.cost_vs_bsp, 1.0);
+}
+
+TEST(SearchCost, RecurringIsCheaperThanNewJob) {
+  const SearchCostAnalyzer analyzer(make_logs(0.005), 0.01, 5);
+  Rng rng(2);
+  const auto fresh = analyzer.analyze({false, 5, 5}, 300, rng);
+  const auto recurring = analyzer.analyze({true, 0, 5}, 300, rng);
+  EXPECT_LT(recurring.cost_vs_bsp, fresh.cost_vs_bsp);
+  // Saving equals exactly the skipped BSP baseline runs.
+  EXPECT_NEAR(fresh.cost_vs_bsp - recurring.cost_vs_bsp, 5.0, 0.2);
+}
+
+TEST(SearchCost, FewerRunsLowerSuccessUnderNoise) {
+  // Noise comparable to beta: single-run searches should misjudge candidates
+  // near the band edge more often than 5-run searches.
+  const SearchCostAnalyzer analyzer(make_logs(0.012), 0.01, 5);
+  Rng rng(3);
+  const auto many = analyzer.analyze({true, 0, 5}, 500, rng);
+  const auto one = analyzer.analyze({true, 0, 1}, 500, rng);
+  EXPECT_LE(one.success_probability, many.success_probability);
+  EXPECT_LT(one.cost_vs_bsp, many.cost_vs_bsp);
+}
+
+TEST(SearchCost, AmortizationMatchesSavingsFormula) {
+  const SearchCostAnalyzer analyzer(make_logs(0.0), 0.01, 5);
+  Rng rng(4);
+  const auto report = analyzer.analyze({true, 0, 5}, 100, rng);
+  // amortized = cost / (1 - T(s*)/T_BSP); s* = 0.125 -> T ratio 0.25625.
+  const double saving = 1.0 - (0.15 + 0.85 * 0.125) / 1.0;
+  EXPECT_NEAR(report.amortized_recurrences, report.cost_vs_bsp / saving, 1e-9);
+}
+
+TEST(SearchCost, EffectiveTrainingCountsBspQualityModels) {
+  const SearchCostAnalyzer analyzer(make_logs(0.0), 0.01, 5);
+  Rng rng(5);
+  const auto report = analyzer.analyze({true, 0, 1}, 50, rng);
+  // Candidates visited: 0.5, 0.25, 0.125 in-band (3 valid models); 0.0625,
+  // 0.09375 below band.  Effective = 3 / cost.
+  EXPECT_NEAR(report.effective_training * report.cost_vs_bsp, 3.0, 1e-6);
+}
+
+TEST(SearchCost, DivergentTimingsRejected) {
+  RunLogs logs = make_logs(0.0);
+  // Make everything below 0.5 diverge: ground truth must become 0.5.
+  for (auto& [f, log] : logs) {
+    if (f < 0.5) {
+      for (std::size_t i = 0; i < log.diverged.size(); ++i) {
+        log.diverged[i] = true;
+        log.accuracies[i] = 0.0;
+        log.times_seconds[i] = 20.0;
+      }
+    }
+  }
+  const SearchCostAnalyzer analyzer(logs, 0.01, 5);
+  EXPECT_DOUBLE_EQ(analyzer.ground_truth(), 0.5);
+}
+
+TEST(SearchCost, ValidatesInput) {
+  RunLogs empty;
+  EXPECT_THROW(SearchCostAnalyzer(empty, 0.01, 5), ConfigError);
+  const SearchCostAnalyzer analyzer(make_logs(0.0), 0.01, 5);
+  Rng rng(6);
+  EXPECT_THROW(analyzer.analyze({false, 0, 5}, 10, rng), ConfigError);
+  EXPECT_THROW(analyzer.analyze({false, 5, 0}, 10, rng), ConfigError);
+  EXPECT_THROW(analyzer.analyze({false, 5, 5}, 0, rng), ConfigError);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,92 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ss {
+namespace {
+
+TEST(RunningStat, MatchesNaiveComputation) {
+  RunningStat rs;
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), 5u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 6.2);
+  EXPECT_NEAR(rs.variance(), 29.76, 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 16.0);
+}
+
+TEST(RunningStat, EmptyAndSingle) {
+  RunningStat rs;
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  rs.add(3.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStat, Reset) {
+  RunningStat rs;
+  rs.add(1.0);
+  rs.add(2.0);
+  rs.reset();
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+}
+
+TEST(VectorStats, MeanAndStddev) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({2.0, 4.0}), 3.0);
+  EXPECT_DOUBLE_EQ(stddev_of({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev_of({2.0, 4.0}), 1.0);  // population stddev
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile_of({}, 50.0), 0.0);
+}
+
+TEST(SlidingWindow, RejectsZeroCapacity) {
+  EXPECT_THROW(SlidingWindow(0), std::invalid_argument);
+}
+
+TEST(SlidingWindow, MeanOverWindowOnly) {
+  SlidingWindow w(3);
+  EXPECT_FALSE(w.full());
+  w.add(1.0);
+  w.add(2.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 1.5);
+  w.add(3.0);
+  EXPECT_TRUE(w.full());
+  EXPECT_DOUBLE_EQ(w.mean(), 2.0);
+  w.add(10.0);  // evicts 1.0
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_EQ(w.size(), 3u);
+}
+
+TEST(SlidingWindow, Clear) {
+  SlidingWindow w(2);
+  w.add(5.0);
+  w.clear();
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+}
+
+class PercentileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PercentileSweep, WithinDataRange) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0, 50.0};
+  const double p = percentile_of(xs, GetParam());
+  EXPECT_GE(p, 10.0);
+  EXPECT_LE(p, 50.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ps, PercentileSweep, ::testing::Values(0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0));
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,93 @@
+#include "sim/straggler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+
+namespace ss {
+namespace {
+
+TEST(StragglerSchedule, SlowFactorRespectsWindows) {
+  StragglerSchedule sched({{2, VTime::from_seconds(10.0), VTime::from_seconds(5.0), 3.0}});
+  EXPECT_DOUBLE_EQ(sched.slow_factor(2, VTime::from_seconds(9.9)), 1.0);
+  EXPECT_DOUBLE_EQ(sched.slow_factor(2, VTime::from_seconds(10.0)), 3.0);
+  EXPECT_DOUBLE_EQ(sched.slow_factor(2, VTime::from_seconds(14.9)), 3.0);
+  EXPECT_DOUBLE_EQ(sched.slow_factor(2, VTime::from_seconds(15.0)), 1.0);
+  EXPECT_DOUBLE_EQ(sched.slow_factor(1, VTime::from_seconds(12.0)), 1.0);
+}
+
+TEST(StragglerSchedule, OverlappingEpisodesTakeMaxFactor) {
+  StragglerSchedule sched({
+      {0, VTime::from_seconds(0.0), VTime::from_seconds(10.0), 2.0},
+      {0, VTime::from_seconds(5.0), VTime::from_seconds(10.0), 4.0},
+  });
+  EXPECT_DOUBLE_EQ(sched.slow_factor(0, VTime::from_seconds(6.0)), 4.0);
+  EXPECT_DOUBLE_EQ(sched.slow_factor(0, VTime::from_seconds(12.0)), 4.0);
+  EXPECT_DOUBLE_EQ(sched.slow_factor(0, VTime::from_seconds(2.0)), 2.0);
+}
+
+TEST(StragglerSchedule, AnyActiveAndNextClear) {
+  StragglerSchedule sched({{1, VTime::from_seconds(10.0), VTime::from_seconds(20.0), 2.0}});
+  EXPECT_FALSE(sched.any_active(VTime::from_seconds(5.0)));
+  EXPECT_TRUE(sched.any_active(VTime::from_seconds(15.0)));
+  EXPECT_EQ(sched.next_clear_time(VTime::from_seconds(15.0)), VTime::from_seconds(30.0));
+  EXPECT_LT(sched.next_clear_time(VTime::from_seconds(50.0)).seconds(), 0.0);
+}
+
+TEST(StragglerSchedule, RejectsSpeedupFactors) {
+  EXPECT_THROW(
+      StragglerSchedule({{0, VTime::zero(), VTime::from_seconds(1.0), 0.5}}),
+      ConfigError);
+}
+
+TEST(StragglerScenario, PresetsMatchPaper) {
+  const auto mild = StragglerScenario::mild();
+  EXPECT_EQ(mild.num_stragglers, 1);
+  EXPECT_EQ(mild.occurrences, 1);
+  EXPECT_DOUBLE_EQ(mild.extra_latency_ms, 10.0);
+  const auto mod = StragglerScenario::moderate();
+  EXPECT_EQ(mod.num_stragglers, 2);
+  EXPECT_EQ(mod.occurrences, 4);
+  EXPECT_DOUBLE_EQ(mod.extra_latency_ms, 30.0);
+}
+
+TEST(StragglerScenario, LatencyToSlowFactorIsMonotone) {
+  const double f0 = StragglerSchedule::latency_to_slow_factor(0.0);
+  const double f10 = StragglerSchedule::latency_to_slow_factor(10.0);
+  const double f30 = StragglerSchedule::latency_to_slow_factor(30.0);
+  EXPECT_DOUBLE_EQ(f0, 1.0);
+  EXPECT_GT(f10, f0);
+  EXPECT_GT(f30, f10);
+}
+
+TEST(StragglerSchedule, GenerateProducesValidEvents) {
+  Rng rng(7);
+  const auto scenario = StragglerScenario::moderate();
+  const auto sched = StragglerSchedule::generate(scenario, 8, rng);
+  EXPECT_EQ(sched.events().size(), 8u);  // 2 stragglers x 4 occurrences
+  std::set<int> workers;
+  for (const auto& e : sched.events()) {
+    workers.insert(e.worker);
+    EXPECT_GE(e.worker, 0);
+    EXPECT_LT(e.worker, 8);
+    EXPECT_GE(e.start.seconds(), 0.0);
+    EXPECT_LE(e.start, scenario.horizon);
+    EXPECT_LE(e.duration, scenario.max_duration);
+    EXPECT_GE(e.duration, scenario.max_duration.scaled(0.6));
+    EXPECT_GT(e.slow_factor, 1.0);
+  }
+  EXPECT_EQ(workers.size(), 2u);  // distinct straggler nodes
+}
+
+TEST(StragglerSchedule, GenerateRejectsTooManyStragglers) {
+  Rng rng(8);
+  StragglerScenario sc;
+  sc.num_stragglers = 8;  // must be < cluster size
+  sc.occurrences = 1;
+  EXPECT_THROW(StragglerSchedule::generate(sc, 8, rng), ConfigError);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <stdexcept>
+
+#include "common/csv.h"
+#include "common/table.h"
+
+namespace ss {
+namespace {
+
+TEST(Table, FormattersProduceExpectedText) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::pct(0.1234, 1), "12.3%");
+  EXPECT_EQ(Table::ratio(1.87, 2), "1.87X");
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  CsvWriter w({"a", "b"});
+  w.add_row({"plain", "with,comma"});
+  w.add_row({"with\"quote", "with\nnewline"});
+  const std::string out = w.to_string();
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Csv, RejectsWrongArity) {
+  CsvWriter w({"a"});
+  EXPECT_THROW(w.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(Csv, WritesFile) {
+  CsvWriter w({"x"});
+  w.add_row({"1"});
+  const std::string path = ::testing::TempDir() + "/ss_test.csv";
+  w.write(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x");
+}
+
+TEST(Table, SlugifyMakesFilenameSafeNames) {
+  EXPECT_EQ(Table::slugify("design space: accuracy vs throughput"),
+            "design-space-accuracy-vs-throughput");
+  EXPECT_EQ(Table::slugify("K-variant protocols (setup 1)"), "k-variant-protocols-setup-1");
+  EXPECT_EQ(Table::slugify("///"), "table");
+  EXPECT_EQ(Table::slugify(""), "table");
+}
+
+TEST(Table, PrintExportsCsvWhenEnvVarSet) {
+  const std::string dir = ::testing::TempDir();
+  ASSERT_EQ(setenv("SS_BENCH_CSV_DIR", dir.c_str(), 1), 0);
+  Table t({"col a", "col b"});
+  t.add_row({"1", "x,y"});
+  t.print("csv export test");
+  ASSERT_EQ(unsetenv("SS_BENCH_CSV_DIR"), 0);
+
+  std::ifstream in(dir + "/csv-export-test.csv");
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::string row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header, "col a,col b");
+  EXPECT_EQ(row, "1,\"x,y\"");
+}
+
+TEST(Table, PrintSurvivesUnwritableCsvDir) {
+  ASSERT_EQ(setenv("SS_BENCH_CSV_DIR", "/nonexistent_dir_xyz", 1), 0);
+  Table t({"a"});
+  t.add_row({"1"});
+  EXPECT_NO_THROW(t.print("unwritable"));
+  ASSERT_EQ(unsetenv("SS_BENCH_CSV_DIR"), 0);
+}
+
+}  // namespace
+}  // namespace ss

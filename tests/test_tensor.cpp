@@ -1,0 +1,69 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ss {
+namespace {
+
+TEST(Tensor, ConstructionAndShape) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6u);
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.dim(0), 2u);
+  EXPECT_EQ(t.dim(1), 3u);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillConstructorAndFill) {
+  Tensor t({4}, 2.5f);
+  EXPECT_EQ(t[3], 2.5f);
+  t.fill(-1.0f);
+  EXPECT_EQ(t[0], -1.0f);
+}
+
+TEST(Tensor, DataConstructorValidatesSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3}), ShapeError);
+}
+
+TEST(Tensor, At2RowMajor) {
+  Tensor t({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.at2(0, 0), 1.0f);
+  EXPECT_EQ(t.at2(0, 2), 3.0f);
+  EXPECT_EQ(t.at2(1, 0), 4.0f);
+}
+
+TEST(Tensor, ReshapePreservesDataAndChecksNumel) {
+  Tensor t({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.dim(0), 3u);
+  EXPECT_EQ(r[5], 6.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), ShapeError);
+}
+
+TEST(Tensor, AllFiniteDetectsNanAndInf) {
+  Tensor t({2}, std::vector<float>{1.0f, 2.0f});
+  EXPECT_TRUE(t.all_finite());
+  t[1] = std::nanf("");
+  EXPECT_FALSE(t.all_finite());
+  t[1] = INFINITY;
+  EXPECT_FALSE(t.all_finite());
+}
+
+TEST(Tensor, DimOutOfRangeThrows) {
+  Tensor t({2, 2});
+  EXPECT_THROW(t.dim(2), ShapeError);
+}
+
+TEST(ShapeUtils, NumelAndString) {
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24u);
+  EXPECT_EQ(shape_numel({}), 0u);
+  EXPECT_EQ(shape_str({2, 3}), "[2, 3]");
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,152 @@
+#include "ps/threaded_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/error.h"
+#include "data/synthetic.h"
+#include "nn/zoo.h"
+
+namespace ss {
+namespace {
+
+DataSplit easy_data() {
+  SyntheticSpec spec = SyntheticSpec::cifar10_like();
+  spec.train_size = 512;
+  spec.test_size = 256;
+  spec.num_classes = 4;
+  spec.feature_dim = 16;
+  spec.class_separation = 1.5;
+  return make_synthetic(spec);
+}
+
+Model proto_model(const DataSplit& split) {
+  Rng rng(11);
+  return make_model(ModelArch::kLinear, split.train.feature_dim(), 4, rng);
+}
+
+TEST(ThreadedRuntime, BspUpdateCountMatchesRounds) {
+  const DataSplit split = easy_data();
+  const Model proto = proto_model(split);
+  ThreadedTrainConfig cfg;
+  cfg.protocol = Protocol::kBsp;
+  cfg.num_workers = 4;
+  cfg.steps_per_worker = 20;
+  const auto result = threaded_train(proto, split.train, cfg);
+  EXPECT_EQ(result.total_updates, 20);  // one aggregated update per round
+  EXPECT_DOUBLE_EQ(result.mean_staleness, 0.0);
+  for (float p : result.final_params) EXPECT_TRUE(std::isfinite(p));
+}
+
+TEST(ThreadedRuntime, AspUpdateCountIsWorkerSteps) {
+  const DataSplit split = easy_data();
+  const Model proto = proto_model(split);
+  ThreadedTrainConfig cfg;
+  cfg.protocol = Protocol::kAsp;
+  cfg.num_workers = 4;
+  cfg.steps_per_worker = 25;
+  const auto result = threaded_train(proto, split.train, cfg);
+  EXPECT_EQ(result.total_updates, 100);  // every push is an update
+  EXPECT_GE(result.mean_staleness, 0.0);
+  for (float p : result.final_params) EXPECT_TRUE(std::isfinite(p));
+}
+
+TEST(ThreadedRuntime, TrainingImprovesAccuracy) {
+  const DataSplit split = easy_data();
+  Model proto = proto_model(split);
+  const double before = proto.evaluate_accuracy(split.test);
+  for (Protocol proto_kind : {Protocol::kBsp, Protocol::kAsp}) {
+    ThreadedTrainConfig cfg;
+    cfg.protocol = proto_kind;
+    cfg.num_workers = 4;
+    cfg.steps_per_worker = 60;
+    cfg.lr = 0.1;
+    const auto result = threaded_train(proto, split.train, cfg);
+    Model trained = proto.clone();
+    trained.set_params(result.final_params);
+    const double after = trained.evaluate_accuracy(split.test);
+    EXPECT_GT(after, before + 0.2) << protocol_name(proto_kind);
+  }
+}
+
+TEST(ThreadedRuntime, SharedPsVersionAndStalenessAreConsistent) {
+  SharedParameterServer ps({0.0f, 0.0f}, 0.0);
+  std::vector<float> snap(2);
+  const std::int64_t v = ps.pull_with_version(snap);
+  EXPECT_EQ(v, 0);
+  const std::int64_t staleness = ps.push(std::vector<float>{1.0f, 1.0f}, 0.1, v);
+  EXPECT_EQ(staleness, 0);
+  const std::int64_t staleness2 = ps.push(std::vector<float>{1.0f, 1.0f}, 0.1, v);
+  EXPECT_EQ(staleness2, 1);  // one update landed since the pull
+  EXPECT_EQ(ps.version(), 2);
+}
+
+TEST(ThreadedRuntime, RejectsBadConfig) {
+  const DataSplit split = easy_data();
+  const Model proto = proto_model(split);
+  ThreadedTrainConfig cfg;
+  cfg.num_workers = 0;
+  EXPECT_THROW(threaded_train(proto, split.train, cfg), ConfigError);
+}
+
+TEST(ThreadedRuntime, SimulatorOnlyProtocolsAreRejected) {
+  const DataSplit split = easy_data();
+  const Model proto = proto_model(split);
+  for (Protocol p : {Protocol::kKSync, Protocol::kKAsync, Protocol::kDssp}) {
+    ThreadedTrainConfig cfg;
+    cfg.protocol = p;
+    cfg.num_workers = 2;
+    cfg.steps_per_worker = 4;
+    EXPECT_THROW(threaded_train(proto, split.train, cfg), ConfigError) << protocol_name(p);
+  }
+}
+
+TEST(ThreadedRuntime, SspEnforcesTheStalenessBoundWithRealThreads) {
+  // Worker 0 sleeps before every step; without a bound the fast workers run
+  // arbitrarily far ahead.  With SSP(2) the observed local-clock gap must
+  // never exceed 2 — enforced by real condition-variable parking, not by
+  // simulation.
+  const DataSplit split = easy_data();
+  const Model proto = proto_model(split);
+
+  ThreadedTrainConfig ssp;
+  ssp.protocol = Protocol::kSsp;
+  ssp.num_workers = 4;
+  ssp.steps_per_worker = 30;
+  ssp.ssp_staleness_bound = 2;
+  ssp.pre_step_hook = [](std::size_t worker, std::int64_t) {
+    if (worker == 0) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  };
+  const auto bounded = threaded_train(proto, split.train, ssp);
+  EXPECT_LE(bounded.max_clock_gap, 2);
+  EXPECT_EQ(bounded.total_updates, 120);
+  for (float p : bounded.final_params) EXPECT_TRUE(std::isfinite(p));
+
+  ThreadedTrainConfig asp = ssp;
+  asp.protocol = Protocol::kAsp;
+  const auto unbounded = threaded_train(proto, split.train, asp);
+  // The straggler guarantees a visible gap without a bound.
+  EXPECT_GT(unbounded.max_clock_gap, 2);
+}
+
+TEST(ThreadedRuntime, SspStillTrains) {
+  const DataSplit split = easy_data();
+  Model proto = proto_model(split);
+  const double before = proto.evaluate_accuracy(split.test);
+  ThreadedTrainConfig cfg;
+  cfg.protocol = Protocol::kSsp;
+  cfg.num_workers = 4;
+  cfg.steps_per_worker = 60;
+  cfg.lr = 0.1;
+  cfg.ssp_staleness_bound = 3;
+  const auto result = threaded_train(proto, split.train, cfg);
+  Model trained = proto.clone();
+  trained.set_params(result.final_params);
+  EXPECT_GT(trained.evaluate_accuracy(split.test), before + 0.2);
+}
+
+}  // namespace
+}  // namespace ss

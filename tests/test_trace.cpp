@@ -1,0 +1,183 @@
+// Trace recorder, fanout sink, JSON escaping, and Chrome trace export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "core/session.h"
+#include "ps/trace.h"
+
+namespace ss {
+namespace {
+
+TaskObservation task(int worker, double start_s, double dur_s) {
+  TaskObservation t;
+  t.worker = worker;
+  t.task_duration = VTime::from_seconds(dur_s);
+  t.completed_at = VTime::from_seconds(start_s + dur_s);
+  t.images = 64;
+  return t;
+}
+
+// ------------------------------------------------------------- json_escape
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("hello world_42"), "hello world_42");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc\r"), "a\\nb\\tc\\r");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+// -------------------------------------------------------------- FanoutSink
+
+class CountingSink final : public MetricsSink {
+ public:
+  void on_task(const TaskObservation&) override { ++tasks; }
+  void on_update(const UpdateObservation&) override { ++updates; }
+  void on_eval(std::int64_t, VTime, double) override { ++evals; }
+  int tasks = 0;
+  int updates = 0;
+  int evals = 0;
+};
+
+TEST(FanoutSink, ForwardsToEverySink) {
+  CountingSink a, b;
+  FanoutSink fan({&a, &b});
+  fan.on_task(task(0, 0.0, 1.0));
+  fan.on_update(UpdateObservation{});
+  fan.on_update(UpdateObservation{});
+  fan.on_eval(1, VTime::zero(), 0.5);
+  for (const CountingSink* s : {&a, &b}) {
+    EXPECT_EQ(s->tasks, 1);
+    EXPECT_EQ(s->updates, 2);
+    EXPECT_EQ(s->evals, 1);
+  }
+}
+
+TEST(FanoutSink, RejectsNullSinks) {
+  CountingSink a;
+  EXPECT_THROW(FanoutSink({&a, nullptr}), ConfigError);
+}
+
+// ----------------------------------------------------------- TraceRecorder
+
+TEST(TraceRecorder, RecordsAllEventKinds) {
+  TraceRecorder rec;
+  rec.on_task(task(0, 0.0, 0.5));
+  rec.on_task(task(1, 0.1, 0.4));
+  UpdateObservation u;
+  u.global_step = 8;
+  u.protocol = Protocol::kAsp;
+  rec.on_update(u);
+  rec.on_eval(8, VTime::from_seconds(1.0), 0.75);
+  EXPECT_EQ(rec.tasks().size(), 2u);
+  EXPECT_EQ(rec.updates().size(), 1u);
+  EXPECT_EQ(rec.evals().size(), 1u);
+  EXPECT_EQ(rec.total_recorded(), 4u);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(TraceRecorder, BoundsMemoryAndCountsDrops) {
+  TraceRecorder rec(3);
+  for (int i = 0; i < 10; ++i) rec.on_task(task(i, 0.0, 0.1));
+  EXPECT_EQ(rec.total_recorded(), 3u);
+  EXPECT_EQ(rec.dropped(), 7u);
+}
+
+TEST(TraceRecorder, RejectsZeroCapacity) { EXPECT_THROW(TraceRecorder(0), ConfigError); }
+
+TEST(TraceRecorder, ClearResets) {
+  TraceRecorder rec(2);
+  rec.on_task(task(0, 0.0, 0.1));
+  rec.on_task(task(0, 0.1, 0.1));
+  rec.on_task(task(0, 0.2, 0.1));  // dropped
+  rec.clear();
+  EXPECT_EQ(rec.total_recorded(), 0u);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(TraceRecorder, ChromeTraceIsWellFormed) {
+  TraceRecorder rec;
+  rec.on_task(task(2, 1.0, 0.5));
+  UpdateObservation u;
+  u.global_step = 16;
+  u.time = VTime::from_seconds(1.5);
+  u.train_loss = 0.25;
+  u.staleness = 3;
+  u.protocol = Protocol::kSsp;
+  rec.on_update(u);
+  rec.on_eval(16, VTime::from_seconds(2.0), 0.875);
+
+  std::ostringstream os;
+  rec.write_chrome_trace(os);
+  const std::string json = os.str();
+
+  // Array framing.
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("]\n"), std::string::npos);
+  // One duration event on worker 2's row (tid 3), starting at t=1s.
+  EXPECT_NE(json.find(R"("ph":"X")"), std::string::npos);
+  EXPECT_NE(json.find(R"("tid":3,"ts":1000000,"dur":500000)"), std::string::npos);
+  // Instant PS update labeled with the protocol.
+  EXPECT_NE(json.find(R"("name":"SSP update")"), std::string::npos);
+  EXPECT_NE(json.find(R"("staleness":3)"), std::string::npos);
+  // Accuracy counter track.
+  EXPECT_NE(json.find(R"("ph":"C")"), std::string::npos);
+  EXPECT_NE(json.find(R"("accuracy":0.875)"), std::string::npos);
+  // Thread-name metadata for PS and workers 0..2.
+  EXPECT_NE(json.find(R"("name":"parameter server")"), std::string::npos);
+  EXPECT_NE(json.find(R"(worker 2)"), std::string::npos);
+  // Balanced braces (cheap structural sanity in lieu of a JSON parser).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(TraceRecorder, SaveRejectsUnwritablePath) {
+  TraceRecorder rec;
+  EXPECT_THROW(rec.save_chrome_trace("/nonexistent_dir_xyz/trace.json"), IoError);
+}
+
+// ----------------------------------------------------- session integration
+
+TEST(TraceRecorder, ObservesAFullTrainingSession) {
+  RunRequest req;
+  req.workload.arch = ModelArch::kLinear;
+  req.workload.data = SyntheticSpec::cifar10_like();
+  req.workload.data.train_size = 512;
+  req.workload.data.test_size = 256;
+  req.workload.data.num_classes = 4;
+  req.workload.data.feature_dim = 16;
+  req.workload.total_steps = 128;
+  req.workload.hyper.batch_size = 16;
+  req.workload.eval_interval = 32;
+  req.cluster.num_workers = 4;
+  req.policy = SyncSwitchPolicy::bsp_to_asp(0.25);
+  req.actuator_time_scale = 0.01;
+
+  TraceRecorder rec;
+  req.observer = &rec;
+  const RunResult r = TrainingSession(req).run();
+  ASSERT_FALSE(r.diverged);
+
+  // Every minibatch step produced a task observation (BSP phase emits one
+  // per worker per round; ASP one per update).
+  EXPECT_GE(rec.tasks().size(), 128u);
+  EXPECT_GT(rec.updates().size(), 0u);
+  EXPECT_GT(rec.evals().size(), 0u);
+  // Both protocols appear in the update stream (the run switched).
+  bool saw_bsp = false;
+  bool saw_asp = false;
+  for (const auto& u : rec.updates()) {
+    saw_bsp |= u.protocol == Protocol::kBsp;
+    saw_asp |= u.protocol == Protocol::kAsp;
+  }
+  EXPECT_TRUE(saw_bsp);
+  EXPECT_TRUE(saw_asp);
+}
+
+}  // namespace
+}  // namespace ss

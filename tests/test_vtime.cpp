@@ -1,0 +1,39 @@
+#include "common/vtime.h"
+
+#include <gtest/gtest.h>
+
+namespace ss {
+namespace {
+
+TEST(VTime, Conversions) {
+  const VTime t = VTime::from_seconds(1.5);
+  EXPECT_EQ(t.us(), 1500000);
+  EXPECT_DOUBLE_EQ(t.ms(), 1500.0);
+  EXPECT_DOUBLE_EQ(t.seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(VTime::from_minutes(2.0).seconds(), 120.0);
+  EXPECT_EQ(VTime::from_ms(2.5).us(), 2500);
+}
+
+TEST(VTime, Arithmetic) {
+  const VTime a = VTime::from_ms(100.0);
+  const VTime b = VTime::from_ms(50.0);
+  EXPECT_EQ((a + b).us(), 150000);
+  EXPECT_EQ((a - b).us(), 50000);
+  VTime c = a;
+  c += b;
+  EXPECT_EQ(c.us(), 150000);
+}
+
+TEST(VTime, Ordering) {
+  EXPECT_LT(VTime::from_ms(1.0), VTime::from_ms(2.0));
+  EXPECT_EQ(VTime::zero(), VTime::from_seconds(0.0));
+  EXPECT_GT(VTime::from_seconds(1.0), VTime::from_ms(999.0));
+}
+
+TEST(VTime, Scaled) {
+  EXPECT_EQ(VTime::from_ms(100.0).scaled(2.5).us(), 250000);
+  EXPECT_EQ(VTime::from_ms(100.0).scaled(0.0).us(), 0);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,50 @@
+// Calibration diagnostic: prints the raw phenomena each experiment setup
+// must exhibit before the benches are meaningful (accuracy levels, time
+// ratios, staleness, divergence).  Not part of the bench suite; run manually
+// when changing cluster constants or workload scales in bench/setups.h.
+#include <chrono>
+#include <iostream>
+
+#include "common/table.h"
+#include "setups.h"
+
+using namespace ss;
+
+namespace {
+
+void probe(const setups::ExperimentSetup& s, const std::vector<double>& fractions) {
+  std::cout << "=== setup " << s.id << ": " << s.workload_name << " ===\n";
+  Table t({"policy", "acc", "best", "time(min)", "ratio-vs-BSP", "staleness", "loss",
+           "diverged@step"});
+  double bsp_time = 0.0;
+  for (double f : fractions) {
+    const SyncSwitchPolicy p = f >= 1.0 ? SyncSwitchPolicy::pure(Protocol::kBsp)
+                               : f <= 0.0 ? SyncSwitchPolicy::pure(Protocol::kAsp)
+                                          : SyncSwitchPolicy::bsp_to_asp(f);
+    const auto t0 = std::chrono::steady_clock::now();
+    const RunResult r = setups::cache().run_cached(setups::make_request(s, p, 1));
+    const auto t1 = std::chrono::steady_clock::now();
+    if (f >= 1.0) bsp_time = r.train_time_seconds;
+    t.add_row({Table::pct(f, 2) + " BSP",
+               Table::num(r.converged_accuracy, 4),
+               Table::num(r.best_accuracy, 4),
+               Table::num(r.train_time_seconds / 60.0, 1),
+               bsp_time > 0 ? Table::ratio(bsp_time / r.train_time_seconds) : "-",
+               Table::num(r.mean_staleness, 2),
+               Table::num(r.final_train_loss, 4),
+               r.diverged ? std::to_string(r.steps_completed) : "-"});
+    std::cout << "  [real "
+              << std::chrono::duration_cast<std::chrono::milliseconds>(t1 - t0).count()
+              << " ms]\n";
+  }
+  t.print("sweep (fraction of workload under BSP before switching to ASP)");
+}
+
+}  // namespace
+
+int main() {
+  probe(setups::setup1(), {1.0, 0.0, 0.03125, 0.0625, 0.25, 0.5});
+  probe(setups::setup3(), {1.0, 0.0, 0.5, 0.25});
+  probe(setups::setup2(), {1.0, 0.0, 0.125, 0.25, 0.5});
+  return 0;
+}

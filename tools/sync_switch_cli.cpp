@@ -1,0 +1,172 @@
+// sync_switch_cli: run one Sync-Switch training job from the command line.
+//
+// The paper's prototype lets practitioners "manage their distributed
+// training jobs via the command line" (Section V); this is the equivalent
+// entry point for the simulated cluster.
+//
+//   sync_switch_cli [--workers N] [--steps S] [--batch B] [--lr ETA]
+//                   [--policy bsp|asp|ssp|dssp|switch] [--fraction F]
+//                   [--arch resnet32_lite|resnet50_lite|linear]
+//                   [--classes C] [--online none|greedy|elastic|replace]
+//                   [--stragglers K] [--latency MS] [--seed X]
+//                   [--trace FILE] [--verbose]
+//
+// Example: the paper's P1 policy on an 8-node cluster:
+//   sync_switch_cli --workers 8 --policy switch --fraction 0.0625
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/log.h"
+#include "core/session.h"
+#include "ps/trace.h"
+
+using namespace ss;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --workers N        cluster size (default 8)\n"
+      << "  --steps S          minibatch-step budget (default 2048)\n"
+      << "  --batch B          per-worker batch size (default 64)\n"
+      << "  --lr ETA           base learning rate (default 0.05)\n"
+      << "  --momentum MU      momentum (default 0.9)\n"
+      << "  --policy P         bsp | asp | ssp | dssp | switch (default switch)\n"
+      << "  --fraction F       BSP fraction before the switch (default 0.0625)\n"
+      << "  --arch A           resnet32_lite | resnet50_lite | linear\n"
+      << "  --classes C        10 (cifar10-like) or 100 (cifar100-like)\n"
+      << "  --online O         none | greedy | elastic | replace (default none)\n"
+      << "  --stragglers K     inject K transient stragglers (default 0)\n"
+      << "  --latency MS       straggler emulated latency in ms (default 30)\n"
+      << "  --seed X           repetition seed (default 1)\n"
+      << "  --trace FILE       write a Chrome trace-event JSON of the run\n"
+      << "  --verbose          info-level logging of switches/evictions\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunRequest req;
+  req.workload.arch = ModelArch::kResNet32Lite;
+  req.workload.data = SyntheticSpec::cifar10_like();
+  req.workload.total_steps = 2048;
+  req.workload.hyper.batch_size = 64;
+  req.workload.hyper.learning_rate = 0.05;
+  req.workload.hyper.momentum = 0.9;
+  req.workload.eval_interval = 64;
+  req.cluster.num_workers = 8;
+  req.cluster.compute_per_batch = VTime::from_ms(120.0);
+  req.cluster.sync_base = VTime::from_ms(287.0);
+  req.cluster.sync_quad = VTime::from_ms(6.4);
+  req.policy = SyncSwitchPolicy::bsp_to_asp(0.0625);
+  req.seed = 1;
+
+  std::string policy = "switch";
+  std::string trace_path;
+  double fraction = 0.0625;
+  int stragglers = 0;
+  double latency_ms = 30.0;
+
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg == "--workers") req.cluster.num_workers = std::stoul(need_value(i));
+      else if (arg == "--steps") req.workload.total_steps = std::stoll(need_value(i));
+      else if (arg == "--batch") req.workload.hyper.batch_size = std::stoul(need_value(i));
+      else if (arg == "--lr") req.workload.hyper.learning_rate = std::stod(need_value(i));
+      else if (arg == "--momentum") req.workload.hyper.momentum = std::stod(need_value(i));
+      else if (arg == "--policy") policy = need_value(i);
+      else if (arg == "--fraction") fraction = std::stod(need_value(i));
+      else if (arg == "--seed") req.seed = std::stoull(need_value(i));
+      else if (arg == "--trace") trace_path = need_value(i);
+      else if (arg == "--stragglers") stragglers = std::stoi(need_value(i));
+      else if (arg == "--latency") latency_ms = std::stod(need_value(i));
+      else if (arg == "--verbose") set_log_level(LogLevel::kInfo);
+      else if (arg == "--arch") {
+        const std::string a = need_value(i);
+        if (a == "resnet32_lite") req.workload.arch = ModelArch::kResNet32Lite;
+        else if (a == "resnet50_lite") req.workload.arch = ModelArch::kResNet50Lite;
+        else if (a == "linear") req.workload.arch = ModelArch::kLinear;
+        else usage(argv[0]);
+      } else if (arg == "--classes") {
+        const int c = std::stoi(need_value(i));
+        if (c == 10) req.workload.data = SyntheticSpec::cifar10_like();
+        else if (c == 100) req.workload.data = SyntheticSpec::cifar100_like();
+        else usage(argv[0]);
+      } else if (arg == "--online") {
+        const std::string o = need_value(i);
+        if (o == "none") req.policy.online = OnlinePolicy::kNone;
+        else if (o == "greedy") req.policy.online = OnlinePolicy::kGreedy;
+        else if (o == "elastic") req.policy.online = OnlinePolicy::kElastic;
+        else if (o == "replace") req.policy.online = OnlinePolicy::kReplace;
+        else usage(argv[0]);
+      } else {
+        usage(argv[0]);
+      }
+    } catch (const std::invalid_argument&) {
+      usage(argv[0]);
+    }
+  }
+
+  const OnlinePolicy online = req.policy.online;
+  if (policy == "bsp") req.policy = SyncSwitchPolicy::pure(Protocol::kBsp);
+  else if (policy == "asp") req.policy = SyncSwitchPolicy::pure(Protocol::kAsp);
+  else if (policy == "ssp") req.policy = SyncSwitchPolicy::pure(Protocol::kSsp);
+  else if (policy == "dssp") req.policy = SyncSwitchPolicy::pure(Protocol::kDssp);
+  else if (policy == "switch") req.policy = SyncSwitchPolicy::bsp_to_asp(fraction);
+  else usage(argv[0]);
+  req.policy.online = online;
+
+  req.actuator_time_scale = static_cast<double>(req.workload.total_steps) / 65536.0;
+  if (stragglers > 0) {
+    req.stragglers.num_stragglers = stragglers;
+    req.stragglers.occurrences = 2;
+    req.stragglers.extra_latency_ms = latency_ms;
+    req.stragglers.max_duration = VTime::from_seconds(30.0);
+    req.stragglers.horizon = VTime::from_seconds(60.0);
+  }
+
+  std::cout << "training " << arch_name(req.workload.arch) << " on "
+            << req.workload.data.num_classes << "-class synthetic data, "
+            << req.cluster.num_workers << " workers, policy " << policy;
+  if (policy == "switch")
+    std::cout << " (BSP " << fraction * 100 << "% -> ASP, online "
+              << online_policy_name(req.policy.online) << ")";
+  std::cout << "\n";
+
+  try {
+    TraceRecorder trace;
+    if (!trace_path.empty()) req.observer = &trace;
+    const RunResult r = TrainingSession(req).run();
+    if (!trace_path.empty()) {
+      trace.save_chrome_trace(trace_path);
+      std::cout << "trace: " << trace.total_recorded() << " events -> " << trace_path
+                << " (open in chrome://tracing or ui.perfetto.dev)\n";
+    }
+    if (r.diverged) {
+      std::cout << "result: DIVERGED after " << r.steps_completed << " steps ("
+                << r.train_time_seconds / 60.0 << " virtual min)\n";
+      return 1;
+    }
+    std::cout << "result: converged accuracy " << r.converged_accuracy << " (best "
+              << r.best_accuracy << ")\n"
+              << "        training time " << r.train_time_seconds / 60.0
+              << " virtual min, throughput " << static_cast<long>(r.throughput_images_per_sec)
+              << " img/s\n"
+              << "        switches " << r.num_switches << " (overhead "
+              << r.switch_overhead_seconds << " s), mean staleness " << r.mean_staleness
+              << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
