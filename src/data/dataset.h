@@ -1,4 +1,12 @@
 // In-memory labelled dataset with train/test splits, plus worker shards.
+//
+// Everything trains from RAM: features are one row-major (N, feature_dim)
+// tensor, labels a parallel int vector. Worker-level partitioning lives in
+// data/batcher.h (make_shards + MinibatchSampler); this file supplies the
+// storage those shards index into. `gather` materializes a minibatch from
+// sampled row indices, and `head` gives the profiler a cheap fixed
+// subsample for the periodic accuracy probes the paper's timing policy
+// keys off.
 #pragma once
 
 #include <cstddef>

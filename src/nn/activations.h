@@ -1,4 +1,8 @@
 // Stateless activation layers.
+//
+// No parameters, so params()/grads() stay empty and the parameter server
+// never sees them; each instance only caches the forward activations it
+// needs to compute its backward pass.
 #pragma once
 
 #include "nn/layer.h"

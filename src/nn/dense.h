@@ -1,4 +1,10 @@
 // Fully-connected layer: y = x W + b.
+//
+// Weights are He-initialized at construction and exposed through the Layer
+// params()/grads() protocol so the parameter server can pull/push them as
+// flat tensors. `clone` produces an independent replica with identical
+// weights — this is how each simulated worker gets its own model copy when
+// a phase launches (see core/session.h).
 #pragma once
 
 #include "nn/layer.h"

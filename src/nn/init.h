@@ -1,4 +1,9 @@
 // Weight initializers.
+//
+// Deterministic given the Rng: every worker replica and every re-run of a
+// bench configuration sees bit-identical starting weights, which is what
+// lets the run cache (core/run_cache.h) treat a RunRequest hash as a full
+// description of the training outcome.
 #pragma once
 
 #include "common/rng.h"

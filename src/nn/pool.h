@@ -1,4 +1,8 @@
 // 2x2 max pooling (stride 2) over (N, C*H*W) rows.
+//
+// Input rows are flattened channel-major images (matching nn/conv2d.h);
+// the layer remembers the argmax index of every output cell so backward
+// can route gradients to exactly the winning inputs.
 #pragma once
 
 #include "nn/layer.h"

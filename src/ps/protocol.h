@@ -1,4 +1,16 @@
 // Parameter synchronization protocols (paper Section II-B).
+//
+// This enum is the axis Sync-Switch switches along: BSP trades throughput
+// for zero staleness, ASP trades staleness for throughput, and the
+// SSP/DSSP/K-variant family interpolates between them. Every runtime
+// (sim_runtime, threaded_runtime, group_runtime) consumes a Protocol to
+// decide when a worker's gradient may be applied and when a worker must
+// block; the TrainingSession's timing policy decides *when* to change the
+// value mid-run (checkpoint -> actuate -> restore).
+//
+// `is_synchronous` partitions the enum the way the paper's analysis does:
+// barrier-per-round protocols have zero staleness by construction, the rest
+// are measured by the profiler's staleness counters.
 #pragma once
 
 #include <string>

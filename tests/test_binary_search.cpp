@@ -77,8 +77,11 @@ TEST(BinarySearch, DivergedTrialsAreOutOfBand) {
       },
       cfg);
   EXPECT_DOUBLE_EQ(result.switch_fraction, 0.5);
-  for (const auto& c : result.explored)
-    if (c.fraction < 0.5) EXPECT_FALSE(c.in_band);
+  for (const auto& c : result.explored) {
+    if (c.fraction < 0.5) {
+      EXPECT_FALSE(c.in_band);
+    }
+  }
 }
 
 TEST(BinarySearch, RejectsBadConfig) {

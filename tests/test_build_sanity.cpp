@@ -1,0 +1,46 @@
+// Build-sanity smoke test: proves the public headers of every src/
+// subsystem are self-contained (include-what-you-use smoke test).
+//
+// The heavy lifting happens at compile time, not here: CMake generates one
+// translation unit per subsystem (build/include_check/check_<subsystem>.cpp),
+// each of which does nothing but #include every header of that subsystem.
+// Those TUs are compiled into this test binary, so a header that forgets one
+// of its own includes fails the build of test_build_sanity rather than
+// silently riding on the include order of some unrelated .cpp.
+//
+// The runtime checks below are deliberately tiny: they pull one
+// representative type from each subsystem through the linker so a header
+// whose out-of-line definitions went missing also fails here.
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "common/vtime.h"
+#include "compress/codec.h"
+#include "core/profiler.h"
+#include "data/synthetic.h"
+#include "nn/model.h"
+#include "ps/protocol.h"
+#include "sim/event_queue.h"
+#include "tensor/tensor.h"
+
+namespace ss {
+namespace {
+
+TEST(BuildSanity, SubsystemTypesAreUsable) {
+  // common
+  static_assert(std::is_default_constructible_v<VTime>);
+  // tensor
+  Tensor t({2, 2});
+  EXPECT_EQ(t.numel(), 4u);
+  // ps
+  static_assert(std::is_enum_v<Protocol>);
+  // sim
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  // data
+  EXPECT_GT(SyntheticSpec::cifar10_like().num_classes, 0);
+}
+
+}  // namespace
+}  // namespace ss

@@ -98,8 +98,9 @@ TEST_P(ConsecutiveSweep, FlagRequiresExactlyConfiguredWindows) {
   StragglerDetector d(4, cfg);
   for (int round = 1; round <= required; ++round) {
     feed_round(d, 4, 4, 2, 3.0);
-    if (round < required)
+    if (round < required) {
       EXPECT_FALSE(d.any_straggler()) << "flagged after only " << round << " windows";
+    }
   }
   EXPECT_TRUE(d.any_straggler());
 }

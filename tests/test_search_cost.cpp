@@ -102,9 +102,9 @@ TEST(SearchCost, ValidatesInput) {
   EXPECT_THROW(SearchCostAnalyzer(empty, 0.01, 5), ConfigError);
   const SearchCostAnalyzer analyzer(make_logs(0.0), 0.01, 5);
   Rng rng(6);
-  EXPECT_THROW(analyzer.analyze({false, 0, 5}, 10, rng), ConfigError);
-  EXPECT_THROW(analyzer.analyze({false, 5, 0}, 10, rng), ConfigError);
-  EXPECT_THROW(analyzer.analyze({false, 5, 5}, 0, rng), ConfigError);
+  EXPECT_THROW((void)analyzer.analyze({false, 0, 5}, 10, rng), ConfigError);
+  EXPECT_THROW((void)analyzer.analyze({false, 5, 0}, 10, rng), ConfigError);
+  EXPECT_THROW((void)analyzer.analyze({false, 5, 5}, 0, rng), ConfigError);
 }
 
 }  // namespace
