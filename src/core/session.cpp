@@ -61,7 +61,11 @@ std::string RunRequest::cache_key() const {
      << ";steps=" << workload.total_steps << ";B=" << workload.hyper.batch_size
      << ";lr=" << workload.hyper.learning_rate << ";mu=" << workload.hyper.momentum
      << ";eval=" << workload.eval_interval << ";divthr=" << workload.divergence_loss_threshold
-     << ";n=" << cluster.num_workers << ";comp=" << cluster.compute_per_batch.us()
+     << ";n=" << cluster.num_workers << ";shards=" << cluster.num_ps_shards
+     << ";shiss=" << cluster.shard_issue_overhead.us()
+     // ps_apply_threads is deliberately absent: parallel apply is
+     // bit-identical to serial, so it cannot change the result.
+     << ";comp=" << cluster.compute_per_batch.us()
      << ";refb=" << cluster.reference_batch << ";jit=" << cluster.compute_jitter_sigma
      << ";lat=" << cluster.net_latency.us() << ";bytes=" << cluster.payload_bytes
      << ";bw=" << cluster.bandwidth_bps << ";sb=" << cluster.sync_base.us()
@@ -145,8 +149,11 @@ RunResult TrainingSession::run() {
     worker_rngs.push_back(root.fork(200 + w));
   }
 
-  TrainingState state(ParameterServer(grad_model.get_params(), wl.hyper.momentum),
+  TrainingState state(ParameterServer(grad_model.get_params(), wl.hyper.momentum,
+                                      req_.cluster.num_ps_shards),
                       std::move(samplers), std::move(worker_rngs));
+  if (req_.cluster.ps_apply_threads > 0)
+    state.ps.set_parallel_apply(req_.cluster.ps_apply_threads);
 
   const ClusterModel cluster(req_.cluster);
   const ActuatorModel actuator = ActuatorModel::paper_calibrated(req_.actuator);

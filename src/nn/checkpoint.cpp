@@ -9,17 +9,22 @@ namespace ss {
 
 namespace {
 constexpr std::uint32_t kCkptMagic = 0x53535357;  // "SSSW"
-constexpr std::uint32_t kCkptVersion = 1;
+// v1: global_step + params + velocity.  v2 appends the PS shard layout
+// (num_shards + per-shard version counters).
+constexpr std::uint32_t kCkptVersion = 2;
 }  // namespace
 
 std::vector<std::uint8_t> Checkpoint::serialize() const {
   std::vector<std::uint8_t> out;
   const std::uint64_t np = params.size();
   const std::uint64_t nv = velocity.size();
+  const std::uint64_t nsv = shard_versions.size();
   out.resize(sizeof(kCkptMagic) + sizeof(kCkptVersion) + sizeof(global_step) + sizeof(np) +
-             sizeof(nv) + np * sizeof(float) + nv * sizeof(float));
+             sizeof(nv) + np * sizeof(float) + nv * sizeof(float) + sizeof(num_shards) +
+             sizeof(nsv) + nsv * sizeof(std::int64_t));
   std::uint8_t* p = out.data();
   auto put = [&p](const void* src, std::size_t n) {
+    if (n == 0) return;  // empty vectors hand over a null data()
     std::memcpy(p, src, n);
     p += n;
   };
@@ -30,6 +35,9 @@ std::vector<std::uint8_t> Checkpoint::serialize() const {
   put(&nv, sizeof(nv));
   put(params.data(), np * sizeof(float));
   put(velocity.data(), nv * sizeof(float));
+  put(&num_shards, sizeof(num_shards));
+  put(&nsv, sizeof(nsv));
+  put(shard_versions.data(), nsv * sizeof(std::int64_t));
   return out;
 }
 
@@ -39,6 +47,7 @@ Checkpoint Checkpoint::deserialize(std::span<const std::uint8_t> bytes) {
   std::size_t remaining = bytes.size();
   auto get = [&](void* dst, std::size_t n) {
     if (remaining < n) throw CheckpointError("Checkpoint: truncated data");
+    if (n == 0) return;  // resize(0) leaves a null data()
     std::memcpy(dst, p, n);
     p += n;
     remaining -= n;
@@ -47,15 +56,32 @@ Checkpoint Checkpoint::deserialize(std::span<const std::uint8_t> bytes) {
   get(&magic, sizeof(magic));
   if (magic != kCkptMagic) throw CheckpointError("Checkpoint: bad magic");
   get(&version, sizeof(version));
-  if (version != kCkptVersion) throw CheckpointError("Checkpoint: unsupported version");
+  if (version < 1 || version > kCkptVersion)
+    throw CheckpointError("Checkpoint: unsupported version");
+  // Validate counts against the bytes actually present *before* resizing,
+  // so a corrupt length field reports CheckpointError instead of blowing up
+  // inside vector::resize with bad_alloc/length_error.
+  auto check_count = [&](std::uint64_t count, std::size_t elem_size) {
+    if (count > remaining / elem_size) throw CheckpointError("Checkpoint: truncated data");
+  };
   get(&ckpt.global_step, sizeof(ckpt.global_step));
   std::uint64_t np = 0, nv = 0;
   get(&np, sizeof(np));
   get(&nv, sizeof(nv));
+  check_count(np, sizeof(float));
   ckpt.params.resize(np);
-  ckpt.velocity.resize(nv);
   get(ckpt.params.data(), np * sizeof(float));
+  check_count(nv, sizeof(float));
+  ckpt.velocity.resize(nv);
   get(ckpt.velocity.data(), nv * sizeof(float));
+  if (version >= 2) {
+    std::uint64_t nsv = 0;
+    get(&ckpt.num_shards, sizeof(ckpt.num_shards));
+    get(&nsv, sizeof(nsv));
+    check_count(nsv, sizeof(std::int64_t));
+    ckpt.shard_versions.resize(nsv);
+    get(ckpt.shard_versions.data(), nsv * sizeof(std::int64_t));
+  }
   if (remaining != 0) throw CheckpointError("Checkpoint: trailing bytes");
   return ckpt;
 }

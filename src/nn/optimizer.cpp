@@ -13,11 +13,20 @@ SgdMomentum::SgdMomentum(std::size_t num_params, double momentum)
 void SgdMomentum::apply(std::span<float> params, std::span<const float> grad, double lr) {
   if (params.size() != accum_.size() || grad.size() != accum_.size())
     throw ConfigError("SgdMomentum::apply: size mismatch");
+  apply_range(params, grad, lr, 0);
+}
+
+void SgdMomentum::apply_range(std::span<float> params, std::span<const float> grad, double lr,
+                              std::size_t offset) {
+  if (params.size() != grad.size() || offset > accum_.size() ||
+      params.size() > accum_.size() - offset)
+    throw ConfigError("SgdMomentum::apply_range: slice out of bounds");
   const float mu = static_cast<float>(momentum_);
   const float eta = static_cast<float>(lr);
-  for (std::size_t i = 0; i < accum_.size(); ++i) {
-    accum_[i] = mu * accum_[i] + grad[i];
-    params[i] -= eta * accum_[i];
+  float* accum = accum_.data() + offset;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    accum[i] = mu * accum[i] + grad[i];
+    params[i] -= eta * accum[i];
   }
 }
 

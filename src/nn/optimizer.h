@@ -20,6 +20,15 @@ class SgdMomentum {
   /// the course of training.
   void apply(std::span<float> params, std::span<const float> grad, double lr);
 
+  /// Apply an update to the contiguous slice of velocity state starting at
+  /// `offset`: `params` and `grad` are the slice views, `offset` addresses
+  /// the matching velocity range.  This is the sharded parameter server's
+  /// primitive — each shard updates a disjoint slice, so concurrent calls on
+  /// non-overlapping ranges are race-free and the result is bit-identical to
+  /// one full-vector `apply`.
+  void apply_range(std::span<float> params, std::span<const float> grad, double lr,
+                   std::size_t offset);
+
   [[nodiscard]] double momentum() const noexcept { return momentum_; }
 
   /// Configuration policy hook: momentum may be rescaled when the protocol

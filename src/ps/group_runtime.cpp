@@ -228,12 +228,15 @@ GroupPhaseResult GroupRuntime::run(TrainingState& state, const GroupConfig& cfg,
                                     (static_cast<double>(p) * sizeof(float)) *
                                     cluster_.spec().payload_bytes;
         // Schedule one arrival per remote group; each arrival's sequence
-        // number keys its own copy of the payload in the side table.
+        // number keys its own copy of the payload in the side table.  A
+        // broadcast is a direct group-to-group link transfer — it never
+        // touches the PS, so PS-shard striping must not price it.
         std::vector<std::uint64_t> seqs;
         for (std::size_t tgt = 0; tgt < groups.size(); ++tgt) {
           if (tgt == bc.from) continue;
-          seqs.push_back(queue.schedule(ev.time + cluster_.transfer_time(1.0, sparse_bytes),
-                                        kBroadcastArrive, static_cast<int>(tgt)));
+          seqs.push_back(
+              queue.schedule(ev.time + cluster_.link_transfer_time(1.0, sparse_bytes),
+                             kBroadcastArrive, static_cast<int>(tgt)));
         }
         for (const std::uint64_t s : seqs) in_flight.emplace(s, bc);
       }

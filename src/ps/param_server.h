@@ -1,61 +1,19 @@
-// Parameter-server state: the authoritative model parameters plus the
-// (server-side) momentum optimizer.
+// Parameter-server state: compatibility name for the sharded implementation.
 //
-// The paper collocates PS shards with workers; since sharding only affects
-// the *timing* model (handled by ClusterModel), the state itself is kept as
-// one logical vector.  Version counts let the runtime measure gradient
-// staleness exactly: staleness of an update = version_at_push - version_at_pull.
+// The PS used to keep one logical vector behind one lock, on the theory that
+// sharding (the paper collocates PS shards with workers) only affects the
+// *timing* model.  That was true for the simulator but capped the real
+// runtimes: every ASP push serialized on a single mutex.  The state is now
+// genuinely sharded — see sharded_param_server.h for the layout, per-shard
+// version counters, and the parallel apply/pull path.  `ParameterServer`
+// remains the name the runtimes and tests program against; a single-shard
+// server (the default) behaves exactly like the historical implementation.
 #pragma once
 
-#include <cstdint>
-#include <span>
-#include <vector>
-
-#include "nn/checkpoint.h"
-#include "nn/optimizer.h"
+#include "ps/sharded_param_server.h"
 
 namespace ss {
 
-class ParameterServer {
- public:
-  ParameterServer(std::vector<float> init_params, double momentum);
-
-  [[nodiscard]] std::size_t num_params() const noexcept { return params_.size(); }
-
-  /// Authoritative parameters (what a worker pull copies).
-  [[nodiscard]] std::span<const float> params() const noexcept { return params_; }
-
-  /// Copy parameters into `out` (a worker pull).
-  void pull(std::span<float> out) const;
-
-  /// Overwrite the authoritative parameters in place (used by runtimes that
-  /// train external replicas, e.g. the group-based protocol, to fold their
-  /// result back).  Counts as one version advance.
-  void set_params(std::span<const float> params);
-
-  /// Number of updates applied so far.
-  [[nodiscard]] std::int64_t version() const noexcept { return version_; }
-
-  /// Apply one gradient with the given learning rate (an ASP push, or the
-  /// already-aggregated BSP gradient).
-  void apply(std::span<const float> grad, double lr);
-
-  [[nodiscard]] SgdMomentum& optimizer() noexcept { return opt_; }
-  [[nodiscard]] const SgdMomentum& optimizer() const noexcept { return opt_; }
-
-  /// Checkpoint the PS state (used by the protocol-switch mechanism).
-  [[nodiscard]] Checkpoint make_checkpoint(std::int64_t global_step) const;
-
-  /// Restore parameters + optimizer velocity from a checkpoint.
-  void restore(const Checkpoint& ckpt);
-
-  /// True if all parameters are finite (divergence guard).
-  [[nodiscard]] bool healthy() const noexcept;
-
- private:
-  std::vector<float> params_;
-  SgdMomentum opt_;
-  std::int64_t version_ = 0;
-};
+using ParameterServer = ShardedParameterServer;
 
 }  // namespace ss

@@ -1,0 +1,85 @@
+#include "ps/shard_pool.h"
+
+#include <utility>
+
+namespace ss {
+
+ShardApplyPool::ShardApplyPool(std::size_t extra_threads) {
+  threads_.reserve(extra_threads);
+  for (std::size_t i = 0; i < extra_threads; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ShardApplyPool::~ShardApplyPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ShardApplyPool::run(std::size_t num_tasks, const std::function<void(std::size_t)>& fn) {
+  if (num_tasks == 0) return;
+  if (threads_.empty()) {
+    for (std::size_t i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    num_tasks_ = num_tasks;
+    next_task_.store(0, std::memory_order_relaxed);
+    workers_done_ = 0;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  // The caller is a worker too: claim tasks until the counter runs dry.  A
+  // throwing task is recorded (first error wins) rather than propagated
+  // mid-fan-out: every participant must finish draining the counter before
+  // run() returns, or workers would outlive `fn`'s lifetime.
+  claim_tasks(num_tasks, fn);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return workers_done_ == threads_.size(); });
+  job_ = nullptr;
+  if (first_error_) std::rethrow_exception(std::exchange(first_error_, nullptr));
+}
+
+void ShardApplyPool::claim_tasks(std::size_t num_tasks,
+                                 const std::function<void(std::size_t)>& fn) {
+  for (;;) {
+    const std::size_t t = next_task_.fetch_add(1, std::memory_order_relaxed);
+    if (t >= num_tasks) break;
+    try {
+      fn(t);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+void ShardApplyPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    std::size_t num_tasks = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+      num_tasks = num_tasks_;
+    }
+    claim_tasks(num_tasks, *job);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++workers_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace ss

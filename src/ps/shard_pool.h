@@ -1,0 +1,68 @@
+// Persistent worker pool for fanning per-shard PS work across threads.
+//
+// The sharded parameter server partitions its vector into disjoint contiguous
+// ranges; applying a full-vector gradient is therefore embarrassingly
+// parallel and bit-for-bit order-independent (no element is touched by two
+// shards).  This pool keeps a fixed set of OS threads alive across calls so
+// the per-update dispatch cost is two condition-variable round-trips, not a
+// thread spawn — small enough to win on multi-megaparameter models while
+// staying a strict no-op for the simulator's default serial path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ss {
+
+/// Runs `fn(task_index)` for task_index in [0, num_tasks) across the pool
+/// threads plus the calling thread, blocking until every task finished.
+/// Tasks are claimed from a shared atomic counter, so shard imbalance (the
+/// last shard can be smaller) self-schedules.  Not reentrant: one `run` at a
+/// time per pool (the parameter server serializes calls by construction).
+/// If a task throws, the remaining tasks still execute (they are
+/// independent), every participant drains before `run` returns — so `fn`
+/// never dangles — and the first exception is rethrown on the caller.
+class ShardApplyPool {
+ public:
+  /// `extra_threads` workers are spawned in addition to the caller, so the
+  /// total parallelism of `run` is extra_threads + 1.  Zero is allowed and
+  /// makes `run` purely inline.
+  explicit ShardApplyPool(std::size_t extra_threads);
+  ~ShardApplyPool();
+
+  ShardApplyPool(const ShardApplyPool&) = delete;
+  ShardApplyPool& operator=(const ShardApplyPool&) = delete;
+
+  [[nodiscard]] std::size_t extra_threads() const noexcept { return threads_.size(); }
+
+  void run(std::size_t num_tasks, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  /// Claim-and-execute loop shared by the caller and the pool threads;
+  /// records the first task exception instead of letting it escape a
+  /// pool-thread entry point (which would std::terminate).
+  void claim_tasks(std::size_t num_tasks, const std::function<void(std::size_t)>& fn);
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> threads_;
+
+  // Job state, written under mu_ before the generation bump publishes it.
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t num_tasks_ = 0;
+  std::atomic<std::size_t> next_task_{0};
+  std::size_t workers_done_ = 0;
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;  ///< first task exception of the current run
+};
+
+}  // namespace ss

@@ -1,0 +1,133 @@
+#include "ps/sharded_param_server.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ss {
+
+ShardedParameterServer::ShardedParameterServer(std::vector<float> init_params, double momentum,
+                                               std::size_t num_shards)
+    : params_(std::move(init_params)), opt_(params_.size(), momentum) {
+  if (params_.empty()) throw ConfigError("ShardedParameterServer: empty parameter vector");
+  shard_versions_.assign(std::clamp<std::size_t>(num_shards, 1, params_.size()), 0);
+}
+
+ShardedParameterServer::ShardRange ShardedParameterServer::shard_range(
+    std::size_t shard) const {
+  const std::size_t s = num_shards();
+  if (shard >= s) throw ConfigError("ShardedParameterServer: shard index out of range");
+  const std::size_t base = params_.size() / s;
+  const std::size_t extra = params_.size() % s;
+  // The first `extra` shards get base + 1 elements.
+  const std::size_t begin = shard * base + std::min(shard, extra);
+  return {begin, begin + base + (shard < extra ? 1 : 0)};
+}
+
+void ShardedParameterServer::pull(std::span<float> out) const {
+  if (out.size() != params_.size())
+    throw ConfigError("ShardedParameterServer::pull: size mismatch");
+  if (pool_ && num_shards() > 1) {
+    pool_->run(num_shards(), [&](std::size_t s) {
+      const ShardRange r = shard_range(s);
+      std::copy(params_.begin() + static_cast<std::ptrdiff_t>(r.begin),
+                params_.begin() + static_cast<std::ptrdiff_t>(r.end), out.begin() + static_cast<std::ptrdiff_t>(r.begin));
+    });
+    return;
+  }
+  std::copy(params_.begin(), params_.end(), out.begin());
+}
+
+void ShardedParameterServer::set_params(std::span<const float> params) {
+  if (params.size() != params_.size())
+    throw ConfigError("ShardedParameterServer::set_params: size mismatch");
+  std::copy(params.begin(), params.end(), params_.begin());
+  for (auto& v : shard_versions_) ++v;
+}
+
+std::int64_t ShardedParameterServer::version() const noexcept {
+  return *std::min_element(shard_versions_.begin(), shard_versions_.end());
+}
+
+void ShardedParameterServer::apply(std::span<const float> grad, double lr) {
+  if (grad.size() != params_.size())
+    throw ConfigError("ShardedParameterServer::apply: gradient size mismatch");
+  if (pool_ && num_shards() > 1) {
+    pool_->run(num_shards(), [&](std::size_t s) { apply_shard(s, grad, lr); });
+    return;
+  }
+  for (std::size_t s = 0; s < num_shards(); ++s) apply_shard(s, grad, lr);
+}
+
+void ShardedParameterServer::pull_shard(std::size_t shard, std::span<float> out) const {
+  if (out.size() != params_.size())
+    throw ConfigError("ShardedParameterServer::pull_shard: size mismatch");
+  const ShardRange r = shard_range(shard);
+  std::copy(params_.begin() + static_cast<std::ptrdiff_t>(r.begin),
+            params_.begin() + static_cast<std::ptrdiff_t>(r.end),
+            out.begin() + static_cast<std::ptrdiff_t>(r.begin));
+}
+
+void ShardedParameterServer::apply_shard(std::size_t shard, std::span<const float> grad,
+                                         double lr) {
+  if (grad.size() != params_.size())
+    throw ConfigError("ShardedParameterServer::apply_shard: gradient size mismatch");
+  const ShardRange r = shard_range(shard);
+  opt_.apply_range(std::span<float>(params_).subspan(r.begin, r.size()),
+                   grad.subspan(r.begin, r.size()), lr, r.begin);
+  ++shard_versions_[shard];
+}
+
+std::int64_t ShardedParameterServer::shard_version(std::size_t shard) const {
+  if (shard >= num_shards())
+    throw ConfigError("ShardedParameterServer: shard index out of range");
+  return shard_versions_[shard];
+}
+
+void ShardedParameterServer::shard_versions(std::vector<std::int64_t>& out) const {
+  out.assign(shard_versions_.begin(), shard_versions_.end());
+}
+
+std::int64_t ShardedParameterServer::staleness_since(
+    std::span<const std::int64_t> pulled) const {
+  if (pulled.size() != shard_versions_.size())
+    throw ConfigError("ShardedParameterServer::staleness_since: shard count mismatch");
+  std::int64_t stale = 0;
+  for (std::size_t s = 0; s < pulled.size(); ++s)
+    stale = std::max(stale, shard_versions_[s] - pulled[s]);
+  return stale;
+}
+
+void ShardedParameterServer::set_parallel_apply(std::size_t extra_threads) {
+  pool_ = extra_threads > 0 ? std::make_unique<ShardApplyPool>(extra_threads) : nullptr;
+}
+
+Checkpoint ShardedParameterServer::make_checkpoint(std::int64_t global_step) const {
+  Checkpoint ckpt;
+  ckpt.global_step = global_step;
+  ckpt.params = params_;
+  ckpt.velocity.assign(opt_.velocity().begin(), opt_.velocity().end());
+  ckpt.num_shards = static_cast<std::uint64_t>(num_shards());
+  ckpt.shard_versions = shard_versions_;
+  return ckpt;
+}
+
+void ShardedParameterServer::restore(const Checkpoint& ckpt) {
+  if (ckpt.params.size() != params_.size() || ckpt.velocity.size() != params_.size())
+    throw CheckpointError("ShardedParameterServer::restore: checkpoint size mismatch");
+  // Flat (single-shard / legacy) checkpoints restore into any layout; a
+  // sharded checkpoint must match the server's layout exactly.
+  if (ckpt.num_shards > 1 && ckpt.num_shards != static_cast<std::uint64_t>(num_shards()))
+    throw CheckpointError("ShardedParameterServer::restore: shard layout mismatch");
+  params_ = ckpt.params;
+  std::copy(ckpt.velocity.begin(), ckpt.velocity.end(), opt_.mutable_velocity().begin());
+}
+
+bool ShardedParameterServer::healthy() const noexcept {
+  for (float p : params_)
+    if (!std::isfinite(p)) return false;
+  return true;
+}
+
+}  // namespace ss

@@ -1,0 +1,128 @@
+// Sharded parameter-server state: the authoritative model parameters plus
+// the (server-side) momentum optimizer, partitioned into contiguous shards.
+//
+// The paper collocates PS shards with workers.  Earlier revisions kept one
+// logical vector behind the ParameterServer API and let the cluster model
+// price sharding as a pure timing effect; that serializes every ASP push on
+// one lock and caps the real-throughput ceiling.  This class makes the shard
+// layer real:
+//
+//  * The vector is split into `num_shards` contiguous ranges.  Each shard
+//    owns a version counter and a velocity slice (one flat SgdMomentum holds
+//    the storage; `apply_range` updates disjoint slices).
+//  * Full-vector `apply`/`pull`/`set_params` keep the historical semantics —
+//    one logical update advances every shard — so all three runtimes work
+//    against the same API, while staleness accounting can read per-shard
+//    versions (`shard_versions` at pull, `staleness_since` at push).
+//  * Per-shard primitives (`pull_shard`, `apply_shard`) let the threaded
+//    runtime guard each shard with its own mutex instead of one global lock.
+//  * `set_parallel_apply` attaches a persistent worker pool; full-vector
+//    apply/pull then fan shards across threads.  Shards are disjoint, so the
+//    parallel path is bit-for-bit identical to the serial one.
+//
+// Version counts let the runtimes measure gradient staleness exactly:
+// staleness of an update = max over shards of
+// (shard version at push - shard version at pull).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "nn/checkpoint.h"
+#include "nn/optimizer.h"
+#include "ps/shard_pool.h"
+
+namespace ss {
+
+class ShardedParameterServer {
+ public:
+  /// Contiguous half-open index range [begin, end) owned by one shard.
+  struct ShardRange {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+  };
+
+  /// `num_shards` is clamped to [1, num_params]; the first
+  /// `num_params % num_shards` shards are one element larger.
+  ShardedParameterServer(std::vector<float> init_params, double momentum,
+                         std::size_t num_shards = 1);
+
+  ShardedParameterServer(ShardedParameterServer&&) = default;
+  ShardedParameterServer& operator=(ShardedParameterServer&&) = default;
+
+  [[nodiscard]] std::size_t num_params() const noexcept { return params_.size(); }
+  [[nodiscard]] std::size_t num_shards() const noexcept { return shard_versions_.size(); }
+  [[nodiscard]] ShardRange shard_range(std::size_t shard) const;
+
+  /// Authoritative parameters (what a worker pull copies).
+  [[nodiscard]] std::span<const float> params() const noexcept { return params_; }
+
+  /// Copy parameters into `out` (a worker pull).  Uses the parallel pool
+  /// when one is attached.
+  void pull(std::span<float> out) const;
+
+  /// Overwrite the authoritative parameters in place (used by runtimes that
+  /// train external replicas, e.g. the group-based protocol, to fold their
+  /// result back).  Counts as one version advance on every shard.
+  void set_params(std::span<const float> params);
+
+  /// Number of complete logical updates applied so far: the minimum shard
+  /// version (all shards agree except transiently, mid-push, under the
+  /// threaded runtime's per-shard locking).
+  [[nodiscard]] std::int64_t version() const noexcept;
+
+  /// Apply one full gradient with the given learning rate (an ASP push, or
+  /// the already-aggregated BSP gradient).  Every shard's version advances
+  /// by one.  Uses the parallel pool when one is attached.
+  void apply(std::span<const float> grad, double lr);
+
+  // --- Per-shard primitives (the threaded runtime's lock granularity).
+  // `out`/`grad` are full-length vectors; only the shard's range is touched.
+
+  void pull_shard(std::size_t shard, std::span<float> out) const;
+  void apply_shard(std::size_t shard, std::span<const float> grad, double lr);
+  [[nodiscard]] std::int64_t shard_version(std::size_t shard) const;
+
+  /// Snapshot every shard version into `out` (resized to num_shards).
+  void shard_versions(std::vector<std::int64_t>& out) const;
+
+  /// Staleness of a push whose pull observed `pulled`: the largest number of
+  /// updates any shard absorbed since.  Equals the historical global
+  /// version-delta when every update is a full-vector apply.
+  [[nodiscard]] std::int64_t staleness_since(std::span<const std::int64_t> pulled) const;
+
+  /// Attach a worker pool of `extra_threads` additional threads; subsequent
+  /// full-vector apply/pull calls fan shards across extra_threads + 1
+  /// workers.  Pass 0 to detach and return to the serial path.  The result
+  /// of every operation is bit-identical either way.
+  void set_parallel_apply(std::size_t extra_threads);
+  [[nodiscard]] bool parallel_apply_enabled() const noexcept { return pool_ != nullptr; }
+
+  [[nodiscard]] SgdMomentum& optimizer() noexcept { return opt_; }
+  [[nodiscard]] const SgdMomentum& optimizer() const noexcept { return opt_; }
+
+  /// Checkpoint the PS state, including the shard layout and per-shard
+  /// versions (used by the protocol-switch mechanism).
+  [[nodiscard]] Checkpoint make_checkpoint(std::int64_t global_step) const;
+
+  /// Restore parameters + optimizer velocity from a checkpoint.  The
+  /// checkpoint's shard layout must match this server's (flat single-shard
+  /// checkpoints restore into any layout).  Versions are not rolled back:
+  /// they only ever move forward, so staleness accounting stays monotone
+  /// across a checkpoint-restart.
+  void restore(const Checkpoint& ckpt);
+
+  /// True if all parameters are finite (divergence guard).
+  [[nodiscard]] bool healthy() const noexcept;
+
+ private:
+  std::vector<float> params_;
+  SgdMomentum opt_;
+  std::vector<std::int64_t> shard_versions_;
+  std::unique_ptr<ShardApplyPool> pool_;
+};
+
+}  // namespace ss

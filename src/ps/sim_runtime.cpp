@@ -195,9 +195,9 @@ PhaseResult SimRuntime::run_async(TrainingState& state, const PhaseConfig& cfg,
 
   // Per-worker in-flight task state.
   struct InFlight {
-    std::vector<float> snapshot;           // params pulled
-    std::vector<std::uint32_t> indices;    // minibatch drawn at pull time
-    std::int64_t pull_version = 0;
+    std::vector<float> snapshot;               // params pulled
+    std::vector<std::uint32_t> indices;        // minibatch drawn at pull time
+    std::vector<std::int64_t> pull_versions;   // per-shard versions at pull
     VTime pull_started;
     std::int64_t local_clock = 0;  // completed local steps (for SSP)
     bool parked = false;           // waiting on the SSP staleness bound
@@ -249,9 +249,10 @@ PhaseResult SimRuntime::run_async(TrainingState& state, const PhaseConfig& cfg,
 
     if (ev.kind == kPullDone) {
       // Snapshot the *current* parameters: any pushes applied while this
-      // pull was in flight are visible, later ones are not.
+      // pull was in flight are visible, later ones are not.  The per-shard
+      // version vector is what staleness is measured against at push time.
       state.ps.pull(fl.snapshot);
-      fl.pull_version = state.ps.version();
+      state.ps.shard_versions(fl.pull_versions);
       fl.pull_started = ev.time;
       auto& sampler = state.samplers[static_cast<std::size_t>(w)];
       sampler.set_batch_size(b);
@@ -282,7 +283,7 @@ PhaseResult SimRuntime::run_async(TrainingState& state, const PhaseConfig& cfg,
     } else {
       result.push_bytes += static_cast<std::int64_t>(cluster_.spec().payload_bytes);
     }
-    const std::int64_t staleness = state.ps.version() - fl.pull_version;
+    const std::int64_t staleness = state.ps.staleness_since(fl.pull_versions);
 
     const double mult = cfg.lr_multiplier_schedule ? cfg.lr_multiplier_schedule(state.global_step)
                                                    : cfg.lr_multiplier;
@@ -337,9 +338,9 @@ PhaseResult SimRuntime::run_async(TrainingState& state, const PhaseConfig& cfg,
     // Schedule this worker's next cycle, honoring the (possibly dynamic)
     // staleness bound.
     if (!stop_spawning) {
+      const std::int64_t gap = fl.local_clock - min_local_clock();
       bool proceed = true;
       if (bounded_staleness) {
-        const std::int64_t gap = fl.local_clock - min_local_clock();
         if (gap > effective_bound) {
           if (dynamic_bound &&
               effective_bound < cfg.ssp_staleness_bound + cfg.dssp_staleness_upper) {
@@ -350,6 +351,8 @@ PhaseResult SimRuntime::run_async(TrainingState& state, const PhaseConfig& cfg,
         }
       }
       if (proceed) {
+        // The gap at a step start is the conformance metric SSP bounds.
+        result.max_clock_gap = std::max(result.max_clock_gap, gap);
         start_pull(w, state.clock);
       } else {
         fl.parked = true;  // must wait for stragglers to catch up
@@ -365,6 +368,7 @@ PhaseResult SimRuntime::run_async(TrainingState& state, const PhaseConfig& cfg,
           max_gap = std::max(max_gap, ofl.local_clock - m);
           if (ofl.parked && ofl.local_clock - m <= effective_bound) {
             ofl.parked = false;
+            result.max_clock_gap = std::max(result.max_clock_gap, ofl.local_clock - m);
             start_pull(other, state.clock);
           }
         }
@@ -570,7 +574,7 @@ PhaseResult SimRuntime::run_kasync(TrainingState& state, const PhaseConfig& cfg,
   struct InFlight {
     std::vector<float> snapshot;
     std::vector<std::uint32_t> indices;
-    std::int64_t pull_version = 0;
+    std::vector<std::int64_t> pull_versions;  // per-shard versions at pull
     VTime pull_started;
   };
   std::vector<InFlight> inflight(state.samplers.size());
@@ -614,7 +618,7 @@ PhaseResult SimRuntime::run_kasync(TrainingState& state, const PhaseConfig& cfg,
 
     if (ev.kind == kPullDone) {
       state.ps.pull(fl.snapshot);
-      fl.pull_version = state.ps.version();
+      state.ps.shard_versions(fl.pull_versions);
       fl.pull_started = ev.time;
       auto& sampler = state.samplers[static_cast<std::size_t>(w)];
       sampler.set_batch_size(b);
@@ -640,7 +644,7 @@ PhaseResult SimRuntime::run_kasync(TrainingState& state, const PhaseConfig& cfg,
     if (cfg.compressor)
       cfg.compressor->transform(w, grad, state.worker_rngs[static_cast<std::size_t>(w)]);
     item.grad.assign(grad.begin(), grad.end());
-    item.staleness = state.ps.version() - fl.pull_version;
+    item.staleness = state.ps.staleness_since(fl.pull_versions);
     item.worker = w;
     buffer.push_back(std::move(item));
     result.push_bytes += static_cast<std::int64_t>(std::llround(

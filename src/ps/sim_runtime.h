@@ -133,6 +133,12 @@ struct PhaseResult {
   /// K-sync / K-batch-sync only: completed-but-discarded worker tasks (the
   /// straggler work the protocol cancels at each round).
   std::int64_t cancelled_tasks = 0;
+  /// Async protocols: largest observed local-clock gap (fastest minus
+  /// slowest worker) at any scheduling decision.  SSP guarantees this never
+  /// exceeds the staleness bound, DSSP never exceeds bound + upper credit;
+  /// the threaded runtime reports the same invariant, which is what the
+  /// cross-runtime conformance suite checks.  0 for synchronous protocols.
+  std::int64_t max_clock_gap = 0;
 };
 
 /// Predicate polled after every worker-task completion; return true to end

@@ -21,6 +21,7 @@ struct WorkerContext {
   std::vector<int> batch_y;
   std::vector<float> snapshot;
   std::vector<float> grad;
+  std::vector<std::int64_t> pull_versions;  ///< per-shard versions at pull
   std::int64_t staleness_sum = 0;
 };
 
@@ -33,7 +34,7 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
 
   const std::size_t p = prototype.num_params();
   const std::size_t d = train.feature_dim();
-  SharedParameterServer ps(prototype.get_params(), cfg.momentum);
+  SharedParameterServer ps(prototype.get_params(), cfg.momentum, cfg.num_ps_shards);
 
   Rng root(cfg.seed);
   const auto shards = make_shards(train.size(), cfg.num_workers);
@@ -47,6 +48,7 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
         {},
         std::vector<float>(p),
         std::vector<float>(p),
+        {},
         0,
     };
     ctx.push_back(std::move(c));
@@ -119,11 +121,11 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
                  !max_gap.compare_exchange_weak(seen, gap, std::memory_order_relaxed)) {
           }
         }
-        const std::int64_t pull_version = ps.pull_with_version(c.snapshot);
+        ps.pull_with_versions(c.snapshot, c.pull_versions);
         c.sampler.next_batch(indices);
         train.gather(indices, c.batch_x, c.batch_y);
         c.model.gradient_at(c.snapshot, c.batch_x, c.batch_y, c.grad);
-        c.staleness_sum += ps.push(c.grad, cfg.lr, pull_version);
+        c.staleness_sum += ps.push(c.grad, cfg.lr, c.pull_versions);
         total_updates.fetch_add(1, std::memory_order_relaxed);
         {
           const std::lock_guard<std::mutex> lock(clock_mu);

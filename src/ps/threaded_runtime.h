@@ -2,7 +2,8 @@
 //
 // The simulator (sim_runtime.h) provides deterministic science; this runtime
 // proves the same PS/protocol logic is actually concurrent-safe by running
-// workers as OS threads against a mutex-protected parameter server:
+// workers as OS threads against a sharded, per-shard-mutex-protected
+// parameter server (one global lock when num_ps_shards == 1):
 //
 //  * BSP uses a std::barrier per round; worker 0 aggregates and applies.
 //  * ASP workers freely pull/push under the PS mutex at their own pace.
@@ -16,11 +17,14 @@
 // decrease on easy problems) hold and are tested.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <span>
 #include <vector>
 
+#include "common/error.h"
 #include "data/batcher.h"
 #include "data/dataset.h"
 #include "nn/lr_schedule.h"
@@ -30,44 +34,98 @@
 
 namespace ss {
 
-/// Thread-safe facade over ParameterServer.
+/// Thread-safe facade over the sharded ParameterServer.  Each shard is
+/// guarded by its own mutex, so concurrent ASP pushes serialize per shard —
+/// worker A can apply shard 1 while worker B applies shard 0 — instead of on
+/// one global lock.  All multi-shard operations take locks in ascending
+/// shard order, which rules out deadlock between the whole-vector helpers
+/// and the per-shard fast path.
 class SharedParameterServer {
  public:
-  SharedParameterServer(std::vector<float> init_params, double momentum)
-      : ps_(std::move(init_params), momentum) {}
+  SharedParameterServer(std::vector<float> init_params, double momentum,
+                        std::size_t num_shards = 1)
+      : ps_(std::move(init_params), momentum, num_shards),
+        shard_mu_(ps_.num_shards()) {}
+
+  [[nodiscard]] std::size_t num_shards() const noexcept { return shard_mu_.size(); }
 
   void pull(std::span<float> out) const {
-    const std::lock_guard<std::mutex> lock(mu_);
-    ps_.pull(out);
+    for (std::size_t s = 0; s < shard_mu_.size(); ++s) {
+      const std::lock_guard<std::mutex> lock(shard_mu_[s]);
+      ps_.pull_shard(s, out);
+    }
   }
 
+  /// Pull + snapshot the version of every shard as it is copied.  The
+  /// shard-version vector is what `push` measures staleness against.
+  void pull_with_versions(std::span<float> out, std::vector<std::int64_t>& versions) const {
+    versions.resize(shard_mu_.size());
+    for (std::size_t s = 0; s < shard_mu_.size(); ++s) {
+      const std::lock_guard<std::mutex> lock(shard_mu_[s]);
+      ps_.pull_shard(s, out);
+      versions[s] = ps_.shard_version(s);
+    }
+  }
+
+  /// Whole-vector compatibility pull: a single logical version (the count of
+  /// complete updates at the time of the pull).
   std::int64_t pull_with_version(std::span<float> out) const {
-    const std::lock_guard<std::mutex> lock(mu_);
-    ps_.pull(out);
-    return ps_.version();
+    std::int64_t version = 0;
+    for (std::size_t s = 0; s < shard_mu_.size(); ++s) {
+      const std::lock_guard<std::mutex> lock(shard_mu_[s]);
+      ps_.pull_shard(s, out);
+      const std::int64_t v = ps_.shard_version(s);
+      version = s == 0 ? v : std::min(version, v);
+    }
+    return version;
   }
 
-  /// Returns the staleness of this push (versions advanced since `pull_version`).
+  /// Apply a full gradient shard by shard.  Returns the staleness of this
+  /// push: the largest number of updates any shard absorbed since the pull
+  /// that produced `pull_versions`.
+  std::int64_t push(std::span<const float> grad, double lr,
+                    std::span<const std::int64_t> pull_versions) {
+    if (pull_versions.size() != shard_mu_.size())
+      throw ConfigError("SharedParameterServer::push: shard count mismatch");
+    std::int64_t staleness = 0;
+    for (std::size_t s = 0; s < shard_mu_.size(); ++s) {
+      const std::lock_guard<std::mutex> lock(shard_mu_[s]);
+      staleness = std::max(staleness, ps_.shard_version(s) - pull_versions[s]);
+      ps_.apply_shard(s, grad, lr);
+    }
+    return staleness;
+  }
+
+  /// Whole-vector compatibility push against a single pulled version.
   std::int64_t push(std::span<const float> grad, double lr, std::int64_t pull_version) {
-    const std::lock_guard<std::mutex> lock(mu_);
-    const std::int64_t staleness = ps_.version() - pull_version;
-    ps_.apply(grad, lr);
+    std::int64_t staleness = 0;
+    for (std::size_t s = 0; s < shard_mu_.size(); ++s) {
+      const std::lock_guard<std::mutex> lock(shard_mu_[s]);
+      staleness = std::max(staleness, ps_.shard_version(s) - pull_version);
+      ps_.apply_shard(s, grad, lr);
+    }
     return staleness;
   }
 
   [[nodiscard]] std::vector<float> snapshot() const {
-    const std::lock_guard<std::mutex> lock(mu_);
-    return {ps_.params().begin(), ps_.params().end()};
+    std::vector<float> out(ps_.num_params());
+    pull(out);
+    return out;
   }
 
   [[nodiscard]] std::int64_t version() const {
-    const std::lock_guard<std::mutex> lock(mu_);
-    return ps_.version();
+    std::int64_t version = 0;
+    for (std::size_t s = 0; s < shard_mu_.size(); ++s) {
+      const std::lock_guard<std::mutex> lock(shard_mu_[s]);
+      const std::int64_t v = ps_.shard_version(s);
+      version = s == 0 ? v : std::min(version, v);
+    }
+    return version;
   }
 
  private:
-  mutable std::mutex mu_;
-  ParameterServer ps_;
+  ShardedParameterServer ps_;
+  mutable std::vector<std::mutex> shard_mu_;  ///< one lock per shard
 };
 
 struct ThreadedTrainConfig {
@@ -79,6 +137,9 @@ struct ThreadedTrainConfig {
   double momentum = 0.9;
   std::uint64_t seed = 99;
   int ssp_staleness_bound = 3;  ///< local-clock gap bound for kSsp
+  /// PS shards (one mutex each): >1 lets concurrent pushes interleave at
+  /// shard granularity instead of serializing on a global lock.
+  std::size_t num_ps_shards = 1;
   /// Test hook: called by each worker before every local step (e.g. to make
   /// one worker artificially slow).  Must be thread-safe; may be null.
   std::function<void(std::size_t worker, std::int64_t step)> pre_step_hook;

@@ -1,5 +1,6 @@
 #include "sim/cluster.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace ss {
@@ -11,9 +12,16 @@ VTime ClusterModel::transfer_time(double slow_factor) const noexcept {
 }
 
 VTime ClusterModel::transfer_time(double slow_factor, double bytes) const noexcept {
-  const double wire_s = bytes / spec_.bandwidth_bps;
-  const VTime base = spec_.net_latency + VTime::from_seconds(wire_s);
+  const auto shards = static_cast<double>(std::max<std::size_t>(1, spec_.num_ps_shards));
+  const double wire_s = (bytes / shards) / spec_.bandwidth_bps;
+  const VTime base = spec_.net_latency + VTime::from_seconds(wire_s) +
+                     spec_.shard_issue_overhead.scaled(shards - 1.0);
   return base.scaled(slow_factor);
+}
+
+VTime ClusterModel::link_transfer_time(double slow_factor, double bytes) const noexcept {
+  const double wire_s = bytes / spec_.bandwidth_bps;
+  return (spec_.net_latency + VTime::from_seconds(wire_s)).scaled(slow_factor);
 }
 
 VTime ClusterModel::compute_time(Rng& rng, double slow_factor,

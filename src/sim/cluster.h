@@ -28,6 +28,24 @@ namespace ss {
 struct ClusterSpec {
   std::size_t num_workers = 8;
 
+  /// Parameter-server shards the vector is partitioned across (collocated
+  /// with workers, as in the paper's testbed).  Pulls and pushes fan out to
+  /// every shard in parallel: each leg carries payload_bytes / num_ps_shards
+  /// and the worker pays `shard_issue_overhead` to issue each extra request.
+  /// 1 (the default) reproduces the historical single-server pricing bit for
+  /// bit.  Also the shard count the session builds the ParameterServer with.
+  std::size_t num_ps_shards = 1;
+
+  /// Per-extra-shard request issue cost on the worker (serialization of the
+  /// RPC sends; the transfers themselves overlap).
+  VTime shard_issue_overhead = VTime::from_us(50.0);
+
+  /// Extra PS-side apply threads (beyond the applying thread) used to fan
+  /// shard updates in parallel.  Execution knob only: results are
+  /// bit-identical with or without it, so it is excluded from the run-cache
+  /// key.  0 = serial apply.
+  std::size_t ps_apply_threads = 0;
+
   /// Virtual per-batch GPU compute time for this workload (mean) at the
   /// reference batch size.  Stands in for "ResNet32 on a K80 with batch B"
   /// style numbers; actual compute scales with batch / reference_batch.
@@ -68,8 +86,17 @@ class ClusterModel {
   [[nodiscard]] VTime transfer_time(double slow_factor) const noexcept;
 
   /// A transfer of `bytes` on the wire (gradient compression shrinks the
-  /// push below `payload_bytes`; the pull stays full-size).
+  /// push below `payload_bytes`; the pull stays full-size).  With S PS
+  /// shards the payload is striped: the worker issues S requests
+  /// (shard_issue_overhead each beyond the first) whose bytes/S legs overlap
+  /// on the wire, so large-model transfers shrink toward bytes/(S*bandwidth)
+  /// while small ones are dominated by the issue cost.
   [[nodiscard]] VTime transfer_time(double slow_factor, double bytes) const noexcept;
+
+  /// A point-to-point transfer of `bytes` that does NOT traverse the
+  /// parameter server (e.g. the group runtime's cross-group delta
+  /// broadcasts): latency + bytes/bandwidth, independent of num_ps_shards.
+  [[nodiscard]] VTime link_transfer_time(double slow_factor, double bytes) const noexcept;
 
   /// Forward+backward compute for one minibatch of `batch` examples, with
   /// jitter.  Cost scales linearly with batch / reference_batch.

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "common/error.h"
 
 namespace ss {
@@ -43,6 +45,16 @@ TEST(Checkpoint, BadMagicThrows) {
 TEST(Checkpoint, TrailingBytesThrow) {
   auto bytes = sample().serialize();
   bytes.push_back(0);
+  EXPECT_THROW(Checkpoint::deserialize(bytes), CheckpointError);
+}
+
+TEST(Checkpoint, CorruptCountReportsCheckpointError) {
+  // A bit-flipped length field must surface as CheckpointError, not as a
+  // std::length_error/bad_alloc escaping from vector::resize.
+  auto bytes = sample().serialize();
+  const std::uint64_t huge = std::uint64_t{1} << 60;
+  // params-count field sits right after magic + version + global_step.
+  std::memcpy(bytes.data() + 4 + 4 + 8, &huge, sizeof(huge));
   EXPECT_THROW(Checkpoint::deserialize(bytes), CheckpointError);
 }
 

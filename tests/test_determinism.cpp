@@ -1,0 +1,134 @@
+// Bit-for-bit reproducibility of the simulator: two identical RunRequests
+// must produce identical RunResult curves.  This guards the event queue's
+// deterministic tie-breaking (same-time events fire in schedule order), the
+// forked-RNG stream discipline, and — since the PS became sharded — the
+// guarantee that neither the shard layout's per-shard accounting nor the
+// parallel apply pool perturbs a single float of the trajectory.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/session.h"
+
+namespace ss {
+namespace {
+
+RunRequest tiny_request() {
+  RunRequest req;
+  req.workload.arch = ModelArch::kLinear;
+  req.workload.data = SyntheticSpec::cifar10_like();
+  req.workload.data.num_classes = 3;
+  req.workload.data.feature_dim = 16;
+  req.workload.data.train_size = 1024;
+  req.workload.data.test_size = 512;
+  req.workload.data.class_separation = 1.2;
+  req.workload.total_steps = 256;
+  req.workload.hyper.batch_size = 16;
+  req.workload.hyper.learning_rate = 0.05;
+  req.workload.hyper.momentum = 0.9;
+  req.workload.eval_interval = 32;
+
+  req.cluster.num_workers = 4;
+  req.cluster.compute_per_batch = VTime::from_ms(20.0);
+  req.cluster.reference_batch = 16;
+  req.cluster.compute_jitter_sigma = 0.1;
+  req.cluster.net_latency = VTime::from_ms(1.0);
+  req.cluster.payload_bytes = 1000.0;
+  req.cluster.bandwidth_bps = 1e8;
+  req.cluster.sync_base = VTime::from_ms(20.0);
+  req.cluster.sync_quad = VTime::from_ms(0.5);
+  req.policy = SyncSwitchPolicy::bsp_to_asp(0.25);
+  req.actuator_time_scale = 0.01;
+  req.seed = 1;
+  return req;
+}
+
+/// Every float of both curves, and every scalar the evaluation reads, must
+/// match exactly — EXPECT_DOUBLE_EQ (ULP-tolerant) is deliberately not used.
+void expect_bitwise_equal(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.diverged, b.diverged);
+  EXPECT_EQ(a.steps_completed, b.steps_completed);
+  EXPECT_EQ(a.num_switches, b.num_switches);
+  EXPECT_EQ(a.train_time_seconds, b.train_time_seconds);
+  EXPECT_EQ(a.switch_overhead_seconds, b.switch_overhead_seconds);
+  EXPECT_EQ(a.mean_staleness, b.mean_staleness);
+  EXPECT_EQ(a.final_accuracy, b.final_accuracy);
+  EXPECT_EQ(a.best_accuracy, b.best_accuracy);
+  EXPECT_EQ(a.converged_accuracy, b.converged_accuracy);
+  EXPECT_EQ(a.final_train_loss, b.final_train_loss);
+  EXPECT_EQ(a.throughput_images_per_sec, b.throughput_images_per_sec);
+
+  ASSERT_EQ(a.loss_curve.size(), b.loss_curve.size());
+  for (std::size_t i = 0; i < a.loss_curve.size(); ++i) {
+    ASSERT_EQ(a.loss_curve[i].step, b.loss_curve[i].step) << "point " << i;
+    ASSERT_EQ(a.loss_curve[i].seconds, b.loss_curve[i].seconds) << "point " << i;
+    ASSERT_EQ(a.loss_curve[i].loss, b.loss_curve[i].loss) << "point " << i;
+  }
+  ASSERT_EQ(a.accuracy_curve.size(), b.accuracy_curve.size());
+  for (std::size_t i = 0; i < a.accuracy_curve.size(); ++i) {
+    ASSERT_EQ(a.accuracy_curve[i].step, b.accuracy_curve[i].step)
+        << "point " << i;
+    ASSERT_EQ(a.accuracy_curve[i].seconds, b.accuracy_curve[i].seconds) << "point " << i;
+    ASSERT_EQ(a.accuracy_curve[i].accuracy, b.accuracy_curve[i].accuracy) << "point " << i;
+  }
+}
+
+TEST(Determinism, IdenticalRunsProduceIdenticalCurves) {
+  const RunResult a = TrainingSession(tiny_request()).run();
+  const RunResult b = TrainingSession(tiny_request()).run();
+  expect_bitwise_equal(a, b);
+}
+
+TEST(Determinism, HoldsForEveryProtocolPair) {
+  for (Protocol proto : {Protocol::kAsp, Protocol::kSsp, Protocol::kKSync,
+                         Protocol::kKAsync}) {
+    RunRequest req = tiny_request();
+    req.policy = SyncSwitchPolicy::pure(proto);
+    req.workload.total_steps = 128;
+    const RunResult a = TrainingSession(req).run();
+    const RunResult b = TrainingSession(req).run();
+    expect_bitwise_equal(a, b);
+  }
+}
+
+TEST(Determinism, HoldsWithShardedPs) {
+  RunRequest req = tiny_request();
+  req.cluster.num_ps_shards = 8;
+  const RunResult a = TrainingSession(req).run();
+  const RunResult b = TrainingSession(req).run();
+  expect_bitwise_equal(a, b);
+}
+
+TEST(Determinism, HoldsWithParallelApplyAndMatchesSerial) {
+  RunRequest serial = tiny_request();
+  serial.cluster.num_ps_shards = 8;
+  RunRequest parallel = serial;
+  parallel.cluster.ps_apply_threads = 3;
+
+  const RunResult s1 = TrainingSession(serial).run();
+  const RunResult p1 = TrainingSession(parallel).run();
+  const RunResult p2 = TrainingSession(parallel).run();
+
+  // Parallel apply is repeatable with itself...
+  expect_bitwise_equal(p1, p2);
+  // ...and bit-identical to the serial path: the thread pool only changes
+  // who writes each disjoint shard, never the arithmetic.  This is also why
+  // ps_apply_threads stays out of the run-cache key.
+  expect_bitwise_equal(s1, p1);
+  EXPECT_EQ(serial.cache_key(), parallel.cache_key());
+}
+
+TEST(Determinism, ShardCountChangesTimingButIsKeyedSeparately) {
+  RunRequest flat = tiny_request();
+  RunRequest sharded = tiny_request();
+  sharded.cluster.num_ps_shards = 8;
+  // Different pricing → different cache entries.
+  EXPECT_NE(flat.cache_key(), sharded.cache_key());
+  // The sharded transfer model (parallel striped legs + per-request issue
+  // cost) must price a pull differently from the flat one on this payload.
+  const ClusterModel a(flat.cluster), b(sharded.cluster);
+  EXPECT_NE(a.transfer_time(1.0), b.transfer_time(1.0));
+}
+
+}  // namespace
+}  // namespace ss

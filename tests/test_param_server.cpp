@@ -50,6 +50,18 @@ TEST(ParameterServer, RestoreSizeMismatchThrows) {
   EXPECT_THROW(ps.restore(bad), CheckpointError);
 }
 
+TEST(ParameterServer, ApplySizeMismatchThrows) {
+  // apply() must reject a mismatched gradient itself rather than relying on
+  // a lower layer: the sharded implementation slices the gradient with
+  // subspan() before the optimizer's own size check could fire, so without
+  // this up-front validation a short span would fault mid-slicing.
+  ParameterServer ps({1.0f, 2.0f, 3.0f}, 0.9);
+  EXPECT_THROW(ps.apply(std::vector<float>(2, 0.1f), 0.1), ConfigError);
+  EXPECT_THROW(ps.apply(std::vector<float>(4, 0.1f), 0.1), ConfigError);
+  EXPECT_EQ(ps.version(), 0) << "rejected applies must not advance the version";
+  EXPECT_EQ(ps.params()[0], 1.0f) << "rejected applies must not touch parameters";
+}
+
 TEST(ParameterServer, HealthyDetectsNonFinite) {
   ParameterServer ps({1.0f}, 0.0);
   EXPECT_TRUE(ps.healthy());

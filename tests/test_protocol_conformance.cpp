@@ -1,0 +1,306 @@
+// Cross-runtime protocol conformance: the same workload run through the
+// event-driven simulator and the real-thread runtime must satisfy the same
+// semantic invariants for every protocol, independent of how many shards the
+// parameter server is split into:
+//
+//  * BSP and the K-sync family report zero gradient staleness (every
+//    aggregated update is computed against the freshest parameters).
+//  * SSP's local-clock gap never exceeds the staleness bound; DSSP's never
+//    exceeds bound + credit.
+//  * K-sync cancels exactly n - K completed tasks per round.
+//  * Synchronous math is independent of the shard layout bit for bit.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "nn/zoo.h"
+#include "ps/sim_runtime.h"
+#include "ps/threaded_runtime.h"
+
+namespace ss {
+namespace {
+
+constexpr std::size_t kWorkers = 4;
+constexpr std::size_t kBatch = 8;
+constexpr int kSspBound = 2;
+constexpr int kDsspUpper = 4;
+
+/// Captures every update observation so per-update invariants can be checked.
+struct RecordingSink final : MetricsSink {
+  std::vector<UpdateObservation> updates;
+  void on_task(const TaskObservation&) override {}
+  void on_update(const UpdateObservation& obs) override { updates.push_back(obs); }
+  void on_eval(std::int64_t, VTime, double) override {}
+};
+
+struct Fixture {
+  explicit Fixture(std::size_t num_shards_in, std::uint64_t seed = 5)
+      : num_shards(num_shards_in),
+        split(make_synthetic(make_spec())),
+        eval_set(split.test.head(128)),
+        root(seed),
+        model([&] {
+          Rng init = root.fork(1);
+          return make_model(ModelArch::kLinear, 16, 4, init);
+        }()),
+        eval_model(model.clone()),
+        state(make_state(num_shards)),
+        schedule(0.05) {}
+
+  static SyntheticSpec make_spec() {
+    SyntheticSpec s = SyntheticSpec::cifar10_like();
+    s.train_size = 512;
+    s.test_size = 256;
+    s.num_classes = 4;
+    s.feature_dim = 16;
+    s.class_separation = 1.2;
+    return s;
+  }
+
+  TrainingState make_state(std::size_t num_shards) {
+    const auto data_shards = make_shards(split.train.size(), kWorkers);
+    std::vector<MinibatchSampler> samplers;
+    std::vector<Rng> rngs;
+    for (std::size_t w = 0; w < kWorkers; ++w) {
+      samplers.emplace_back(data_shards[w], kBatch, root.fork(100 + w));
+      rngs.push_back(root.fork(200 + w));
+    }
+    return TrainingState(ParameterServer(model.get_params(), 0.9, num_shards),
+                         std::move(samplers), std::move(rngs));
+  }
+
+  static ClusterSpec cluster_spec(std::size_t num_shards) {
+    ClusterSpec c;
+    c.num_workers = kWorkers;
+    c.num_ps_shards = num_shards;
+    c.compute_per_batch = VTime::from_ms(10.0);
+    c.reference_batch = kBatch;
+    c.compute_jitter_sigma = 0.1;
+    c.net_latency = VTime::from_ms(1.0);
+    c.payload_bytes = 1000.0;
+    c.bandwidth_bps = 1e8;
+    c.sync_base = VTime::from_ms(5.0);
+    c.sync_quad = VTime::from_ms(0.1);
+    c.async_apply = VTime::from_ms(0.1);
+    return c;
+  }
+
+  PhaseConfig phase(Protocol proto, std::int64_t budget) const {
+    PhaseConfig cfg;
+    cfg.protocol = proto;
+    cfg.ssp_staleness_bound = kSspBound;
+    cfg.dssp_staleness_upper = kDsspUpper;
+    cfg.k_param = 2;
+    cfg.step_budget = budget;
+    cfg.lr_schedule = &schedule;
+    cfg.lr_multiplier = 1.0;
+    cfg.per_worker_batch = kBatch;
+    cfg.momentum = 0.9;
+    cfg.eval_interval = 0;
+    return cfg;
+  }
+
+  /// Runs a phase with the PS shard layout and the cluster pricing both
+  /// using this fixture's shard count.
+  PhaseResult run(Protocol proto, std::int64_t budget, MetricsSink& sink) {
+    SimRuntime runtime(ClusterModel(cluster_spec(num_shards)), model, eval_model, split.train,
+                       eval_set, sink);
+    // One 5x-slow worker so the staleness bounds actually engage.
+    const StragglerSchedule slow({{0, VTime::zero(), VTime::from_minutes(60.0), 5.0}});
+    std::vector<int> workers(kWorkers);
+    for (std::size_t i = 0; i < kWorkers; ++i) workers[i] = static_cast<int>(i);
+    return runtime.run_phase(state, phase(proto, budget), workers, slow, nullptr);
+  }
+
+  std::size_t num_shards;
+  DataSplit split;
+  Dataset eval_set;
+  Rng root;
+  Model model;
+  Model eval_model;
+  TrainingState state;
+  ConstantLr schedule;
+};
+
+class ProtocolConformance : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ProtocolConformance, ::testing::Values(1u, 8u),
+                         [](const auto& info) {
+                           return std::to_string(info.param) + "shards";
+                         });
+
+TEST_P(ProtocolConformance, SynchronousProtocolsReportZeroStaleness) {
+  const std::size_t shards = GetParam();
+  for (Protocol proto : {Protocol::kBsp, Protocol::kKSync, Protocol::kKBatchSync}) {
+    Fixture fx(shards);
+    RecordingSink sink;
+    const PhaseResult r = fx.run(proto, 120, sink);
+    EXPECT_EQ(r.end, PhaseEnd::kBudgetExhausted) << protocol_name(proto);
+    EXPECT_EQ(r.steps_done, 120) << protocol_name(proto);
+    EXPECT_DOUBLE_EQ(r.mean_staleness, 0.0) << protocol_name(proto);
+    EXPECT_EQ(r.max_clock_gap, 0) << protocol_name(proto);
+    ASSERT_FALSE(sink.updates.empty()) << protocol_name(proto);
+    for (const auto& u : sink.updates)
+      ASSERT_EQ(u.staleness, 0) << protocol_name(proto) << " step " << u.global_step;
+  }
+}
+
+TEST_P(ProtocolConformance, SspNeverExceedsTheBound) {
+  const std::size_t shards = GetParam();
+  Fixture fx(shards);
+  RecordingSink sink;
+  const PhaseResult r = fx.run(Protocol::kSsp, 200, sink);
+  EXPECT_EQ(r.steps_done, 200);
+  EXPECT_LE(r.max_clock_gap, kSspBound);
+  for (const auto& u : sink.updates) ASSERT_GE(u.staleness, 0);
+}
+
+TEST_P(ProtocolConformance, DsspNeverExceedsBoundPlusCredit) {
+  const std::size_t shards = GetParam();
+  Fixture fx(shards);
+  RecordingSink sink;
+  const PhaseResult r = fx.run(Protocol::kDssp, 200, sink);
+  EXPECT_EQ(r.steps_done, 200);
+  EXPECT_LE(r.max_clock_gap, kSspBound + kDsspUpper);
+}
+
+TEST_P(ProtocolConformance, AspRunsUnboundedButAccountsStaleness) {
+  const std::size_t shards = GetParam();
+  Fixture fx(shards);
+  RecordingSink sink;
+  const PhaseResult r = fx.run(Protocol::kAsp, 200, sink);
+  EXPECT_EQ(r.steps_done, 200);
+  EXPECT_GT(r.mean_staleness, 0.0);
+  for (const auto& u : sink.updates) ASSERT_GE(u.staleness, 0);
+}
+
+TEST_P(ProtocolConformance, KSyncCancelsExactlyNMinusKPerRound) {
+  const std::size_t shards = GetParam();
+  Fixture fx(shards);
+  RecordingSink sink;
+  // K = 2, n = 4: each round takes the 2 earliest completions and cancels
+  // the other 2; a 120-step budget at 2 steps per round is 60 rounds.
+  const PhaseResult r = fx.run(Protocol::kKSync, 120, sink);
+  const std::int64_t rounds = 120 / 2;
+  EXPECT_EQ(r.cancelled_tasks, rounds * static_cast<std::int64_t>(kWorkers - 2));
+}
+
+TEST_P(ProtocolConformance, KAsyncVariantsHonorTheBudget) {
+  const std::size_t shards = GetParam();
+  for (Protocol proto : {Protocol::kKAsync, Protocol::kKBatchAsync}) {
+    Fixture fx(shards);
+    RecordingSink sink;
+    const PhaseResult r = fx.run(proto, 120, sink);
+    EXPECT_GE(r.steps_done, 120) << protocol_name(proto);
+    for (const auto& u : sink.updates) ASSERT_GE(u.staleness, 0) << protocol_name(proto);
+  }
+}
+
+TEST(ProtocolConformance, BspMathIsIndependentOfShardLayout) {
+  // Sharding changes *where* parameters live and how transfers are priced,
+  // never the math: the BSP parameter trajectory must agree bit for bit
+  // between a flat server and an 8-shard server.
+  Fixture flat(1), sharded(8);
+  NullMetricsSink sink;
+  flat.run(Protocol::kBsp, 40, sink);
+  sharded.run(Protocol::kBsp, 40, sink);
+  const auto a = flat.state.ps.params();
+  const auto b = sharded.state.ps.params();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]) << "param " << i;
+}
+
+// ---------------------------------------------------------------------------
+// Threaded runtime: the same invariants hold with real OS threads and
+// per-shard locking.
+// ---------------------------------------------------------------------------
+
+DataSplit threaded_data() {
+  SyntheticSpec spec = Fixture::make_spec();
+  return make_synthetic(spec);
+}
+
+Model threaded_model(const DataSplit& split) {
+  Rng rng(11);
+  return make_model(ModelArch::kLinear, split.train.feature_dim(), 4, rng);
+}
+
+class ThreadedConformance : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ThreadedConformance, ::testing::Values(1u, 8u),
+                         [](const auto& info) {
+                           return std::to_string(info.param) + "shards";
+                         });
+
+TEST_P(ThreadedConformance, BspReportsZeroStaleness) {
+  const DataSplit split = threaded_data();
+  const Model proto = threaded_model(split);
+  ThreadedTrainConfig cfg;
+  cfg.protocol = Protocol::kBsp;
+  cfg.num_workers = kWorkers;
+  cfg.steps_per_worker = 20;
+  cfg.num_ps_shards = GetParam();
+  const auto result = threaded_train(proto, split.train, cfg);
+  EXPECT_EQ(result.total_updates, 20);
+  EXPECT_DOUBLE_EQ(result.mean_staleness, 0.0);
+  EXPECT_EQ(result.max_clock_gap, 0);
+  for (float p : result.final_params) ASSERT_TRUE(std::isfinite(p));
+}
+
+TEST_P(ThreadedConformance, AspAppliesEveryPush) {
+  const DataSplit split = threaded_data();
+  const Model proto = threaded_model(split);
+  ThreadedTrainConfig cfg;
+  cfg.protocol = Protocol::kAsp;
+  cfg.num_workers = kWorkers;
+  cfg.steps_per_worker = 25;
+  cfg.num_ps_shards = GetParam();
+  const auto result = threaded_train(proto, split.train, cfg);
+  EXPECT_EQ(result.total_updates, 25 * static_cast<std::int64_t>(kWorkers));
+  EXPECT_GE(result.mean_staleness, 0.0);
+  for (float p : result.final_params) ASSERT_TRUE(std::isfinite(p));
+}
+
+TEST_P(ThreadedConformance, SspHonorsTheClockGapBound) {
+  const DataSplit split = threaded_data();
+  const Model proto = threaded_model(split);
+  ThreadedTrainConfig cfg;
+  cfg.protocol = Protocol::kSsp;
+  cfg.num_workers = kWorkers;
+  cfg.steps_per_worker = 30;
+  cfg.ssp_staleness_bound = kSspBound;
+  cfg.num_ps_shards = GetParam();
+  cfg.pre_step_hook = [](std::size_t worker, std::int64_t) {
+    if (worker == 0) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  };
+  const auto result = threaded_train(proto, split.train, cfg);
+  EXPECT_LE(result.max_clock_gap, kSspBound);
+  EXPECT_EQ(result.total_updates, 30 * static_cast<std::int64_t>(kWorkers));
+  for (float p : result.final_params) ASSERT_TRUE(std::isfinite(p));
+}
+
+TEST(ThreadedConformance, BspMathIsIndependentOfShardLayout) {
+  // Threaded BSP aggregates in a fixed worker order, so the whole run is
+  // deterministic; the shard layout must not change a single bit of it.
+  const DataSplit split = threaded_data();
+  const Model proto = threaded_model(split);
+  ThreadedTrainConfig cfg;
+  cfg.protocol = Protocol::kBsp;
+  cfg.num_workers = kWorkers;
+  cfg.steps_per_worker = 15;
+  cfg.num_ps_shards = 1;
+  const auto flat = threaded_train(proto, split.train, cfg);
+  cfg.num_ps_shards = 8;
+  const auto sharded = threaded_train(proto, split.train, cfg);
+  ASSERT_EQ(flat.final_params.size(), sharded.final_params.size());
+  for (std::size_t i = 0; i < flat.final_params.size(); ++i)
+    ASSERT_EQ(flat.final_params[i], sharded.final_params[i]) << "param " << i;
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,212 @@
+#include "ps/sharded_param_server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ss {
+namespace {
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed, double scale = 1.0) {
+  Rng rng(seed);
+  std::vector<float> out(n);
+  for (auto& v : out) v = static_cast<float>(rng.gaussian(0.0, scale));
+  return out;
+}
+
+TEST(ShardedParameterServer, ShardLayoutPartitionsTheVector) {
+  ShardedParameterServer ps(std::vector<float>(10, 0.0f), 0.9, 4);
+  ASSERT_EQ(ps.num_shards(), 4u);
+  // 10 over 4 shards: the first two shards get the extra elements.
+  std::size_t covered = 0;
+  std::size_t expected_begin = 0;
+  const std::size_t expected_sizes[] = {3, 3, 2, 2};
+  for (std::size_t s = 0; s < 4; ++s) {
+    const auto r = ps.shard_range(s);
+    EXPECT_EQ(r.begin, expected_begin) << "shard " << s;
+    EXPECT_EQ(r.size(), expected_sizes[s]) << "shard " << s;
+    expected_begin = r.end;
+    covered += r.size();
+  }
+  EXPECT_EQ(covered, ps.num_params());
+  EXPECT_THROW((void)ps.shard_range(4), ConfigError);
+}
+
+TEST(ShardedParameterServer, ShardCountIsClampedToParams) {
+  ShardedParameterServer ps(std::vector<float>(3, 0.0f), 0.9, 16);
+  EXPECT_EQ(ps.num_shards(), 3u);
+  ShardedParameterServer ps0(std::vector<float>(3, 0.0f), 0.9, 0);
+  EXPECT_EQ(ps0.num_shards(), 1u);
+}
+
+TEST(ShardedParameterServer, PerShardVersionsAdvance) {
+  ShardedParameterServer ps(std::vector<float>(8, 0.0f), 0.0, 4);
+  EXPECT_EQ(ps.version(), 0);
+  ps.apply(std::vector<float>(8, 1.0f), 0.1);
+  for (std::size_t s = 0; s < 4; ++s) EXPECT_EQ(ps.shard_version(s), 1);
+  EXPECT_EQ(ps.version(), 1);
+
+  // A lone shard update advances that shard only; the logical version is the
+  // count of *complete* updates, i.e. the minimum.
+  ps.apply_shard(2, std::vector<float>(8, 1.0f), 0.1);
+  EXPECT_EQ(ps.shard_version(2), 2);
+  EXPECT_EQ(ps.version(), 1);
+
+  std::vector<std::int64_t> versions;
+  ps.shard_versions(versions);
+  EXPECT_EQ(versions, (std::vector<std::int64_t>{1, 1, 2, 1}));
+}
+
+TEST(ShardedParameterServer, ShardedApplyMatchesSingleShardBitwise) {
+  const std::size_t p = 1003;  // not divisible by the shard count
+  const auto init = random_vec(p, 7);
+  ShardedParameterServer flat(init, 0.9, 1);
+  ShardedParameterServer sharded(init, 0.9, 8);
+  for (int step = 0; step < 5; ++step) {
+    const auto grad = random_vec(p, 100 + static_cast<std::uint64_t>(step), 0.01);
+    flat.apply(grad, 0.05);
+    sharded.apply(grad, 0.05);
+  }
+  ASSERT_EQ(flat.params().size(), sharded.params().size());
+  for (std::size_t i = 0; i < p; ++i)
+    ASSERT_EQ(flat.params()[i], sharded.params()[i]) << "param " << i;
+  for (std::size_t i = 0; i < p; ++i)
+    ASSERT_EQ(flat.optimizer().velocity()[i], sharded.optimizer().velocity()[i])
+        << "velocity " << i;
+}
+
+TEST(ShardedParameterServer, ParallelApplyIsBitIdenticalToSerial) {
+  const std::size_t p = 40000;
+  const auto init = random_vec(p, 9);
+  ShardedParameterServer serial(init, 0.9, 8);
+  ShardedParameterServer parallel(init, 0.9, 8);
+  parallel.set_parallel_apply(3);
+  EXPECT_TRUE(parallel.parallel_apply_enabled());
+  for (int step = 0; step < 4; ++step) {
+    const auto grad = random_vec(p, 200 + static_cast<std::uint64_t>(step), 0.01);
+    serial.apply(grad, 0.05);
+    parallel.apply(grad, 0.05);
+  }
+  for (std::size_t i = 0; i < p; ++i)
+    ASSERT_EQ(serial.params()[i], parallel.params()[i]) << "param " << i;
+  for (std::size_t i = 0; i < p; ++i)
+    ASSERT_EQ(serial.optimizer().velocity()[i], parallel.optimizer().velocity()[i])
+        << "velocity " << i;
+
+  // The parallel pull must read back exactly what a serial pull sees.
+  std::vector<float> serial_out(p), parallel_out(p);
+  serial.pull(serial_out);
+  parallel.pull(parallel_out);
+  EXPECT_EQ(serial_out, parallel_out);
+
+  // Versions advanced once per full apply on every shard.
+  for (std::size_t s = 0; s < parallel.num_shards(); ++s)
+    EXPECT_EQ(parallel.shard_version(s), 4);
+}
+
+TEST(ShardApplyPool, TaskExceptionPropagatesToCallerAndPoolSurvives) {
+  ShardApplyPool pool(2);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(pool.run(8,
+                        [&](std::size_t t) {
+                          executed.fetch_add(1);
+                          if (t == 3) throw ConfigError("boom");
+                        }),
+               ConfigError);
+  // Independent tasks still ran; the pool is reusable afterwards.
+  EXPECT_EQ(executed.load(), 8);
+  std::atomic<int> second{0};
+  pool.run(4, [&](std::size_t) { second.fetch_add(1); });
+  EXPECT_EQ(second.load(), 4);
+}
+
+TEST(ShardedParameterServer, PullShardOnlyTouchesItsRange) {
+  ShardedParameterServer ps(random_vec(10, 3), 0.9, 4);
+  std::vector<float> out(10, -1000.0f);
+  ps.pull_shard(1, out);
+  const auto r = ps.shard_range(1);
+  for (std::size_t i = 0; i < 10; ++i) {
+    if (i >= r.begin && i < r.end)
+      EXPECT_EQ(out[i], ps.params()[i]) << "index " << i;
+    else
+      EXPECT_EQ(out[i], -1000.0f) << "index " << i;
+  }
+}
+
+TEST(ShardedParameterServer, StalenessSinceIsMaxOverShards) {
+  ShardedParameterServer ps(std::vector<float>(8, 0.0f), 0.0, 4);
+  std::vector<std::int64_t> pulled;
+  ps.shard_versions(pulled);
+  ps.apply(std::vector<float>(8, 1.0f), 0.1);
+  ps.apply(std::vector<float>(8, 1.0f), 0.1);
+  EXPECT_EQ(ps.staleness_since(pulled), 2);
+  ps.apply_shard(3, std::vector<float>(8, 1.0f), 0.1);
+  EXPECT_EQ(ps.staleness_since(pulled), 3);
+
+  const std::vector<std::int64_t> wrong_size(2, 0);
+  EXPECT_THROW((void)ps.staleness_since(wrong_size), ConfigError);
+}
+
+TEST(ShardedParameterServer, CheckpointRoundTripsShardLayout) {
+  ShardedParameterServer ps(random_vec(20, 5), 0.9, 4);
+  ps.apply(random_vec(20, 6, 0.01), 0.05);
+  ps.apply(random_vec(20, 7, 0.01), 0.05);
+
+  const Checkpoint ckpt = ps.make_checkpoint(99);
+  EXPECT_EQ(ckpt.num_shards, 4u);
+  EXPECT_EQ(ckpt.shard_versions, (std::vector<std::int64_t>{2, 2, 2, 2}));
+
+  // Serialization preserves the layout fields.
+  const Checkpoint back = Checkpoint::deserialize(ckpt.serialize());
+  EXPECT_EQ(back, ckpt);
+
+  // Same-layout restore round-trips the parameters and velocity.
+  ShardedParameterServer same(std::vector<float>(20, 0.0f), 0.9, 4);
+  same.restore(back);
+  EXPECT_EQ(std::vector<float>(same.params().begin(), same.params().end()), ckpt.params);
+  EXPECT_EQ(std::vector<float>(same.optimizer().velocity().begin(),
+                               same.optimizer().velocity().end()),
+            ckpt.velocity);
+
+  // A different multi-shard layout is refused; a flat checkpoint is accepted
+  // by any layout.
+  ShardedParameterServer other(std::vector<float>(20, 0.0f), 0.9, 5);
+  EXPECT_THROW(other.restore(back), CheckpointError);
+  Checkpoint flat = back;
+  flat.num_shards = 1;
+  flat.shard_versions.clear();
+  other.restore(flat);
+  EXPECT_EQ(std::vector<float>(other.params().begin(), other.params().end()), ckpt.params);
+}
+
+TEST(ShardedParameterServer, LegacyV1CheckpointDeserializes) {
+  // Hand-build a v1 blob (no shard fields) and check it reads back as flat.
+  Checkpoint c;
+  c.global_step = 7;
+  c.params = {1.0f, 2.0f};
+  c.velocity = {0.5f, -0.5f};
+  auto bytes = c.serialize();
+  // Rewrite the version word to 1 and drop the trailing shard section
+  // (num_shards u64 + count u64 + 0 entries = 16 bytes... plus entries).
+  const std::size_t shard_tail =
+      sizeof(std::uint64_t) * 2 + c.shard_versions.size() * sizeof(std::int64_t);
+  bytes.resize(bytes.size() - shard_tail);
+  const std::uint32_t v1 = 1;
+  std::memcpy(bytes.data() + sizeof(std::uint32_t), &v1, sizeof(v1));
+
+  const Checkpoint back = Checkpoint::deserialize(bytes);
+  EXPECT_EQ(back.global_step, 7);
+  EXPECT_EQ(back.params, c.params);
+  EXPECT_EQ(back.velocity, c.velocity);
+  EXPECT_EQ(back.num_shards, 1u);
+  EXPECT_TRUE(back.shard_versions.empty());
+}
+
+}  // namespace
+}  // namespace ss
