@@ -125,6 +125,27 @@ void BM_PsApplyParallel(benchmark::State& state) {
 }
 BENCHMARK(BM_PsApplyParallel)->Args({10'000'000, 8})->Args({10'000'000, 16});
 
+// The sparse fast path: a top-k(1%) CompressedPush against the sharded
+// shared PS.  Only shards owning kept coordinates are locked and written —
+// compare items/s against BM_PsPushSingleLock's full 10M-element sweep (the
+// sparse push touches ~100k coordinates for the same logical gradient).
+void BM_PsApplySparseTopK(benchmark::State& state) {
+  const auto p = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<std::size_t>(state.range(1));
+  SharedParameterServer ps(std::vector<float>(p, 0.5f), 0.9, shards);
+  TopKCodec codec(0.01);
+  Rng rng(5);
+  std::vector<float> grad(p);
+  for (std::size_t i = 0; i < p; ++i) grad[i] = static_cast<float>(rng.gaussian());
+  const CompressedPush push = codec.encode(grad, rng);
+  const std::vector<std::int64_t> pulled(shards, 0);
+  for (auto _ : state) benchmark::DoNotOptimize(ps.push_compressed(push, 0.05, pulled));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(push.nnz()));
+  state.counters["nnz"] = static_cast<double>(push.nnz());
+}
+BENCHMARK(BM_PsApplySparseTopK)->Args({10'000'000, 1})->Args({10'000'000, 8});
+
 void BM_PsPull(benchmark::State& state) {
   const std::size_t p = 13000;
   ParameterServer ps(std::vector<float>(p, 0.5f), 0.9);

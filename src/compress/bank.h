@@ -12,6 +12,11 @@
 // into the top-k set.  For unbiased quantizers it is optional but typically
 // reduces the noise floor.  The residual is transport state, so it lives
 // here, per worker slot, not in the stateless codec.
+//
+// Thread safety: all mutable state (residual + scratch) is per worker slot,
+// so concurrent `transform`/`encode` calls are safe as long as no two
+// threads share a worker index — exactly the discipline of the threaded
+// runtime, where worker w is one OS thread.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +25,7 @@
 #include <vector>
 
 #include "compress/codec.h"
+#include "compress/compressed_push.h"
 
 namespace ss {
 
@@ -38,6 +44,13 @@ class CompressorBank {
   /// Returns the wire bytes of the encoded push.
   std::size_t transform(int worker, std::span<float> grad, Rng& rng);
 
+  /// Encode worker `w`'s gradient into its wire form, carrying the error
+  /// feedback residual exactly like `transform` (the residual update uses
+  /// the decoded push, so sparse and dense codecs share one code path).
+  /// Given equal inputs and RNG state, `encode(...).decode_into(g)` and
+  /// `transform(...)` produce bit-identical gradients and residuals.
+  [[nodiscard]] CompressedPush encode(int worker, std::span<const float> grad, Rng& rng);
+
   /// Deterministic wire-size estimate (delegates to the codec).
   [[nodiscard]] std::size_t wire_bytes(std::size_t num_params) const {
     return codec_->wire_bytes(num_params);
@@ -45,7 +58,7 @@ class CompressorBank {
 
   [[nodiscard]] const GradientCodec& codec() const noexcept { return *codec_; }
   [[nodiscard]] bool error_feedback() const noexcept { return error_feedback_; }
-  [[nodiscard]] std::size_t num_workers() const noexcept { return residuals_.size(); }
+  [[nodiscard]] std::size_t num_workers() const noexcept { return slots_.size(); }
 
   /// Total mass currently carried in worker `w`'s residual (L1 norm).
   /// Exposed for tests and diagnostics.
@@ -56,12 +69,21 @@ class CompressorBank {
   void reset();
 
  private:
-  std::vector<float>& residual_for(int worker, std::size_t num_params);
+  /// All per-worker mutable state: the carried residual plus the scratch
+  /// buffers the feedback bookkeeping needs (kept per slot so distinct
+  /// workers never share memory).
+  struct WorkerSlot {
+    std::vector<float> residual;  // lazily sized
+    std::vector<float> carry;     // g + residual (pre-codec values)
+    std::vector<float> decoded;   // decoded push, for the carry-out
+  };
+
+  WorkerSlot& slot_for(int worker);
+  std::vector<float>& residual_for(WorkerSlot& slot, std::size_t num_params);
 
   std::shared_ptr<const GradientCodec> codec_;
   bool error_feedback_;
-  std::vector<std::vector<float>> residuals_;  // lazily sized per worker
-  std::vector<float> scratch_;
+  std::vector<WorkerSlot> slots_;
 };
 
 }  // namespace ss

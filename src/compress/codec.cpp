@@ -2,6 +2,15 @@
 
 namespace ss {
 
+CompressedPush GradientCodec::encode(std::span<const float> grad, Rng& rng) const {
+  CompressedPush push;
+  push.format = CompressedPush::Format::kDense;
+  push.num_params = grad.size();
+  push.values.assign(grad.begin(), grad.end());
+  push.wire_size = transform(push.values, rng);
+  return push;
+}
+
 std::size_t IdentityCodec::transform(std::span<float> grad, Rng& /*rng*/) const {
   return grad.size() * sizeof(float);
 }

@@ -8,12 +8,15 @@
 // an identity codec, so the combination can actually be measured (see
 // bench/ablation_compression and examples/compressed_training).
 //
-// A codec is modelled as a lossy round-trip: `transform` rewrites the
-// gradient in place with exactly the values the decoder would reconstruct,
-// and reports the number of bytes the encoded form occupies on the wire.
-// The simulator charges the push transfer for the *wire* bytes while the
-// gradient mathematics sees the *reconstructed* values — both the speedup
-// and the accuracy cost of compression are therefore real, not modelled.
+// A codec offers two equivalent views of the same lossy round-trip:
+// `transform` rewrites the gradient in place with exactly the values the
+// decoder would reconstruct and reports the wire byte count, and `encode`
+// produces the explicit `CompressedPush` wire form (dense for quantizers,
+// sparse index/value pairs for top-k) whose decode reconstructs the same
+// values bit for bit.  The simulator charges the push transfer for the
+// *wire* bytes while the gradient mathematics sees the *reconstructed*
+// values — both the speedup and the accuracy cost of compression are
+// therefore real, not modelled.
 #pragma once
 
 #include <cstddef>
@@ -22,6 +25,7 @@
 #include <string>
 
 #include "common/rng.h"
+#include "compress/compressed_push.h"
 
 namespace ss {
 
@@ -41,6 +45,13 @@ class GradientCodec {
   /// encoded size in bytes.  `rng` drives stochastic quantization; codecs
   /// that are deterministic simply ignore it.
   virtual std::size_t transform(std::span<float> grad, Rng& rng) const = 0;
+
+  /// Encode `grad` into its wire form.  Must consume `rng` identically to
+  /// `transform` and decode to the same values bit for bit (the conformance
+  /// suite checks this).  The default implementation copies the gradient and
+  /// runs `transform` on the copy, producing a dense push; codecs with a
+  /// genuinely sparse wire form (top-k) override it.
+  [[nodiscard]] virtual CompressedPush encode(std::span<const float> grad, Rng& rng) const;
 
   /// Deterministic wire-size estimate for a gradient of `num_params`
   /// elements.  The simulator uses this to price the push transfer *before*

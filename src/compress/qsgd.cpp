@@ -47,7 +47,11 @@ std::size_t QsgdCodec::transform(std::span<float> grad, Rng& rng) const {
 
   const auto s = static_cast<double>(levels_);
   for (float& g : grad) {
-    const double r = std::fabs(g) / norm * s;  // in [0, s]
+    // Mathematically |g|/norm <= 1, but the double rounding in norm can push
+    // the ratio a hair past 1 (e.g. a single-coordinate gradient whose
+    // squared sum rounds down); clamp so the emitted level never overflows
+    // the 0..levels range that bits_per_coord_ prices.
+    const double r = std::min(std::fabs(g) / norm * s, s);
     const double l = std::floor(r);
     const double frac = r - l;
     const double level = rng.bernoulli(frac) ? l + 1.0 : l;

@@ -18,10 +18,12 @@ std::size_t TernGradCodec::transform(std::span<float> grad, Rng& rng) const {
     }
     const double mean = sum / static_cast<double>(n);
     const double var = std::max(0.0, sq / static_cast<double>(n) - mean * mean);
-    const double bound = clip_sigma_ * std::sqrt(var);
-    const auto lo = static_cast<float>(mean - bound);
-    const auto hi = static_cast<float>(mean + bound);
-    for (float& g : grad) g = std::clamp(g, lo, hi);
+    // TernGrad (Wen et al. §4) clips gradient *magnitudes* to c * sigma:
+    // g <- clamp(g, -c*sigma, +c*sigma).  Clipping to mean +/- c*sigma
+    // instead (an earlier bug here) skews the ternary scale s = max|g| for
+    // nonzero-mean gradients and breaks the sign symmetry of the quantizer.
+    const auto bound = static_cast<float>(clip_sigma_ * std::sqrt(var));
+    for (float& g : grad) g = std::clamp(g, -bound, bound);
   }
 
   float scale = 0.0f;

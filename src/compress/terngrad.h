@@ -14,10 +14,10 @@ namespace ss {
 
 class TernGradCodec final : public GradientCodec {
  public:
-  /// With `clip_sigma > 0`, gradients are first clipped to
-  /// mean ± clip_sigma * stddev — TernGrad's "gradient clipping" trick that
-  /// bounds the scale s and cuts quantization variance (§4 of the paper).
-  /// `clip_sigma <= 0` disables clipping.
+  /// With `clip_sigma > 0`, gradient magnitudes are first clipped to
+  /// [-clip_sigma * stddev, +clip_sigma * stddev] — TernGrad's "gradient
+  /// clipping" trick that bounds the scale s and cuts quantization variance
+  /// (§4 of the paper).  `clip_sigma <= 0` disables clipping.
   explicit TernGradCodec(double clip_sigma = 2.5) : clip_sigma_(clip_sigma) {}
 
   [[nodiscard]] std::string name() const override { return "terngrad"; }

@@ -24,25 +24,29 @@ std::string TopKCodec::name() const {
 }
 
 std::size_t TopKCodec::kept(std::size_t num_params) const noexcept {
+  if (num_params == 0) return 0;
   const auto k = static_cast<std::size_t>(
       std::llround(keep_fraction_ * static_cast<double>(num_params)));
   return std::clamp<std::size_t>(k, 1, num_params);
 }
 
 std::size_t TopKCodec::wire_bytes(std::size_t num_params) const {
-  // One (uint32 index, fp32 value) pair per kept coordinate.
-  return kept(num_params) * (sizeof(std::uint32_t) + sizeof(float));
+  // One (uint32 index, fp32 value) pair per kept coordinate, capped at the
+  // dense fp32 payload: at high keep fractions the index stream costs more
+  // than just sending every value, so the encoder falls back to dense and
+  // the price must follow (topk(100%) used to charge 2x the dense size).
+  const std::size_t sparse = kept(num_params) * (sizeof(std::uint32_t) + sizeof(float));
+  const std::size_t dense = num_params * sizeof(float);
+  return std::min(sparse, dense) + kHeaderBytes;
 }
 
-std::size_t TopKCodec::transform(std::span<float> grad, Rng& /*rng*/) const {
+std::vector<std::uint32_t> TopKCodec::select(std::span<const float> grad) const {
   const std::size_t n = grad.size();
-  if (n == 0) return 0;
   const std::size_t k = kept(n);
-  if (k == n) return wire_bytes(n);
-
-  // Find the magnitude threshold with nth_element over a scratch index set.
   std::vector<std::uint32_t> order(n);
   std::iota(order.begin(), order.end(), 0u);
+  if (k == n) return order;
+
   const auto greater_mag = [&grad](std::uint32_t a, std::uint32_t b) {
     const float ma = std::fabs(grad[a]);
     const float mb = std::fabs(grad[b]);
@@ -51,13 +55,53 @@ std::size_t TopKCodec::transform(std::span<float> grad, Rng& /*rng*/) const {
   };
   std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k - 1),
                    order.end(), greater_mag);
+  order.resize(k);
+  return order;
+}
 
+std::size_t TopKCodec::transform(std::span<float> grad, Rng& /*rng*/) const {
+  const std::size_t n = grad.size();
+  if (n == 0) return wire_bytes(0);
+  const std::size_t k = kept(n);
+  if (k == n) return wire_bytes(n);
+
+  const std::vector<std::uint32_t> keep_idx = select(grad);
   // Zero everything outside the top-k set.
   std::vector<char> keep(n, 0);
-  for (std::size_t i = 0; i < k; ++i) keep[order[i]] = 1;
+  for (const std::uint32_t i : keep_idx) keep[i] = 1;
   for (std::size_t i = 0; i < n; ++i)
     if (!keep[i]) grad[i] = 0.0f;
   return wire_bytes(n);
+}
+
+CompressedPush TopKCodec::encode(std::span<const float> grad, Rng& /*rng*/) const {
+  const std::size_t n = grad.size();
+  CompressedPush push;
+  push.num_params = n;
+  push.wire_size = wire_bytes(n);
+  if (n == 0) {
+    push.format = CompressedPush::Format::kSparse;
+    return push;
+  }
+  const std::size_t k = kept(n);
+  // Dense fallback once the index stream would cost more than plain fp32.
+  if (k * (sizeof(std::uint32_t) + sizeof(float)) >= n * sizeof(float)) {
+    push.format = CompressedPush::Format::kDense;
+    push.values.assign(grad.begin(), grad.end());
+    if (k < n) {
+      std::vector<char> keep(n, 0);
+      for (const std::uint32_t i : select(grad)) keep[i] = 1;
+      for (std::size_t i = 0; i < n; ++i)
+        if (!keep[i]) push.values[i] = 0.0f;
+    }
+    return push;
+  }
+  push.format = CompressedPush::Format::kSparse;
+  push.indices = select(grad);
+  std::sort(push.indices.begin(), push.indices.end());  // wire order: ascending
+  push.values.reserve(k);
+  for (const std::uint32_t i : push.indices) push.values.push_back(grad[i]);
+  return push;
 }
 
 }  // namespace ss

@@ -16,24 +16,44 @@ namespace ss {
 
 class TopKCodec final : public GradientCodec {
  public:
+  /// Fixed per-push framing cost: one uint32 announcing the kept-coordinate
+  /// count (or the dense-fallback marker).
+  static constexpr std::size_t kHeaderBytes = sizeof(std::uint32_t);
+
   /// `keep_fraction` in (0, 1]: the fraction of coordinates transmitted.
-  /// At least one coordinate is always kept.
+  /// At least one coordinate is always kept (for non-empty gradients).
   explicit TopKCodec(double keep_fraction);
 
   [[nodiscard]] std::string name() const override;
 
   std::size_t transform(std::span<float> grad, Rng& rng) const override;
 
+  /// Sparse wire form: the kept (index, value) pairs in ascending index
+  /// order.  When the index overhead would exceed a plain dense payload
+  /// (keep fractions above 50%), the encoder falls back to a dense push and
+  /// `wire_bytes` prices the dense size — sending indices for coordinates
+  /// the receiver could enumerate is pure waste.
+  [[nodiscard]] CompressedPush encode(std::span<const float> grad, Rng& rng) const override;
+
+  /// min(kept * 8, num_params * 4) + kHeaderBytes: (uint32, fp32) pairs,
+  /// capped at the dense fp32 payload the sparse form must never exceed.
   [[nodiscard]] std::size_t wire_bytes(std::size_t num_params) const override;
 
   [[nodiscard]] bool unbiased() const override { return false; }
 
   [[nodiscard]] double keep_fraction() const noexcept { return keep_fraction_; }
 
-  /// Number of coordinates kept for a gradient of `num_params` elements.
+  /// Number of coordinates kept for a gradient of `num_params` elements
+  /// (0 for an empty gradient).
   [[nodiscard]] std::size_t kept(std::size_t num_params) const noexcept;
 
  private:
+  /// Top-k index set for `grad`, in unspecified order (nth_element prefix).
+  /// The selection and its tie-break (lower index wins on equal magnitude)
+  /// are shared by `transform` and `encode` so the two forms agree bit for
+  /// bit; only `encode` pays to sort the set into wire order.
+  [[nodiscard]] std::vector<std::uint32_t> select(std::span<const float> grad) const;
+
   double keep_fraction_;
 };
 

@@ -30,6 +30,23 @@ void SgdMomentum::apply_range(std::span<float> params, std::span<const float> gr
   }
 }
 
+void SgdMomentum::apply_sparse(std::span<float> params, std::span<const std::uint32_t> indices,
+                               std::span<const float> values, double lr) {
+  if (params.size() != accum_.size())
+    throw ConfigError("SgdMomentum::apply_sparse: parameter size mismatch");
+  if (indices.size() != values.size())
+    throw ConfigError("SgdMomentum::apply_sparse: index/value length mismatch");
+  const float mu = static_cast<float>(momentum_);
+  const float eta = static_cast<float>(lr);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::size_t j = indices[i];
+    if (j >= params.size())
+      throw ConfigError("SgdMomentum::apply_sparse: index out of range");
+    accum_[j] = mu * accum_[j] + values[i];
+    params[j] -= eta * accum_[j];
+  }
+}
+
 void SgdMomentum::reset_velocity() noexcept {
   for (auto& v : accum_) v = 0.0f;
 }

@@ -6,6 +6,7 @@
 // checkpoint taken when Sync-Switch switches protocols.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -28,6 +29,16 @@ class SgdMomentum {
   /// one full-vector `apply`.
   void apply_range(std::span<float> params, std::span<const float> grad, double lr,
                    std::size_t offset);
+
+  /// Sparse update: advance only the listed coordinates.  `params` is the
+  /// full parameter vector; `indices[i]` addresses both `params` and the
+  /// velocity state, receiving gradient `values[i]`.  Untouched coordinates
+  /// keep their parameter *and* velocity bits — sparse momentum SGD only
+  /// decays a coordinate's velocity when that coordinate is transmitted.
+  /// For a single step from equal state, the arithmetic on a listed
+  /// coordinate is bit-identical to a dense `apply` of the scattered vector.
+  void apply_sparse(std::span<float> params, std::span<const std::uint32_t> indices,
+                    std::span<const float> values, double lr);
 
   [[nodiscard]] double momentum() const noexcept { return momentum_; }
 

@@ -25,6 +25,18 @@ ShardedParameterServer::ShardRange ShardedParameterServer::shard_range(
   return {begin, begin + base + (shard < extra ? 1 : 0)};
 }
 
+std::size_t ShardedParameterServer::shard_of(std::size_t param_index) const {
+  if (param_index >= params_.size())
+    throw ConfigError("ShardedParameterServer::shard_of: parameter index out of range");
+  const std::size_t s = num_shards();
+  const std::size_t base = params_.size() / s;
+  const std::size_t extra = params_.size() % s;
+  // The first `extra` shards hold base + 1 elements each.
+  const std::size_t wide = extra * (base + 1);
+  if (param_index < wide) return param_index / (base + 1);
+  return extra + (param_index - wide) / base;
+}
+
 void ShardedParameterServer::pull(std::span<float> out) const {
   if (out.size() != params_.size())
     throw ConfigError("ShardedParameterServer::pull: size mismatch");
@@ -58,6 +70,33 @@ void ShardedParameterServer::apply(std::span<const float> grad, double lr) {
     return;
   }
   for (std::size_t s = 0; s < num_shards(); ++s) apply_shard(s, grad, lr);
+}
+
+void ShardedParameterServer::apply_sparse(std::span<const std::uint32_t> indices,
+                                          std::span<const float> values, double lr) {
+  if (indices.size() != values.size())
+    throw ConfigError("ShardedParameterServer::apply_sparse: index/value length mismatch");
+  // Untouched shards are skipped entirely — no parameter writes, no version
+  // bump.
+  for_each_shard_segment(indices, [&](std::size_t s, std::size_t lo, std::size_t hi) {
+    apply_sparse_shard(s, indices.subspan(lo, hi - lo), values.subspan(lo, hi - lo), lr);
+  });
+}
+
+void ShardedParameterServer::apply_sparse_shard(std::size_t shard,
+                                                std::span<const std::uint32_t> indices,
+                                                std::span<const float> values, double lr) {
+  const ShardRange r = shard_range(shard);
+  if (indices.size() != values.size())
+    throw ConfigError("ShardedParameterServer::apply_sparse_shard: length mismatch");
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] < r.begin || indices[i] >= r.end)
+      throw ConfigError("ShardedParameterServer::apply_sparse_shard: index outside shard");
+    if (i > 0 && indices[i] <= indices[i - 1])
+      throw ConfigError("ShardedParameterServer::apply_sparse_shard: indices must be ascending");
+  }
+  opt_.apply_sparse(params_, indices, values, lr);
+  ++shard_versions_[shard];
 }
 
 void ShardedParameterServer::pull_shard(std::size_t shard, std::span<float> out) const {
@@ -96,6 +135,17 @@ std::int64_t ShardedParameterServer::staleness_since(
   std::int64_t stale = 0;
   for (std::size_t s = 0; s < pulled.size(); ++s)
     stale = std::max(stale, shard_versions_[s] - pulled[s]);
+  return stale;
+}
+
+std::int64_t ShardedParameterServer::staleness_since(
+    std::span<const std::int64_t> pulled, std::span<const std::uint32_t> indices) const {
+  if (pulled.size() != shard_versions_.size())
+    throw ConfigError("ShardedParameterServer::staleness_since: shard count mismatch");
+  std::int64_t stale = 0;
+  for_each_shard_segment(indices, [&](std::size_t s, std::size_t, std::size_t) {
+    stale = std::max(stale, shard_versions_[s] - pulled[s]);
+  });
   return stale;
 }
 

@@ -30,6 +30,7 @@
 #include <span>
 #include <vector>
 
+#include "common/error.h"
 #include "nn/checkpoint.h"
 #include "nn/optimizer.h"
 #include "ps/shard_pool.h"
@@ -57,6 +58,33 @@ class ShardedParameterServer {
   [[nodiscard]] std::size_t num_shards() const noexcept { return shard_versions_.size(); }
   [[nodiscard]] ShardRange shard_range(std::size_t shard) const;
 
+  /// Shard owning parameter `param_index` (the inverse of `shard_range`).
+  [[nodiscard]] std::size_t shard_of(std::size_t param_index) const;
+
+  /// Invoke `fn(shard, begin, end)` for each maximal run of `indices` owned
+  /// by one shard, where [begin, end) are positions into `indices`.  The
+  /// index list must be ascending (throws ConfigError at run boundaries
+  /// otherwise; in-run order is validated by `apply_sparse_shard`); shards
+  /// owning no index are skipped.  Runs are visited in ascending shard
+  /// order — the property the threaded facade's per-shard locking relies on
+  /// for deadlock freedom.  Shared by the sparse apply, sparse staleness,
+  /// and the threaded `push_compressed` walk so the segmentation logic
+  /// cannot drift between them.
+  template <typename Fn>
+  void for_each_shard_segment(std::span<const std::uint32_t> indices, Fn&& fn) const {
+    std::size_t pos = 0;
+    while (pos < indices.size()) {
+      if (pos > 0 && indices[pos] <= indices[pos - 1])
+        throw ConfigError("ShardedParameterServer: sparse indices must be ascending");
+      const std::size_t s = shard_of(indices[pos]);
+      const ShardRange r = shard_range(s);
+      std::size_t end = pos + 1;
+      while (end < indices.size() && indices[end] < r.end) ++end;
+      fn(s, pos, end);
+      pos = end;
+    }
+  }
+
   /// Authoritative parameters (what a worker pull copies).
   [[nodiscard]] std::span<const float> params() const noexcept { return params_; }
 
@@ -79,11 +107,27 @@ class ShardedParameterServer {
   /// by one.  Uses the parallel pool when one is attached.
   void apply(std::span<const float> grad, double lr);
 
+  /// Apply a sparse push: `values[i]` lands on coordinate `indices[i]`
+  /// (strictly ascending, in range — throws ConfigError otherwise).  Only
+  /// the shards owning kept coordinates are touched, and only their versions
+  /// advance; coordinates outside the index set keep their parameter and
+  /// velocity bits exactly (sparse momentum — see SgdMomentum::apply_sparse).
+  /// An empty index set is a no-op.  For a single push from equal state, a
+  /// listed coordinate's arithmetic is bit-identical to a dense `apply` of
+  /// the scattered vector, independent of the shard layout.
+  void apply_sparse(std::span<const std::uint32_t> indices, std::span<const float> values,
+                    double lr);
+
   // --- Per-shard primitives (the threaded runtime's lock granularity).
   // `out`/`grad` are full-length vectors; only the shard's range is touched.
 
   void pull_shard(std::size_t shard, std::span<float> out) const;
   void apply_shard(std::size_t shard, std::span<const float> grad, double lr);
+  /// Sparse apply restricted to one shard: every index must fall inside the
+  /// shard's range (absolute coordinates).  Advances only this shard's
+  /// version.  This is the granularity at which the threaded runtime locks.
+  void apply_sparse_shard(std::size_t shard, std::span<const std::uint32_t> indices,
+                          std::span<const float> values, double lr);
   [[nodiscard]] std::int64_t shard_version(std::size_t shard) const;
 
   /// Snapshot every shard version into `out` (resized to num_shards).
@@ -93,6 +137,12 @@ class ShardedParameterServer {
   /// updates any shard absorbed since.  Equals the historical global
   /// version-delta when every update is a full-vector apply.
   [[nodiscard]] std::int64_t staleness_since(std::span<const std::int64_t> pulled) const;
+
+  /// Staleness of a *sparse* push: the max is taken only over the shards
+  /// owning the kept coordinates — the shards this push actually reads and
+  /// writes (`indices` strictly ascending, as for apply_sparse).
+  [[nodiscard]] std::int64_t staleness_since(std::span<const std::int64_t> pulled,
+                                             std::span<const std::uint32_t> indices) const;
 
   /// Attach a worker pool of `extra_threads` additional threads; subsequent
   /// full-vector apply/pull calls fan shards across extra_threads + 1

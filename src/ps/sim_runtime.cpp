@@ -272,24 +272,37 @@ PhaseResult SimRuntime::run_async(TrainingState& state, const PhaseConfig& cfg,
     }
 
     // kPushArrive: the gradient (computed against the pulled snapshot)
-    // reaches the PS and is applied immediately.
+    // reaches the PS and is applied immediately.  Compressed pushes travel
+    // as a CompressedPush: sparse (top-k) pushes apply per shard — touching
+    // and versioning only the shards owning kept coordinates, exactly like
+    // the threaded runtime's per-shard fast path — while dense quantized
+    // pushes apply like an uncompressed gradient.
     train_.gather(fl.indices, batch_x, batch_y);
     const double loss = grad_model_.gradient_at(fl.snapshot, batch_x, batch_y, grad);
+    std::optional<CompressedPush> push;
     if (cfg.compressor) {
-      cfg.compressor->transform(w, grad, state.worker_rngs[static_cast<std::size_t>(w)]);
+      push = cfg.compressor->encode(w, grad, state.worker_rngs[static_cast<std::size_t>(w)]);
       result.push_bytes += static_cast<std::int64_t>(std::llround(
           cluster_.spec().payload_bytes * static_cast<double>(cfg.compressor->wire_bytes(p)) /
           (static_cast<double>(p) * sizeof(float))));
     } else {
       result.push_bytes += static_cast<std::int64_t>(cluster_.spec().payload_bytes);
     }
-    const std::int64_t staleness = state.ps.staleness_since(fl.pull_versions);
+    const std::int64_t staleness =
+        push && push->sparse()
+            ? state.ps.staleness_since(fl.pull_versions, push->indices)
+            : state.ps.staleness_since(fl.pull_versions);
 
     const double mult = cfg.lr_multiplier_schedule ? cfg.lr_multiplier_schedule(state.global_step)
                                                    : cfg.lr_multiplier;
     const double lr = cfg.lr_schedule->at(state.global_step) * mult;
     state.ps.optimizer().set_momentum(momentum_at(cfg, result.steps_done));
-    state.ps.apply(grad, lr);
+    if (push && push->sparse())
+      state.ps.apply_sparse(push->indices, push->values, lr);
+    else if (push)
+      state.ps.apply(push->values, lr);
+    else
+      state.ps.apply(grad, lr);
     state.clock = ev.time + cluster_.spec().async_apply;
     state.global_step += 1;
     result.steps_done += 1;

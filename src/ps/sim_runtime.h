@@ -113,7 +113,11 @@ struct PhaseConfig {
   /// compression orthogonal and combinable with Sync-Switch; see
   /// bench/ablation_compression).  Not owned; must outlive the phase.  The
   /// gradient math sees the decoded (lossy) values and the network model
-  /// charges the push for the codec's wire bytes.
+  /// charges the push for the codec's wire bytes.  In the async protocols a
+  /// sparse (top-k) push is applied per shard via `apply_sparse` — only the
+  /// shards owning kept coordinates advance, matching the threaded runtime's
+  /// per-shard fast path; synchronous protocols aggregate decoded pushes
+  /// before one dense apply.
   CompressorBank* compressor = nullptr;
 };
 

@@ -4,10 +4,12 @@
 #include <atomic>
 #include <barrier>
 #include <condition_variable>
+#include <optional>
 #include <thread>
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "compress/bank.h"
 #include "tensor/ops.h"
 
 namespace ss {
@@ -17,12 +19,15 @@ namespace {
 struct WorkerContext {
   Model model;
   MinibatchSampler sampler;
+  Rng codec_rng;  ///< stochastic-quantization stream (one per worker thread)
   Tensor batch_x;
   std::vector<int> batch_y;
   std::vector<float> snapshot;
   std::vector<float> grad;
   std::vector<std::int64_t> pull_versions;  ///< per-shard versions at pull
+  CompressedPush push;                      ///< this round's encoded gradient (BSP)
   std::int64_t staleness_sum = 0;
+  std::int64_t push_bytes = 0;
 };
 
 }  // namespace
@@ -35,6 +40,10 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
   const std::size_t p = prototype.num_params();
   const std::size_t d = train.feature_dim();
   SharedParameterServer ps(prototype.get_params(), cfg.momentum, cfg.num_ps_shards);
+  // One bank for the run, one slot per worker; calls are thread-safe because
+  // each worker thread only ever touches its own slot (and its own RNG).
+  std::optional<CompressorBank> bank = cfg.compression.make_bank(cfg.num_workers);
+  const std::int64_t dense_bytes = static_cast<std::int64_t>(p * sizeof(float));
 
   Rng root(cfg.seed);
   const auto shards = make_shards(train.size(), cfg.num_workers);
@@ -44,11 +53,14 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
     WorkerContext c{
         prototype.clone(),
         MinibatchSampler(shards[w], cfg.batch_size, root.fork(w + 1)),
+        root.fork(cfg.num_workers + 1 + w),
         Tensor({cfg.batch_size, d}),
         {},
         std::vector<float>(p),
         std::vector<float>(p),
         {},
+        {},
+        0,
         0,
     };
     ctx.push_back(std::move(c));
@@ -71,11 +83,24 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
         c.sampler.next_batch(indices);
         train.gather(indices, c.batch_x, c.batch_y);
         c.model.gradient_at(shared_snapshot, c.batch_x, c.batch_y, c.grad);
+        if (bank) {
+          // Each worker compresses its own push through its bank slot; the
+          // aggregator decodes, so the PS math sees the lossy values exactly
+          // as the simulator's BSP path does.
+          c.push = bank->encode(static_cast<int>(w), c.grad, c.codec_rng);
+          c.push_bytes += static_cast<std::int64_t>(c.push.wire_size);
+        } else {
+          c.push_bytes += dense_bytes;
+        }
         round_barrier.arrive_and_wait();  // all gradients ready
         if (w == 0) {
           std::fill(agg.begin(), agg.end(), 0.0f);
-          for (auto& other : ctx)
-            ops::add_inplace(std::span<float>(agg), std::span<const float>(other.grad));
+          for (auto& other : ctx) {
+            if (bank)
+              other.push.add_into(agg);
+            else
+              ops::add_inplace(std::span<float>(agg), std::span<const float>(other.grad));
+          }
           ops::scale_inplace(std::span<float>(agg),
                              1.0f / static_cast<float>(cfg.num_workers));
           ps.push(agg, cfg.lr, ps.version());
@@ -125,7 +150,17 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
         c.sampler.next_batch(indices);
         train.gather(indices, c.batch_x, c.batch_y);
         c.model.gradient_at(c.snapshot, c.batch_x, c.batch_y, c.grad);
-        c.staleness_sum += ps.push(c.grad, cfg.lr, c.pull_versions);
+        if (bank) {
+          // Sparse (top-k) pushes lock only the shards holding kept
+          // coordinates; dense quantized pushes sweep all shards like an
+          // uncompressed push.
+          const CompressedPush push = bank->encode(static_cast<int>(w), c.grad, c.codec_rng);
+          c.push_bytes += static_cast<std::int64_t>(push.wire_size);
+          c.staleness_sum += ps.push_compressed(push, cfg.lr, c.pull_versions);
+        } else {
+          c.push_bytes += dense_bytes;
+          c.staleness_sum += ps.push(c.grad, cfg.lr, c.pull_versions);
+        }
         total_updates.fetch_add(1, std::memory_order_relaxed);
         {
           const std::lock_guard<std::mutex> lock(clock_mu);
@@ -148,6 +183,7 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
   result.total_updates = total_updates.load();
   result.max_clock_gap = result_max_gap;
   result.final_params = ps.snapshot();
+  for (const auto& c : ctx) result.push_bytes += c.push_bytes;
   if (cfg.protocol != Protocol::kBsp && result.total_updates > 0) {
     std::int64_t total_staleness = 0;
     for (const auto& c : ctx) total_staleness += c.staleness_sum;

@@ -11,6 +11,12 @@
 //    clock is more than `ssp_staleness_bound` steps ahead of the slowest
 //    parks on a condition variable until the laggard catches up.
 //
+// All three protocols support gradient compression (`ThreadedTrainConfig::
+// compression`): each worker thread encodes its gradient through its own
+// `CompressorBank` slot into a `CompressedPush`, and sparse (top-k) pushes
+// take a per-shard fast path that locks only the shards owning kept
+// coordinates.
+//
 // Used by tests and the `threaded_training` example.  Wall-clock timing here
 // is real, so results are NOT deterministic in update order for ASP (that is
 // the point) — but invariants (parameter finiteness, update counts, loss
@@ -25,6 +31,8 @@
 #include <vector>
 
 #include "common/error.h"
+#include "compress/compressed_push.h"
+#include "compress/spec.h"
 #include "data/batcher.h"
 #include "data/dataset.h"
 #include "nn/lr_schedule.h"
@@ -96,6 +104,31 @@ class SharedParameterServer {
     return staleness;
   }
 
+  /// Apply a compressed push.  Dense pushes take the full shard sweep like
+  /// `push`; sparse pushes lock — and advance the version of — *only* the
+  /// shards owning kept coordinates, so concurrent sparse ASP pushes to
+  /// disjoint shards do not serialize at all.  Locks are taken in ascending
+  /// shard order (the index list is ascending), preserving the deadlock-
+  /// freedom argument of the whole-vector helpers.  Returns the staleness
+  /// measured over the shards the push touched.
+  std::int64_t push_compressed(const CompressedPush& push, double lr,
+                               std::span<const std::int64_t> pull_versions) {
+    if (pull_versions.size() != shard_mu_.size())
+      throw ConfigError("SharedParameterServer::push_compressed: shard count mismatch");
+    push.validate(ps_.num_params());
+    if (!push.sparse())
+      return this->push(std::span<const float>(push.values), lr, pull_versions);
+    std::int64_t staleness = 0;
+    const std::span<const std::uint32_t> indices(push.indices);
+    const std::span<const float> values(push.values);
+    ps_.for_each_shard_segment(indices, [&](std::size_t s, std::size_t lo, std::size_t hi) {
+      const std::lock_guard<std::mutex> lock(shard_mu_[s]);
+      staleness = std::max(staleness, ps_.shard_version(s) - pull_versions[s]);
+      ps_.apply_sparse_shard(s, indices.subspan(lo, hi - lo), values.subspan(lo, hi - lo), lr);
+    });
+    return staleness;
+  }
+
   /// Whole-vector compatibility push against a single pulled version.
   std::int64_t push(std::span<const float> grad, double lr, std::int64_t pull_version) {
     std::int64_t staleness = 0;
@@ -140,6 +173,12 @@ struct ThreadedTrainConfig {
   /// PS shards (one mutex each): >1 lets concurrent pushes interleave at
   /// shard granularity instead of serializing on a global lock.
   std::size_t num_ps_shards = 1;
+  /// Optional gradient compression, specified exactly like `RunRequest`'s
+  /// (core/session.h): the runtime builds one `CompressorBank` for the run
+  /// and every worker encodes its push through its own bank slot — the same
+  /// pipeline the simulator drives, but on real threads.  Sparse (top-k)
+  /// pushes go through the per-shard `push_compressed` fast path.
+  CompressionSpec compression;
   /// Test hook: called by each worker before every local step (e.g. to make
   /// one worker artificially slow).  Must be thread-safe; may be null.
   std::function<void(std::size_t worker, std::int64_t step)> pre_step_hook;
@@ -151,6 +190,9 @@ struct ThreadedTrainResult {
   /// Largest observed local-clock gap (fastest minus slowest worker) at any
   /// step start.  For kSsp this is <= ssp_staleness_bound by construction.
   std::int64_t max_clock_gap = 0;
+  /// Total gradient bytes pushed on the (virtual) wire: the codec's wire
+  /// size per push when compression is on, full fp32 width otherwise.
+  std::int64_t push_bytes = 0;
   std::vector<float> final_params;
 };
 

@@ -85,10 +85,10 @@ TEST(TopK, TieBreakIsDeterministicLowestIndexWins) {
   EXPECT_EQ(g, want);
 }
 
-TEST(TopK, WireBytesCountIndexValuePairs) {
+TEST(TopK, WireBytesCountIndexValuePairsPlusHeader) {
   TopKCodec codec(0.1);
   EXPECT_EQ(codec.kept(1000), 100u);
-  EXPECT_EQ(codec.wire_bytes(1000), 100u * 8u);
+  EXPECT_EQ(codec.wire_bytes(1000), 100u * 8u + TopKCodec::kHeaderBytes);
   // Far smaller than fp32.
   EXPECT_LT(codec.wire_bytes(1000), 1000 * sizeof(float));
   EXPECT_FALSE(codec.unbiased());

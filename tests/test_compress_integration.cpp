@@ -153,10 +153,12 @@ TEST(CompressedTraining, TopKSpeedsUpNetworkBoundBsp) {
       rt.run_phase(fx.state, cfg, fx.workers(n), fx.no_stragglers, nullptr);
 
   ASSERT_EQ(uncompressed.steps_done, compressed.steps_done);
-  // The push leg is ~p*4 bytes vs ~5% of that; the pull leg is unchanged, so
-  // expect a substantial but sub-2x speedup.
+  // The push leg is ~p*4 bytes vs ~5% of that plus the sparse header; the
+  // pull leg is unchanged, so expect a substantial but sub-2x speedup.  (On
+  // this tiny 68-param model the fixed header is a visible fraction of the
+  // push, hence /8 rather than the raw keep ratio.)
   EXPECT_LT(compressed.elapsed.seconds(), 0.75 * uncompressed.elapsed.seconds());
-  EXPECT_LT(compressed.push_bytes, uncompressed.push_bytes / 10);
+  EXPECT_LT(compressed.push_bytes, uncompressed.push_bytes / 8);
 }
 
 struct ConvergenceCase {
@@ -218,7 +220,7 @@ TEST(CompressedTraining, KSyncChargesCompressedPushes) {
 
   ASSERT_EQ(uncompressed.steps_done, compressed.steps_done);
   EXPECT_LT(compressed.elapsed.seconds(), 0.8 * uncompressed.elapsed.seconds());
-  EXPECT_LT(compressed.push_bytes, uncompressed.push_bytes / 10);
+  EXPECT_LT(compressed.push_bytes, uncompressed.push_bytes / 8);
 }
 
 TEST(CompressedTraining, AspWithQsgdStaysFiniteAndLearns) {

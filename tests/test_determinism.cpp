@@ -118,6 +118,42 @@ TEST(Determinism, HoldsWithParallelApplyAndMatchesSerial) {
   EXPECT_EQ(serial.cache_key(), parallel.cache_key());
 }
 
+TEST(Determinism, CompressedRunsAreReproducible) {
+  // The compressed push pipeline (per-worker CompressorBank -> CompressedPush
+  // -> dense or per-shard sparse apply) must not perturb reproducibility:
+  // identical requests with compression produce bit-identical curves.
+  const CompressionSpec specs[] = {CompressionSpec::topk(0.05), CompressionSpec::qsgd(15),
+                                   CompressionSpec::terngrad()};
+  for (const auto& spec : specs) {
+    RunRequest req = tiny_request();
+    req.workload.total_steps = 128;
+    req.compression = spec;
+    const RunResult a = TrainingSession(req).run();
+    const RunResult b = TrainingSession(req).run();
+    expect_bitwise_equal(a, b);
+  }
+}
+
+TEST(Determinism, CompressedRunsAreReproducibleOnShardedPs) {
+  // Top-k on a sharded PS exercises the sparse apply path: only the shards
+  // owning kept coordinates advance, which must be just as deterministic as
+  // the full-vector sweep.
+  RunRequest req = tiny_request();
+  req.workload.total_steps = 128;
+  req.cluster.num_ps_shards = 8;
+  req.compression = CompressionSpec::topk(0.05);
+  const RunResult a = TrainingSession(req).run();
+  const RunResult b = TrainingSession(req).run();
+  expect_bitwise_equal(a, b);
+}
+
+TEST(Determinism, CompressionIsPartOfTheCacheKey) {
+  RunRequest plain = tiny_request();
+  RunRequest compressed = tiny_request();
+  compressed.compression = CompressionSpec::topk(0.05);
+  EXPECT_NE(plain.cache_key(), compressed.cache_key());
+}
+
 TEST(Determinism, ShardCountChangesTimingButIsKeyedSeparately) {
   RunRequest flat = tiny_request();
   RunRequest sharded = tiny_request();

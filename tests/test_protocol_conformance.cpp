@@ -13,10 +13,13 @@
 
 #include <chrono>
 #include <cmath>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "compress/spec.h"
+#include "compress/topk.h"
 #include "data/synthetic.h"
 #include "nn/zoo.h"
 #include "ps/sim_runtime.h"
@@ -282,6 +285,135 @@ TEST_P(ThreadedConformance, SspHonorsTheClockGapBound) {
   EXPECT_LE(result.max_clock_gap, kSspBound);
   EXPECT_EQ(result.total_updates, 30 * static_cast<std::int64_t>(kWorkers));
   for (float p : result.final_params) ASSERT_TRUE(std::isfinite(p));
+}
+
+// ---------------------------------------------------------------------------
+// Compression x protocol x sharding: BSP/ASP/SSP on real threads with every
+// codec, against 1- and 8-shard servers.  The staleness/clock-gap invariants
+// must be exactly the ones the uncompressed protocols guarantee.
+// ---------------------------------------------------------------------------
+
+struct CodecConfig {
+  std::string label;
+  CompressionSpec spec;
+};
+
+std::vector<CodecConfig> all_codecs() {
+  return {{"topk10", CompressionSpec::topk(0.1)},
+          {"qsgd4bit", CompressionSpec::qsgd(15)},
+          {"terngrad", CompressionSpec::terngrad()}};
+}
+
+TEST_P(ThreadedConformance, CompressedBspKeepsZeroStalenessAndExactWireBytes) {
+  const DataSplit split = threaded_data();
+  const Model proto = threaded_model(split);
+  for (const auto& codec : all_codecs()) {
+    ThreadedTrainConfig cfg;
+    cfg.protocol = Protocol::kBsp;
+    cfg.num_workers = kWorkers;
+    cfg.steps_per_worker = 15;
+    cfg.num_ps_shards = GetParam();
+    cfg.compression = codec.spec;
+    const auto result = threaded_train(proto, split.train, cfg);
+    EXPECT_EQ(result.total_updates, 15) << codec.label;
+    EXPECT_DOUBLE_EQ(result.mean_staleness, 0.0) << codec.label;
+    EXPECT_EQ(result.max_clock_gap, 0) << codec.label;
+    for (float p : result.final_params) ASSERT_TRUE(std::isfinite(p)) << codec.label;
+    // Every worker pushes one encoded gradient per round; the codec's wire
+    // size is value-independent, so the total is exact.
+    const auto bank = codec.spec.make_bank(kWorkers);
+    ASSERT_TRUE(bank.has_value());
+    const auto per_push =
+        static_cast<std::int64_t>(bank->wire_bytes(proto.num_params()));
+    EXPECT_EQ(result.push_bytes,
+              15 * static_cast<std::int64_t>(kWorkers) * per_push)
+        << codec.label;
+    EXPECT_LT(result.push_bytes,
+              15 * static_cast<std::int64_t>(kWorkers) *
+                  static_cast<std::int64_t>(proto.num_params() * sizeof(float)))
+        << codec.label << " did not shrink the wire";
+  }
+}
+
+TEST_P(ThreadedConformance, CompressedAspAppliesEveryPush) {
+  const DataSplit split = threaded_data();
+  const Model proto = threaded_model(split);
+  for (const auto& codec : all_codecs()) {
+    ThreadedTrainConfig cfg;
+    cfg.protocol = Protocol::kAsp;
+    cfg.num_workers = kWorkers;
+    cfg.steps_per_worker = 20;
+    cfg.num_ps_shards = GetParam();
+    cfg.compression = codec.spec;
+    const auto result = threaded_train(proto, split.train, cfg);
+    EXPECT_EQ(result.total_updates, 20 * static_cast<std::int64_t>(kWorkers)) << codec.label;
+    EXPECT_GE(result.mean_staleness, 0.0) << codec.label;
+    for (float p : result.final_params) ASSERT_TRUE(std::isfinite(p)) << codec.label;
+  }
+}
+
+TEST_P(ThreadedConformance, CompressedSspHonorsTheClockGapBound) {
+  // The SSP parking logic is orthogonal to the push encoding, so the
+  // local-clock gap bound must hold unchanged under every codec — including
+  // top-k, whose sparse pushes advance only the shards they touch.
+  const DataSplit split = threaded_data();
+  const Model proto = threaded_model(split);
+  for (const auto& codec : all_codecs()) {
+    ThreadedTrainConfig cfg;
+    cfg.protocol = Protocol::kSsp;
+    cfg.num_workers = kWorkers;
+    cfg.steps_per_worker = 25;
+    cfg.ssp_staleness_bound = kSspBound;
+    cfg.num_ps_shards = GetParam();
+    cfg.compression = codec.spec;
+    cfg.pre_step_hook = [](std::size_t worker, std::int64_t) {
+      if (worker == 0) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    };
+    const auto result = threaded_train(proto, split.train, cfg);
+    EXPECT_LE(result.max_clock_gap, kSspBound) << codec.label;
+    EXPECT_EQ(result.total_updates, 25 * static_cast<std::int64_t>(kWorkers)) << codec.label;
+    for (float p : result.final_params) ASSERT_TRUE(std::isfinite(p)) << codec.label;
+  }
+}
+
+TEST(ThreadedConformance, CompressedBspMathIsIndependentOfShardLayout) {
+  // BSP aggregates decoded pushes in fixed worker order and applies one
+  // dense update, so the whole compressed run is deterministic and the
+  // shard layout must not change a single bit of it.
+  const DataSplit split = threaded_data();
+  const Model proto = threaded_model(split);
+  ThreadedTrainConfig cfg;
+  cfg.protocol = Protocol::kBsp;
+  cfg.num_workers = kWorkers;
+  cfg.steps_per_worker = 12;
+  cfg.compression = CompressionSpec::topk(0.1);
+  cfg.num_ps_shards = 1;
+  const auto flat = threaded_train(proto, split.train, cfg);
+  cfg.num_ps_shards = 8;
+  const auto sharded = threaded_train(proto, split.train, cfg);
+  ASSERT_EQ(flat.final_params.size(), sharded.final_params.size());
+  for (std::size_t i = 0; i < flat.final_params.size(); ++i)
+    ASSERT_EQ(flat.final_params[i], sharded.final_params[i]) << "param " << i;
+  EXPECT_EQ(flat.push_bytes, sharded.push_bytes);
+}
+
+TEST(ThreadedConformance, SimSspKeepsTheGapBoundUnderSparseCompression) {
+  // Simulator counterpart: SSP with top-k on an 8-shard PS — sparse applies
+  // advance only touched shards, and the clock-gap bound must be untouched.
+  Fixture fx(8);
+  RecordingSink sink;
+  CompressorBank bank(std::make_shared<TopKCodec>(0.1), kWorkers, true);
+  SimRuntime runtime(ClusterModel(Fixture::cluster_spec(8)), fx.model, fx.eval_model,
+                     fx.split.train, fx.eval_set, sink);
+  const StragglerSchedule slow({{0, VTime::zero(), VTime::from_minutes(60.0), 5.0}});
+  std::vector<int> workers(kWorkers);
+  for (std::size_t i = 0; i < kWorkers; ++i) workers[i] = static_cast<int>(i);
+  PhaseConfig cfg = fx.phase(Protocol::kSsp, 200);
+  cfg.compressor = &bank;
+  const PhaseResult r = runtime.run_phase(fx.state, cfg, workers, slow, nullptr);
+  EXPECT_EQ(r.steps_done, 200);
+  EXPECT_LE(r.max_clock_gap, kSspBound);
+  for (const auto& u : sink.updates) ASSERT_GE(u.staleness, 0);
 }
 
 TEST(ThreadedConformance, BspMathIsIndependentOfShardLayout) {

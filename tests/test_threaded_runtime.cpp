@@ -132,6 +132,47 @@ TEST(ThreadedRuntime, SspEnforcesTheStalenessBoundWithRealThreads) {
   EXPECT_GT(unbounded.max_clock_gap, 2);
 }
 
+TEST(ThreadedRuntime, CompressedTrainingStillImprovesAccuracy) {
+  // The full pipeline on real threads: per-worker bank -> CompressedPush ->
+  // (sparse) PS apply must still learn, for a biased codec with error
+  // feedback (top-k) and an unbiased quantizer (QSGD).
+  const DataSplit split = easy_data();
+  Model proto = proto_model(split);
+  const double before = proto.evaluate_accuracy(split.test);
+  for (const auto& spec : {CompressionSpec::topk(0.25), CompressionSpec::qsgd(15)}) {
+    for (Protocol proto_kind : {Protocol::kBsp, Protocol::kAsp}) {
+      ThreadedTrainConfig cfg;
+      cfg.protocol = proto_kind;
+      cfg.num_workers = 4;
+      cfg.steps_per_worker = 60;
+      cfg.lr = 0.1;
+      cfg.num_ps_shards = 4;
+      cfg.compression = spec;
+      const auto result = threaded_train(proto, split.train, cfg);
+      Model trained = proto.clone();
+      trained.set_params(result.final_params);
+      const double after = trained.evaluate_accuracy(split.test);
+      EXPECT_GT(after, before + 0.2)
+          << protocol_name(proto_kind) << " + " << spec.label();
+    }
+  }
+}
+
+TEST(ThreadedRuntime, CompressionShrinksPushBytes) {
+  const DataSplit split = easy_data();
+  const Model proto = proto_model(split);
+  ThreadedTrainConfig cfg;
+  cfg.protocol = Protocol::kAsp;
+  cfg.num_workers = 4;
+  cfg.steps_per_worker = 10;
+  const auto dense = threaded_train(proto, split.train, cfg);
+  cfg.compression = CompressionSpec::topk(0.05);
+  const auto sparse = threaded_train(proto, split.train, cfg);
+  EXPECT_EQ(dense.push_bytes,
+            40 * static_cast<std::int64_t>(proto.num_params() * sizeof(float)));
+  EXPECT_LT(sparse.push_bytes, dense.push_bytes / 4);
+}
+
 TEST(ThreadedRuntime, SspStillTrains) {
   const DataSplit split = easy_data();
   Model proto = proto_model(split);
