@@ -174,6 +174,34 @@ void BM_PsPullParallel(benchmark::State& state) {
 }
 BENCHMARK(BM_PsPullParallel)->Args({10'000'000, 8});
 
+// End-to-end live protocol switch on real threads: a tiny BSP -> ASP
+// schedule, including thread spawn, the per-round barriers, and the drain-
+// barrier transition.  Tracks the fixed cost of the switch machinery so a
+// regression in the drain path (e.g. an accidental serialization) shows up
+// in the BENCH_threaded.json trajectory.
+void BM_ThreadedProtocolSwitch(benchmark::State& state) {
+  SyntheticSpec spec = SyntheticSpec::cifar10_like();
+  spec.train_size = 256;
+  spec.test_size = 64;
+  spec.num_classes = 4;
+  spec.feature_dim = 16;
+  const DataSplit split = make_synthetic(spec);
+  Rng rng(7);
+  const Model proto = make_model(ModelArch::kLinear, 16, 4, rng);
+  ThreadedTrainConfig cfg;
+  cfg.schedule = SwitchSchedule::bsp_to_asp(8);
+  cfg.num_workers = 2;
+  cfg.batch_size = 8;
+  cfg.steps_per_worker = 24;
+  cfg.num_ps_shards = 4;
+  for (auto _ : state) {
+    const ThreadedTrainResult r = threaded_train(proto, split.train, cfg);
+    benchmark::DoNotOptimize(r.total_updates);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 24 * 2);
+}
+BENCHMARK(BM_ThreadedProtocolSwitch)->Unit(benchmark::kMillisecond);
+
 void BM_EventQueue(benchmark::State& state) {
   for (auto _ : state) {
     EventQueue q;

@@ -78,6 +78,7 @@ std::string RunRequest::cache_key() const {
      << ";dc=" << policy.detector.consecutive_required
      << ";drg=" << policy.detector.min_relative_gap
      << ";sspb=" << policy.ssp_staleness_bound << ";k=" << policy.k_param
+     << ";sched=" << policy.schedule.label()
      << ";strg=" << stragglers.num_stragglers << "x"
      << stragglers.occurrences << "x" << stragglers.extra_latency_ms << "x"
      << stragglers.max_duration.us() << "x" << stragglers.horizon.us()
@@ -170,7 +171,8 @@ RunResult TrainingSession::run() {
   StragglerDetector detector(n, req_.policy.detector);
   DetectorSink detector_sink(detector);
   std::vector<MetricsSink*> tees;
-  if (req_.policy.online != OnlinePolicy::kNone) tees.push_back(&detector_sink);
+  if (req_.policy.online != OnlinePolicy::kNone || req_.policy.schedule.has_reactive_trigger())
+    tees.push_back(&detector_sink);
   if (req_.observer != nullptr) tees.push_back(req_.observer);
   FanoutSink fanout(tees);
   if (!tees.empty()) profiler.set_tee(&fanout);
@@ -191,13 +193,18 @@ RunResult TrainingSession::run() {
   const std::int64_t steps_per_epoch = static_cast<std::int64_t>(
       std::max<std::size_t>(1, data.train.size() / wl.hyper.batch_size));
 
-  auto make_phase = [&](Protocol proto, std::int64_t budget,
-                        std::size_t active_count) -> PhaseConfig {
+  auto make_phase = [&](Protocol proto, std::int64_t budget, std::size_t active_count,
+                        std::optional<MomentumPolicy> mp_override =
+                            std::nullopt) -> PhaseConfig {
     // Only the post-switch (second) protocol uses the momentum ablation.
+    // Schedule mode passes the policy explicitly (first phase baseline,
+    // later phases the ablation) so the vestigial first/switch_fraction
+    // fields cannot leak into per-phase hyper-parameters.
     const MomentumPolicy mp =
-        proto == req_.policy.first && req_.policy.switch_fraction > 0.0
-            ? MomentumPolicy::kBaseline
-            : req_.policy.momentum_policy;
+        mp_override ? *mp_override
+                    : (proto == req_.policy.first && req_.policy.switch_fraction > 0.0
+                           ? MomentumPolicy::kBaseline
+                           : req_.policy.momentum_policy);
     const DerivedHyper h =
         derive_hyper(proto, active_count, wl.hyper, mp, steps_per_epoch, req_.policy.k_param);
     PhaseConfig cfg;
@@ -243,7 +250,38 @@ RunResult TrainingSession::run() {
   bool diverged = false;
   const std::vector<int> everyone = all_workers(n);
 
-  if (req_.policy.online == OnlinePolicy::kNone || req_.stragglers.num_stragglers == 0) {
+  if (!req_.policy.schedule.empty()) {
+    // ---------- Explicit multi-phase switch schedule: each phase runs until
+    // its step quota or reactive trigger, with the usual checkpoint ->
+    // actuate -> restore switch between phases.  The last phase always runs
+    // out the remaining budget (SwitchSchedule validation guarantees it is
+    // step-triggered with steps == 0).  This is the simulator counterpart
+    // of the threaded runtime's live switching, phase for phase.
+    const auto& phases = req_.policy.schedule.phases();
+    for (std::size_t i = 0; i < phases.size() && !diverged; ++i) {
+      const std::int64_t remaining = wl.total_steps - state.global_step;
+      if (remaining <= 0) break;
+      const SwitchPhase& ph = phases[i];
+      const bool last = i + 1 == phases.size();
+      const std::int64_t budget = SwitchSchedule::phase_budget(ph, last, remaining);
+      PhaseConfig cfg = make_phase(ph.protocol, budget, n,
+                                   i == 0 ? MomentumPolicy::kBaseline
+                                          : req_.policy.momentum_policy);
+      if (ph.ssp_staleness_bound >= 0) cfg.ssp_staleness_bound = ph.ssp_staleness_bound;
+      StopPredicate stop;
+      if (ph.trigger == SwitchTrigger::kStragglerDetected)
+        stop = [&](VTime, std::int64_t) { return detector.any_straggler(); };
+      else if (ph.trigger == SwitchTrigger::kStragglerCleared)
+        stop = [&](VTime, std::int64_t) { return !detector.any_straggler(); };
+      const PhaseResult pr = runtime.run_phase(state, cfg, everyone, straggler_schedule, stop);
+      diverged = pr.end == PhaseEnd::kDiverged;
+      if (!diverged && pr.end == PhaseEnd::kStopRequested)
+        log_info("schedule: ", switch_trigger_name(ph.trigger), " fired at step ",
+                 state.global_step, ", switching to ",
+                 protocol_name(phases[i + 1].protocol));
+      if (!diverged && !last && state.global_step < wl.total_steps) pay_switch();
+    }
+  } else if (req_.policy.online == OnlinePolicy::kNone || req_.stragglers.num_stragglers == 0) {
     // ---------- Offline plan: first protocol, one switch, second protocol.
     if (first_budget > 0) {
       const PhaseConfig cfg = make_phase(req_.policy.first, first_budget, n);

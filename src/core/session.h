@@ -25,6 +25,7 @@
 #include "data/synthetic.h"
 #include "nn/zoo.h"
 #include "ps/protocol.h"
+#include "ps/switch_schedule.h"
 #include "sim/actuator.h"
 #include "sim/cluster.h"
 #include "sim/straggler.h"
@@ -56,6 +57,18 @@ struct SyncSwitchPolicy {
   Protocol first = Protocol::kBsp;   ///< protocol policy: BSP first...
   Protocol second = Protocol::kAsp;  ///< ...then ASP
   double switch_fraction = 0.0625;   ///< timing policy: fraction under `first`
+  /// Explicit multi-phase switch schedule.  When non-empty it replaces the
+  /// two-phase (first/second/switch_fraction) plan *and* the online policy
+  /// (those fields are ignored; results cannot depend on them): phases run
+  /// in order with a checkpoint -> actuate -> restore switch between them.
+  /// `momentum_policy` still applies — to every phase after the first, just
+  /// as it applies to the post-switch protocol in the two-phase plan.
+  /// Phase `steps` are global minibatch steps (the unit of
+  /// Workload::total_steps); reactive triggers consume the straggler
+  /// detector exactly as the online policies do.  The same schedule type
+  /// drives the threaded runtime's live switching (there, steps are local
+  /// steps per worker) — see ps/switch_schedule.h for the correspondence.
+  SwitchSchedule schedule;
   MomentumPolicy momentum_policy = MomentumPolicy::kBaseline;
   OnlinePolicy online = OnlinePolicy::kNone;
   DetectorConfig detector;

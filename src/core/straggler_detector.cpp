@@ -18,11 +18,11 @@ StragglerDetector::StragglerDetector(std::size_t num_workers, DetectorConfig cfg
   for (std::size_t i = 0; i < num_workers; ++i) windows_.emplace_back(cfg.window_size);
 }
 
-void StragglerDetector::observe(int worker, std::size_t images, VTime duration) {
+bool StragglerDetector::observe(int worker, std::size_t images, VTime duration) {
   if (worker < 0 || static_cast<std::size_t>(worker) >= windows_.size())
     throw ConfigError("StragglerDetector::observe: worker index out of range");
   const double seconds = duration.seconds();
-  if (seconds <= 0.0) return;
+  if (seconds <= 0.0) return false;
   const auto w = static_cast<std::size_t>(worker);
   windows_[w].add(static_cast<double>(images) / seconds);
   // One detection pass per cluster-wide window: the paper's "detection
@@ -30,7 +30,9 @@ void StragglerDetector::observe(int worker, std::size_t images, VTime duration) 
   if (++observations_since_check_ >= cfg_.window_size * windows_.size()) {
     observations_since_check_ = 0;
     run_detection();
+    return true;
   }
+  return false;
 }
 
 void StragglerDetector::run_detection() {

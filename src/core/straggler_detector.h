@@ -32,8 +32,12 @@ class StragglerDetector {
  public:
   StragglerDetector(std::size_t num_workers, DetectorConfig cfg);
 
-  /// Feed one completed task: `images` trained in `duration`.
-  void observe(int worker, std::size_t images, VTime duration);
+  /// Feed one completed task: `images` trained in `duration`.  Returns true
+  /// when this observation completed a detection window and a detection pass
+  /// ran — i.e. when `stragglers()` / `any_straggler()` may have changed.
+  /// Reactive consumers (the threaded runtime's switch triggers) use this to
+  /// evaluate their trigger only when the flags can actually move.
+  bool observe(int worker, std::size_t images, VTime duration);
 
   /// Workers currently flagged as stragglers.
   [[nodiscard]] std::vector<int> stragglers() const;

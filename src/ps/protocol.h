@@ -62,4 +62,11 @@ inline bool is_synchronous(Protocol p) {
   return p == Protocol::kBsp || p == Protocol::kKSync || p == Protocol::kKBatchSync;
 }
 
+/// True for protocols the real-thread runtime (ps/threaded_runtime.h)
+/// implements; the simulator supports the whole enum.  Schedules that mix
+/// protocols are validated against this before any worker thread starts.
+inline bool threaded_supported(Protocol p) {
+  return p == Protocol::kBsp || p == Protocol::kAsp || p == Protocol::kSsp;
+}
+
 }  // namespace ss

@@ -1,8 +1,8 @@
 #include "ps/threaded_runtime.h"
 
-#include <algorithm>
 #include <atomic>
 #include <barrier>
+#include <chrono>
 #include <condition_variable>
 #include <optional>
 #include <thread>
@@ -10,11 +10,18 @@
 #include "common/error.h"
 #include "common/rng.h"
 #include "compress/bank.h"
+#include "core/config_policy.h"
 #include "tensor/ops.h"
 
 namespace ss {
 
 namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double seconds_between(SteadyClock::time_point a, SteadyClock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
 
 struct WorkerContext {
   Model model;
@@ -26,9 +33,26 @@ struct WorkerContext {
   std::vector<float> grad;
   std::vector<std::int64_t> pull_versions;  ///< per-shard versions at pull
   CompressedPush push;                      ///< this round's encoded gradient (BSP)
-  std::int64_t staleness_sum = 0;
-  std::int64_t push_bytes = 0;
+  // Per-phase accumulators, reset by the drain-barrier transition.
+  std::int64_t phase_staleness_sum = 0;
+  std::int64_t phase_push_bytes = 0;
 };
+
+/// Resolve the run's phase plan: an explicit schedule, or one phase covering
+/// the whole run in fixed-protocol mode.
+std::vector<SwitchPhase> resolve_plan(const ThreadedTrainConfig& cfg) {
+  std::vector<SwitchPhase> plan;
+  if (cfg.schedule.empty()) {
+    plan.push_back(SwitchPhase{cfg.protocol, SwitchTrigger::kStepCount, 0, -1});
+  } else {
+    plan = cfg.schedule.phases();
+  }
+  for (const SwitchPhase& p : plan)
+    if (!threaded_supported(p.protocol))
+      throw ConfigError("threaded_train: protocol " + protocol_name(p.protocol) +
+                        " is simulator-only (supported here: BSP, ASP, SSP)");
+  return plan;
+}
 
 }  // namespace
 
@@ -37,6 +61,29 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
   if (cfg.num_workers == 0) throw ConfigError("threaded_train: num_workers must be > 0");
   if (cfg.steps_per_worker <= 0) throw ConfigError("threaded_train: steps must be > 0");
 
+  const std::vector<SwitchPhase> plan = resolve_plan(cfg);
+  const bool use_detector = cfg.schedule.has_reactive_trigger();
+  for (const SwitchPhase& p : plan) {
+    const int bound = p.ssp_staleness_bound >= 0 ? p.ssp_staleness_bound : cfg.ssp_staleness_bound;
+    if (p.protocol == Protocol::kSsp && bound < 0)
+      throw ConfigError("threaded_train: negative staleness bound");
+  }
+
+  // Per-phase effective learning rates, resolved before any thread starts so
+  // the drain-barrier transition never allocates or throws.  In schedule
+  // mode the configuration policy's linear scaling rule applies (BSP phases
+  // train on an n-times-larger effective batch); fixed-protocol mode uses
+  // cfg.lr untouched, as it always has.
+  std::vector<double> phase_lr(plan.size(), cfg.lr);
+  if (!cfg.schedule.empty() && cfg.derive_phase_lr) {
+    const BaseHyper base{cfg.batch_size, cfg.lr, cfg.momentum};
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      const DerivedHyper h = derive_hyper(plan[i].protocol, cfg.num_workers, base,
+                                          MomentumPolicy::kBaseline, /*steps_per_epoch=*/1);
+      phase_lr[i] = cfg.lr * h.lr_multiplier;
+    }
+  }
+
   const std::size_t p = prototype.num_params();
   const std::size_t d = train.feature_dim();
   SharedParameterServer ps(prototype.get_params(), cfg.momentum, cfg.num_ps_shards);
@@ -44,6 +91,7 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
   // each worker thread only ever touches its own slot (and its own RNG).
   std::optional<CompressorBank> bank = cfg.compression.make_bank(cfg.num_workers);
   const std::int64_t dense_bytes = static_cast<std::int64_t>(p * sizeof(float));
+  const bool inject_stragglers = !cfg.stragglers.events().empty();
 
   Rng root(cfg.seed);
   const auto shards = make_shards(train.size(), cfg.num_workers);
@@ -66,130 +114,313 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
     ctx.push_back(std::move(c));
   }
 
+  // ------------------------------------------------------------------
+  // Shared switch-controller state.  Three synchronization domains:
+  //  * clock_mu/clock_cv guard the per-worker local clocks, the phase step
+  //    quota, and the trigger latch during async phases;
+  //  * det_mu guards the straggler detector;
+  //  * everything else (phase index, protocol, lr, BSP round state, phase
+  //    stats) is only mutated inside the drain-barrier completion or by
+  //    worker 0 between BSP round barriers — both points where the barrier
+  //    provides the happens-before edge to every other worker.
+  // ------------------------------------------------------------------
+  std::mutex clock_mu;
+  std::condition_variable clock_cv;
+  std::vector<std::int64_t> clock(cfg.num_workers, 0);  ///< local steps in current phase
+  std::int64_t quota = 0;        ///< common local-step count the phase runs to
+  bool trigger_fired = false;    ///< reactive trigger latched for this phase
+
+  std::mutex det_mu;
+  StragglerDetector detector(cfg.num_workers, cfg.detector);
+
+  std::size_t phase_idx = 0;
+  Protocol proto = plan[0].protocol;
+  double lr = phase_lr[0];
+  std::int64_t ssp_bound = 0;
+  std::int64_t done = 0;  ///< local steps per worker completed in finished phases
+  bool run_over = false;
+
+  std::vector<float> agg(p);              // BSP aggregation buffer (worker 0)
+  std::vector<float> shared_snapshot(p);  // BSP round snapshot
+  std::int64_t rounds_done = 0;           // BSP rounds completed in current phase
+  bool bsp_phase_over = false;
+
   std::atomic<std::int64_t> total_updates{0};
-  std::int64_t result_max_gap = 0;
+  std::atomic<std::int64_t> phase_max_gap{0};
+  std::int64_t phase_start_updates = 0;
+  SteadyClock::time_point run_start = SteadyClock::now();
+  SteadyClock::time_point phase_start = run_start;
 
-  if (cfg.protocol == Protocol::kBsp) {
-    // Round-based: all workers compute on the same snapshot, worker 0
-    // aggregates after the barrier and applies one averaged update.
-    std::vector<float> agg(p);
-    std::barrier round_barrier(static_cast<std::ptrdiff_t>(cfg.num_workers));
-    std::vector<float> shared_snapshot = ps.snapshot();
+  std::vector<ThreadedPhaseStats> stats;
+  stats.reserve(plan.size());
+  std::int64_t run_async_staleness = 0;  // run totals over async-phase pushes
+  std::int64_t run_async_updates = 0;
 
-    auto worker_fn = [&](std::size_t w) {
-      auto& c = ctx[w];
-      std::vector<std::uint32_t> indices;
-      for (std::int64_t step = 0; step < cfg.steps_per_worker; ++step) {
-        c.sampler.next_batch(indices);
-        train.gather(indices, c.batch_x, c.batch_y);
-        c.model.gradient_at(shared_snapshot, c.batch_x, c.batch_y, c.grad);
-        if (bank) {
-          // Each worker compresses its own push through its bank slot; the
-          // aggregator decodes, so the PS math sees the lossy values exactly
-          // as the simulator's BSP path does.
-          c.push = bank->encode(static_cast<int>(w), c.grad, c.codec_rng);
-          c.push_bytes += static_cast<std::int64_t>(c.push.wire_size);
-        } else {
-          c.push_bytes += dense_bytes;
-        }
-        round_barrier.arrive_and_wait();  // all gradients ready
-        if (w == 0) {
-          std::fill(agg.begin(), agg.end(), 0.0f);
-          for (auto& other : ctx) {
-            if (bank)
-              other.push.add_into(agg);
-            else
-              ops::add_inplace(std::span<float>(agg), std::span<const float>(other.grad));
-          }
-          ops::scale_inplace(std::span<float>(agg),
-                             1.0f / static_cast<float>(cfg.num_workers));
-          ps.push(agg, cfg.lr, ps.version());
-          total_updates.fetch_add(1, std::memory_order_relaxed);
-          shared_snapshot = ps.snapshot();
-        }
-        round_barrier.arrive_and_wait();  // updated snapshot visible
+  auto min_clock = [&] {  // callers hold clock_mu
+    return *std::min_element(clock.begin(), clock.end());
+  };
+
+  /// Arm phase `idx`.  Runs before the threads start and inside the drain
+  /// barrier's completion — never concurrently with a worker step.
+  auto enter_phase = [&](std::size_t idx) {
+    phase_idx = idx;
+    const SwitchPhase& ph = plan[idx];
+    proto = ph.protocol;
+    lr = phase_lr[idx];
+    ssp_bound = ph.ssp_staleness_bound >= 0 ? ph.ssp_staleness_bound : cfg.ssp_staleness_bound;
+    const bool last = idx + 1 == plan.size();
+    const std::int64_t remaining = cfg.steps_per_worker - done;
+    quota = SwitchSchedule::phase_budget(ph, last, remaining);
+    trigger_fired = false;
+    std::fill(clock.begin(), clock.end(), 0);
+    rounds_done = 0;
+    bsp_phase_over = false;
+    phase_max_gap.store(0, std::memory_order_relaxed);
+    phase_start_updates = total_updates.load(std::memory_order_relaxed);
+    phase_start = SteadyClock::now();
+    // Fresh snapshot for a BSP phase entry: in-flight pushes of the previous
+    // phase are all applied (pushes are synchronous and every worker is
+    // parked at the drain barrier), so this is the reconciled parameter
+    // state the next phase starts from.
+    ps.pull(std::span<float>(shared_snapshot));
+  };
+  enter_phase(0);
+
+  /// The drain-barrier transition: record the finished phase, then arm the
+  /// next one (or end the run).  Runs on exactly one thread while every
+  /// worker is parked at the barrier.
+  auto finish_phase = [&]() noexcept {
+    ThreadedPhaseStats s;
+    s.protocol = proto;
+    s.ended_by_trigger = trigger_fired;
+    s.start_step = done;
+    s.steps = clock[0];  // equal across workers: phases end at a common quota
+    s.updates = total_updates.load(std::memory_order_relaxed) - phase_start_updates;
+    s.max_clock_gap = phase_max_gap.load(std::memory_order_relaxed);
+    std::int64_t staleness_sum = 0;
+    for (auto& c : ctx) {
+      staleness_sum += c.phase_staleness_sum;
+      s.push_bytes += c.phase_push_bytes;
+      c.phase_staleness_sum = 0;
+      c.phase_push_bytes = 0;
+    }
+    if (proto != Protocol::kBsp && s.updates > 0) {
+      s.mean_staleness = static_cast<double>(staleness_sum) / static_cast<double>(s.updates);
+      run_async_staleness += staleness_sum;
+      run_async_updates += s.updates;
+    }
+    const SteadyClock::time_point now = SteadyClock::now();
+    s.wall_seconds = seconds_between(phase_start, now);
+    if (s.wall_seconds > 0.0)
+      s.updates_per_sec = static_cast<double>(s.updates) / s.wall_seconds;
+    stats.push_back(s);
+    done += s.steps;
+    run_over = done >= cfg.steps_per_worker;
+    if (!run_over) enter_phase(std::min(phase_idx + 1, plan.size() - 1));
+  };
+
+  std::barrier round_barrier(static_cast<std::ptrdiff_t>(cfg.num_workers));
+  std::barrier<decltype(finish_phase)> drain_barrier(
+      static_cast<std::ptrdiff_t>(cfg.num_workers), finish_phase);
+
+  /// Wall-clock straggler injection: a worker slowed at the current elapsed
+  /// time sleeps (factor - 1) x its measured step time, emulating the
+  /// paper's injected per-message latency without consuming CPU.
+  auto inject_delay = [&](std::size_t w, SteadyClock::time_point step_start) {
+    if (!inject_stragglers) return;
+    const double elapsed = seconds_between(run_start, SteadyClock::now());
+    const double factor =
+        cfg.stragglers.slow_factor(static_cast<int>(w), VTime::from_seconds(elapsed));
+    if (factor <= 1.0) return;
+    const double step_seconds = seconds_between(step_start, SteadyClock::now());
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(step_seconds * (factor - 1.0)));
+  };
+
+  /// Feed one step observation to the shared detector.  Returns true when a
+  /// detection pass ran *and* the current phase's reactive trigger condition
+  /// holds afterwards.  Only async workers act on the return value; during
+  /// BSP phases worker 0 evaluates the trigger once per round instead, so
+  /// every worker of a round sees the same decision.
+  auto feed_detector = [&](std::size_t w, SteadyClock::time_point step_start) -> bool {
+    if (!use_detector) return false;
+    const double secs = seconds_between(step_start, SteadyClock::now());
+    const std::lock_guard<std::mutex> lock(det_mu);
+    if (!detector.observe(static_cast<int>(w), cfg.batch_size, VTime::from_seconds(secs)))
+      return false;
+    switch (plan[phase_idx].trigger) {
+      case SwitchTrigger::kStragglerDetected:
+        return detector.any_straggler();
+      case SwitchTrigger::kStragglerCleared:
+        return !detector.any_straggler();
+      case SwitchTrigger::kStepCount:
+        return false;
+    }
+    return false;
+  };
+
+  /// Latch a fired reactive trigger (async phases): lower the phase quota to
+  /// a common step count every worker can still reach — the fastest
+  /// worker's clock plus one — and wake SSP waiters so they re-check it.
+  auto latch_trigger = [&] {
+    {
+      const std::lock_guard<std::mutex> lock(clock_mu);
+      if (!trigger_fired) {
+        trigger_fired = true;
+        const std::int64_t fastest = *std::max_element(clock.begin(), clock.end());
+        quota = std::min(quota, fastest + 1);
       }
-    };
-    std::vector<std::thread> threads;
-    threads.reserve(cfg.num_workers);
-    for (std::size_t w = 0; w < cfg.num_workers; ++w) threads.emplace_back(worker_fn, w);
-    for (auto& t : threads) t.join();
-  } else if (cfg.protocol == Protocol::kAsp || cfg.protocol == Protocol::kSsp) {
-    // ASP: free-running workers.  SSP: free-running within the staleness
-    // bound — a worker whose local clock would run more than `bound` steps
-    // ahead of the slowest parks on the condition variable until the
-    // laggard's push advances the minimum.
-    const bool bounded = cfg.protocol == Protocol::kSsp;
-    const auto bound = static_cast<std::int64_t>(cfg.ssp_staleness_bound);
-    if (bounded && bound < 0) throw ConfigError("threaded_train: negative staleness bound");
+    }
+    clock_cv.notify_all();
+  };
 
-    std::mutex clock_mu;
-    std::condition_variable clock_cv;
-    std::vector<std::int64_t> local_clock(cfg.num_workers, 0);
-    std::atomic<std::int64_t> max_gap{0};
-    auto min_clock = [&] {
-      return *std::min_element(local_clock.begin(), local_clock.end());
-    };
+  // ------------------------------------------------------------------
+  // Phase bodies.
+  // ------------------------------------------------------------------
 
-    auto worker_fn = [&](std::size_t w) {
-      auto& c = ctx[w];
-      std::vector<std::uint32_t> indices;
-      for (std::int64_t step = 0; step < cfg.steps_per_worker; ++step) {
-        if (cfg.pre_step_hook) cfg.pre_step_hook(w, step);
-        {
-          std::unique_lock<std::mutex> lock(clock_mu);
-          if (bounded)
-            clock_cv.wait(lock, [&] { return step - min_clock() <= bound; });
-          const std::int64_t gap = step - min_clock();
-          std::int64_t seen = max_gap.load(std::memory_order_relaxed);
-          while (gap > seen &&
-                 !max_gap.compare_exchange_weak(seen, gap, std::memory_order_relaxed)) {
-          }
+  // Round-based BSP: all workers compute on the same snapshot, worker 0
+  // aggregates after the barrier and applies one averaged update.  The
+  // end-of-phase decision (quota reached or reactive trigger fired) is made
+  // once per round by worker 0 between the two barriers, so every worker
+  // leaves the phase at the same round.
+  auto run_bsp_phase = [&](std::size_t w) {
+    auto& c = ctx[w];
+    std::vector<std::uint32_t> indices;
+    while (!bsp_phase_over) {
+      if (cfg.pre_step_hook) cfg.pre_step_hook(w, done + clock[w]);
+      const SteadyClock::time_point step_start = SteadyClock::now();
+      c.sampler.next_batch(indices);
+      train.gather(indices, c.batch_x, c.batch_y);
+      c.model.gradient_at(shared_snapshot, c.batch_x, c.batch_y, c.grad);
+      if (bank) {
+        // Each worker compresses its own push through its bank slot; the
+        // aggregator decodes, so the PS math sees the lossy values exactly
+        // as the simulator's BSP path does.
+        c.push = bank->encode(static_cast<int>(w), c.grad, c.codec_rng);
+        c.phase_push_bytes += static_cast<std::int64_t>(c.push.wire_size);
+      } else {
+        c.phase_push_bytes += dense_bytes;
+      }
+      inject_delay(w, step_start);
+      feed_detector(w, step_start);  // w0 evaluates the trigger below
+      round_barrier.arrive_and_wait();  // all gradients ready
+      if (w == 0) {
+        std::fill(agg.begin(), agg.end(), 0.0f);
+        for (auto& other : ctx) {
+          if (bank)
+            other.push.add_into(agg);
+          else
+            ops::add_inplace(std::span<float>(agg), std::span<const float>(other.grad));
         }
-        ps.pull_with_versions(c.snapshot, c.pull_versions);
-        c.sampler.next_batch(indices);
-        train.gather(indices, c.batch_x, c.batch_y);
-        c.model.gradient_at(c.snapshot, c.batch_x, c.batch_y, c.grad);
-        if (bank) {
-          // Sparse (top-k) pushes lock only the shards holding kept
-          // coordinates; dense quantized pushes sweep all shards like an
-          // uncompressed push.
-          const CompressedPush push = bank->encode(static_cast<int>(w), c.grad, c.codec_rng);
-          c.push_bytes += static_cast<std::int64_t>(push.wire_size);
-          c.staleness_sum += ps.push_compressed(push, cfg.lr, c.pull_versions);
-        } else {
-          c.push_bytes += dense_bytes;
-          c.staleness_sum += ps.push(c.grad, cfg.lr, c.pull_versions);
-        }
+        ops::scale_inplace(std::span<float>(agg),
+                           1.0f / static_cast<float>(cfg.num_workers));
+        ps.push(agg, lr, ps.version());
         total_updates.fetch_add(1, std::memory_order_relaxed);
-        {
-          const std::lock_guard<std::mutex> lock(clock_mu);
-          local_clock[w] = step + 1;
+        ps.pull(std::span<float>(shared_snapshot));
+        ++rounds_done;
+        bool over = rounds_done >= quota;
+        if (!over && plan[phase_idx].trigger != SwitchTrigger::kStepCount) {
+          const std::lock_guard<std::mutex> lock(det_mu);
+          const bool cond = plan[phase_idx].trigger == SwitchTrigger::kStragglerDetected
+                                ? detector.any_straggler()
+                                : !detector.any_straggler();
+          if (cond) {
+            over = true;
+            trigger_fired = true;
+          }
         }
-        clock_cv.notify_all();
+        bsp_phase_over = over;
       }
-    };
-    std::vector<std::thread> threads;
-    threads.reserve(cfg.num_workers);
-    for (std::size_t w = 0; w < cfg.num_workers; ++w) threads.emplace_back(worker_fn, w);
-    for (auto& t : threads) t.join();
-    result_max_gap = max_gap.load();
-  } else {
-    throw ConfigError("threaded_train: protocol " + protocol_name(cfg.protocol) +
-                      " is simulator-only (supported here: BSP, ASP, SSP)");
-  }
+      round_barrier.arrive_and_wait();  // updated snapshot + decision visible
+      ++clock[w];  // own slot; read again only after the next barrier
+    }
+  };
+
+  // ASP: free-running workers.  SSP: free-running within the staleness
+  // bound — a worker whose local clock would run more than `bound` steps
+  // ahead of the slowest parks on the condition variable until the
+  // laggard's push advances the minimum (or the trigger latch lowers the
+  // quota below its clock).
+  auto run_async_phase = [&](std::size_t w) {
+    auto& c = ctx[w];
+    const bool bounded = proto == Protocol::kSsp;
+    std::vector<std::uint32_t> indices;
+    while (true) {
+      std::int64_t my = 0;
+      {
+        std::unique_lock<std::mutex> lock(clock_mu);
+        if (clock[w] >= quota) break;
+        if (bounded) {
+          clock_cv.wait(lock, [&] {
+            return clock[w] >= quota || clock[w] - min_clock() <= ssp_bound;
+          });
+          if (clock[w] >= quota) break;
+        }
+        const std::int64_t gap = clock[w] - min_clock();
+        std::int64_t seen = phase_max_gap.load(std::memory_order_relaxed);
+        while (gap > seen &&
+               !phase_max_gap.compare_exchange_weak(seen, gap, std::memory_order_relaxed)) {
+        }
+        my = clock[w];
+      }
+      if (cfg.pre_step_hook) cfg.pre_step_hook(w, done + my);
+      const SteadyClock::time_point step_start = SteadyClock::now();
+      ps.pull_with_versions(c.snapshot, c.pull_versions);
+      c.sampler.next_batch(indices);
+      train.gather(indices, c.batch_x, c.batch_y);
+      c.model.gradient_at(c.snapshot, c.batch_x, c.batch_y, c.grad);
+      inject_delay(w, step_start);
+      if (bank) {
+        // Sparse (top-k) pushes lock only the shards holding kept
+        // coordinates; dense quantized pushes sweep all shards like an
+        // uncompressed push.
+        const CompressedPush push = bank->encode(static_cast<int>(w), c.grad, c.codec_rng);
+        c.phase_push_bytes += static_cast<std::int64_t>(push.wire_size);
+        c.phase_staleness_sum += ps.push_compressed(push, lr, c.pull_versions);
+      } else {
+        c.phase_push_bytes += dense_bytes;
+        c.phase_staleness_sum += ps.push(c.grad, lr, c.pull_versions);
+      }
+      total_updates.fetch_add(1, std::memory_order_relaxed);
+      if (feed_detector(w, step_start)) latch_trigger();
+      {
+        const std::lock_guard<std::mutex> lock(clock_mu);
+        ++clock[w];
+      }
+      clock_cv.notify_all();
+    }
+  };
+
+  // Outer loop: every worker executes the same phase sequence, quiescing at
+  // the drain barrier between phases.  The barrier's completion runs the
+  // transition while all workers are parked, so phase state needs no lock.
+  auto worker_fn = [&](std::size_t w) {
+    while (true) {
+      if (proto == Protocol::kBsp)
+        run_bsp_phase(w);
+      else
+        run_async_phase(w);
+      drain_barrier.arrive_and_wait();
+      if (run_over) break;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(cfg.num_workers);
+  for (std::size_t w = 0; w < cfg.num_workers; ++w) threads.emplace_back(worker_fn, w);
+  for (auto& t : threads) t.join();
 
   ThreadedTrainResult result;
   result.total_updates = total_updates.load();
-  result.max_clock_gap = result_max_gap;
-  result.final_params = ps.snapshot();
-  for (const auto& c : ctx) result.push_bytes += c.push_bytes;
-  if (cfg.protocol != Protocol::kBsp && result.total_updates > 0) {
-    std::int64_t total_staleness = 0;
-    for (const auto& c : ctx) total_staleness += c.staleness_sum;
-    result.mean_staleness =
-        static_cast<double>(total_staleness) / static_cast<double>(result.total_updates);
+  result.phases = std::move(stats);
+  for (const auto& s : result.phases) {
+    result.max_clock_gap = std::max(result.max_clock_gap, s.max_clock_gap);
+    result.push_bytes += s.push_bytes;
   }
+  if (run_async_updates > 0)
+    result.mean_staleness =
+        static_cast<double>(run_async_staleness) / static_cast<double>(run_async_updates);
+  result.final_params = ps.snapshot();
   return result;
 }
 

@@ -11,7 +11,27 @@
 //    clock is more than `ssp_staleness_bound` steps ahead of the slowest
 //    parks on a condition variable until the laggard catches up.
 //
-// All three protocols support gradient compression (`ThreadedTrainConfig::
+// Beyond the fixed-protocol mode, the runtime executes live protocol
+// switches (`ThreadedTrainConfig::schedule`): a SwitchSchedule's phases run
+// back to back on the *same* worker threads and the same parameter server.
+// At each phase boundary every worker quiesces at a drain barrier — all of
+// its pushes are synchronous calls into the PS, so arriving at the barrier
+// means its updates are durably applied; SSP waiters are released because
+// the phase quota is a common local-step count every worker reaches — and
+// the one-shot transition step (run inside the barrier's completion, with
+// every worker parked) records per-phase metrics, re-snapshots parameters
+// and versions, and arms the next phase.  No checkpoint, no restart, no
+// lost update.  Phases end on a fixed step quota or reactively, when the
+// shared StragglerDetector (fed by per-step wall-clock throughput
+// observations) flags or clears a straggler — the paper's Section VI-B3
+// policies on real threads.
+//
+// Transient stragglers are injected from a `StragglerSchedule` evaluated
+// against the wall clock: after computing its gradient, a slowed worker
+// sleeps (slow_factor - 1) x its measured step time, emulating the paper's
+// injected network latency without consuming CPU.
+//
+// All protocols support gradient compression (`ThreadedTrainConfig::
 // compression`): each worker thread encodes its gradient through its own
 // `CompressorBank` slot into a `CompressedPush`, and sparse (top-k) pushes
 // take a per-shard fast path that locks only the shards owning kept
@@ -20,7 +40,8 @@
 // Used by tests and the `threaded_training` example.  Wall-clock timing here
 // is real, so results are NOT deterministic in update order for ASP (that is
 // the point) — but invariants (parameter finiteness, update counts, loss
-// decrease on easy problems) hold and are tested.
+// decrease on easy problems, per-phase staleness bounds) hold and are
+// tested.
 #pragma once
 
 #include <algorithm>
@@ -33,12 +54,15 @@
 #include "common/error.h"
 #include "compress/compressed_push.h"
 #include "compress/spec.h"
+#include "core/straggler_detector.h"
 #include "data/batcher.h"
 #include "data/dataset.h"
 #include "nn/lr_schedule.h"
 #include "nn/model.h"
 #include "ps/param_server.h"
 #include "ps/protocol.h"
+#include "ps/switch_schedule.h"
+#include "sim/straggler.h"
 
 namespace ss {
 
@@ -48,6 +72,20 @@ namespace ss {
 /// one global lock.  All multi-shard operations take locks in ascending
 /// shard order, which rules out deadlock between the whole-vector helpers
 /// and the per-shard fast path.
+///
+/// Version contract: every shard owns its own version counter.  A dense push
+/// advances every shard by one; a sparse push advances only the shards
+/// owning kept coordinates, so per-shard versions diverge under sparse
+/// traffic.  The *per-shard* API (`pull_with_versions` + the span-of-
+/// versions `push`/`push_compressed` overloads) measures staleness exactly
+/// in both regimes.  The scalar compatibility API (`pull_with_version`,
+/// `version()`, the scalar-version `push`) collapses the vector to its
+/// minimum — the count of *complete* updates — and is exact only while all
+/// pushes are dense; under sparse pushes the scalar can lag the leading
+/// shards by the version spread, so staleness measured against it is a
+/// conservative upper bound (it over-counts by at most that spread, never
+/// under-counts).  See the regression test
+/// ThreadedRuntime.ScalarVersionIsConservativeUnderSparsePushes.
 class SharedParameterServer {
  public:
   SharedParameterServer(std::vector<float> init_params, double momentum,
@@ -65,7 +103,8 @@ class SharedParameterServer {
   }
 
   /// Pull + snapshot the version of every shard as it is copied.  The
-  /// shard-version vector is what `push` measures staleness against.
+  /// shard-version vector is what `push` measures staleness against; this is
+  /// the exact path and the one the runtime's workers use.
   void pull_with_versions(std::span<float> out, std::vector<std::int64_t>& versions) const {
     versions.resize(shard_mu_.size());
     for (std::size_t s = 0; s < shard_mu_.size(); ++s) {
@@ -75,8 +114,13 @@ class SharedParameterServer {
     }
   }
 
-  /// Whole-vector compatibility pull: a single logical version (the count of
-  /// complete updates at the time of the pull).
+  /// Whole-vector compatibility pull returning a single logical version: the
+  /// minimum shard version, i.e. the count of updates *every* shard has
+  /// absorbed.  Exact while all pushes are dense (all shards agree); under
+  /// sparse pushes the leading shards are ahead of this scalar, so staleness
+  /// measured against it over-counts by at most the shard-version spread at
+  /// pull time (never under-counts).  Use `pull_with_versions` for exact
+  /// accounting.
   std::int64_t pull_with_version(std::span<float> out) const {
     std::int64_t version = 0;
     for (std::size_t s = 0; s < shard_mu_.size(); ++s) {
@@ -129,7 +173,10 @@ class SharedParameterServer {
     return staleness;
   }
 
-  /// Whole-vector compatibility push against a single pulled version.
+  /// Whole-vector compatibility push against a single pulled version (the
+  /// scalar returned by `pull_with_version`; see that method's contract —
+  /// the reported staleness is conservative once sparse pushes have made
+  /// shard versions diverge).
   std::int64_t push(std::span<const float> grad, double lr, std::int64_t pull_version) {
     std::int64_t staleness = 0;
     for (std::size_t s = 0; s < shard_mu_.size(); ++s) {
@@ -146,6 +193,8 @@ class SharedParameterServer {
     return out;
   }
 
+  /// Count of complete updates: the minimum shard version (same contract as
+  /// `pull_with_version`).
   [[nodiscard]] std::int64_t version() const {
     std::int64_t version = 0;
     for (std::size_t s = 0; s < shard_mu_.size(); ++s) {
@@ -162,7 +211,13 @@ class SharedParameterServer {
 };
 
 struct ThreadedTrainConfig {
+  /// Protocol for the whole run when `schedule` is empty; ignored otherwise.
   Protocol protocol = Protocol::kBsp;
+  /// Live switch schedule: phases run back to back on the same threads and
+  /// PS, transitioning at drain barriers.  Phase `steps` are local steps per
+  /// worker; the last phase runs out the remaining `steps_per_worker`
+  /// budget.  Only BSP/ASP/SSP phases are accepted (threaded_supported).
+  SwitchSchedule schedule;
   std::size_t num_workers = 4;
   std::size_t batch_size = 32;
   std::int64_t steps_per_worker = 100;  ///< local steps each worker performs
@@ -179,20 +234,57 @@ struct ThreadedTrainConfig {
   /// pipeline the simulator drives, but on real threads.  Sparse (top-k)
   /// pushes go through the per-shard `push_compressed` fast path.
   CompressionSpec compression;
+  /// Wall-clock straggler injection: before pushing, a worker slowed at the
+  /// current elapsed time sleeps (slow_factor - 1) x its measured step time.
+  /// Event times are seconds since the run started.  Default: no events.
+  StragglerSchedule stragglers;
+  /// Detector for reactive schedule triggers (kStragglerDetected /
+  /// kStragglerCleared).  Fed per-step throughput observations under a
+  /// mutex; flags persist across phase transitions so kStragglerCleared
+  /// waits for a real recovery.  Unused when the schedule has no reactive
+  /// trigger.
+  DetectorConfig detector;
+  /// Schedule mode only: derive each phase's learning rate from the
+  /// configuration policy (core/config_policy.h) with `lr` as the base eta —
+  /// synchronous phases get the linear-scaled n x lr, asynchronous phases
+  /// keep lr, momentum stays at `momentum` (the paper's kBaseline choice;
+  /// PS-side momentum cannot be re-derived mid-run).  When false, every
+  /// phase uses `lr` as-is.  Fixed-protocol mode always uses `lr` as-is.
+  bool derive_phase_lr = true;
   /// Test hook: called by each worker before every local step (e.g. to make
   /// one worker artificially slow).  Must be thread-safe; may be null.
   std::function<void(std::size_t worker, std::int64_t step)> pre_step_hook;
 };
 
+/// Metrics for one executed schedule phase (exactly one entry for a
+/// fixed-protocol run).  `steps` is the per-worker local step count of the
+/// phase — equal across workers by construction, because a phase ends at a
+/// common quota (fixed, or latched as max-clock + 1 when a trigger fires).
+struct ThreadedPhaseStats {
+  Protocol protocol = Protocol::kBsp;
+  bool ended_by_trigger = false;  ///< reactive trigger fired (vs quota/budget)
+  std::int64_t start_step = 0;    ///< per-worker local step the phase began at
+  std::int64_t steps = 0;         ///< local steps per worker in this phase
+  std::int64_t updates = 0;       ///< PS updates applied during the phase
+  double mean_staleness = 0.0;    ///< over the phase's async pushes (0 for BSP)
+  std::int64_t max_clock_gap = 0; ///< largest local-clock gap inside the phase
+  std::int64_t push_bytes = 0;    ///< wire bytes pushed during the phase
+  double wall_seconds = 0.0;      ///< real elapsed time of the phase
+  double updates_per_sec = 0.0;   ///< phase throughput (updates / wall_seconds)
+};
+
 struct ThreadedTrainResult {
   std::int64_t total_updates = 0;   ///< PS updates applied
-  double mean_staleness = 0.0;      ///< over ASP pushes (0 for BSP)
+  double mean_staleness = 0.0;      ///< over async pushes (0 for pure BSP)
   /// Largest observed local-clock gap (fastest minus slowest worker) at any
   /// step start.  For kSsp this is <= ssp_staleness_bound by construction.
   std::int64_t max_clock_gap = 0;
   /// Total gradient bytes pushed on the (virtual) wire: the codec's wire
   /// size per push when compression is on, full fp32 width otherwise.
   std::int64_t push_bytes = 0;
+  /// One entry per executed phase, in order.  Phases the run budget never
+  /// reached (or that a never-firing trigger absorbed) are absent.
+  std::vector<ThreadedPhaseStats> phases;
   std::vector<float> final_params;
 };
 

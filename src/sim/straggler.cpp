@@ -44,6 +44,16 @@ StragglerSchedule StragglerSchedule::permanent(int worker, double slow_factor) {
   return StragglerSchedule({ev});
 }
 
+StragglerSchedule StragglerSchedule::transient(int worker, VTime start, VTime duration,
+                                               double slow_factor) {
+  StragglerEvent ev;
+  ev.worker = worker;
+  ev.start = start;
+  ev.duration = duration;
+  ev.slow_factor = slow_factor;
+  return StragglerSchedule({ev});
+}
+
 void StragglerSchedule::mask_after(int worker, VTime t) {
   std::vector<StragglerEvent> kept;
   kept.reserve(events_.size());

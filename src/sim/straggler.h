@@ -57,6 +57,13 @@ class StragglerSchedule {
   /// straggler; the paper's replacement policies target these).
   [[nodiscard]] static StragglerSchedule permanent(int worker, double slow_factor);
 
+  /// A single transient episode: `worker` is slowed by `slow_factor` on
+  /// [start, start + duration).  The threaded runtime interprets the times
+  /// against the real wall clock (seconds since the run started), which is
+  /// how the example injects a paper-style transient straggler mid-phase.
+  [[nodiscard]] static StragglerSchedule transient(int worker, VTime start, VTime duration,
+                                                   double slow_factor);
+
   /// Node replacement: worker `worker`'s slot is healthy from `t` on (a
   /// freshly provisioned VM took over the slot).  Episodes overlapping `t`
   /// are clipped; later ones are dropped.

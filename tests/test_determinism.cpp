@@ -154,6 +154,71 @@ TEST(Determinism, CompressionIsPartOfTheCacheKey) {
   EXPECT_NE(plain.cache_key(), compressed.cache_key());
 }
 
+TEST(Determinism, ScheduledRunIsReproducibleAndMatchesTheLegacyTwoPhasePlan) {
+  // A step-triggered SwitchSchedule of {BSP 64, ASP rest} is semantically
+  // identical to the legacy bsp_to_asp(0.25) plan on a 256-step workload:
+  // same budgets, same derived hyper-parameters, same switch cost.  The
+  // trajectories must agree bit for bit — only the cache key differs,
+  // because the schedule is an explicit request field.
+  RunRequest legacy = tiny_request();
+  RunRequest sched = tiny_request();
+  sched.policy.schedule = SwitchSchedule::step_switched({{Protocol::kBsp, 64},
+                                                         {Protocol::kAsp, 0}});
+  const RunResult a = TrainingSession(sched).run();
+  const RunResult b = TrainingSession(sched).run();
+  expect_bitwise_equal(a, b);
+  const RunResult l = TrainingSession(legacy).run();
+  expect_bitwise_equal(l, a);
+  EXPECT_NE(legacy.cache_key(), sched.cache_key());
+}
+
+TEST(Determinism, ThreePhaseScheduleIsReproducible) {
+  RunRequest req = tiny_request();
+  req.policy.schedule = SwitchSchedule::step_switched(
+      {{Protocol::kBsp, 64}, {Protocol::kSsp, 64}, {Protocol::kAsp, 0}});
+  req.cluster.num_ps_shards = 8;
+  const RunResult a = TrainingSession(req).run();
+  const RunResult b = TrainingSession(req).run();
+  expect_bitwise_equal(a, b);
+  EXPECT_EQ(a.num_switches, 2);
+}
+
+TEST(Determinism, ScheduleModeIgnoresTheVestigialTwoPhaseFields) {
+  // With a schedule set, the legacy first/second/switch_fraction fields are
+  // documented as ignored — so mutating them must not change a single bit
+  // of the trajectory (regression: the per-phase momentum policy used to be
+  // derived from `first`/`switch_fraction` even in schedule mode).
+  RunRequest a = tiny_request();
+  a.policy.schedule = SwitchSchedule::step_switched({{Protocol::kBsp, 64},
+                                                     {Protocol::kAsp, 0}});
+  a.policy.momentum_policy = MomentumPolicy::kZero;
+  RunRequest b = a;
+  b.policy.first = Protocol::kAsp;  // vestigial: would previously have
+  b.policy.second = Protocol::kSsp; // forced the ASP phase to kBaseline
+  b.policy.switch_fraction = 0.9;
+  const RunResult ra = TrainingSession(a).run();
+  const RunResult rb = TrainingSession(b).run();
+  expect_bitwise_equal(ra, rb);
+}
+
+TEST(Determinism, SwitchScheduleIsPartOfTheCacheKey) {
+  RunRequest plain = tiny_request();
+  RunRequest sched = tiny_request();
+  sched.policy.schedule = SwitchSchedule::bsp_to_asp(64);
+  RunRequest sched2 = tiny_request();
+  sched2.policy.schedule = SwitchSchedule::bsp_to_asp(32);
+  RunRequest reactive = tiny_request();
+  reactive.policy.schedule = SwitchSchedule::reactive(Protocol::kBsp, Protocol::kAsp);
+
+  // Every distinct schedule is a distinct cache entry, and the canonical
+  // label is embedded verbatim so keys stay auditable.
+  EXPECT_NE(plain.cache_key(), sched.cache_key());
+  EXPECT_NE(sched.cache_key(), sched2.cache_key());
+  EXPECT_NE(sched.cache_key(), reactive.cache_key());
+  EXPECT_NE(sched.cache_key().find("sched=BSP:64+ASP:0"), std::string::npos);
+  EXPECT_NE(plain.cache_key().find("sched=-"), std::string::npos);
+}
+
 TEST(Determinism, ShardCountChangesTimingButIsKeyedSeparately) {
   RunRequest flat = tiny_request();
   RunRequest sharded = tiny_request();

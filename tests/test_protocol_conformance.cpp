@@ -20,6 +20,7 @@
 
 #include "compress/spec.h"
 #include "compress/topk.h"
+#include "core/session.h"
 #include "data/synthetic.h"
 #include "nn/zoo.h"
 #include "ps/sim_runtime.h"
@@ -414,6 +415,99 @@ TEST(ThreadedConformance, SimSspKeepsTheGapBoundUnderSparseCompression) {
   EXPECT_EQ(r.steps_done, 200);
   EXPECT_LE(r.max_clock_gap, kSspBound);
   for (const auto& u : sink.updates) ASSERT_GE(u.staleness, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Switching conformance: the same BSP -> ASP schedule must agree between the
+// simulator and the threaded runtime on update counts and per-phase
+// staleness invariants.  Step currency differs by design — one threaded
+// local step is kWorkers simulator minibatch steps — so a threaded schedule
+// of {BSP s, ASP rest} corresponds to a sim schedule of {BSP kWorkers*s,
+// ASP rest} over kWorkers x the threaded per-worker budget.
+// ---------------------------------------------------------------------------
+
+TEST(SwitchingConformance, SimAndThreadedAgreeOnSwitchedUpdateCounts) {
+  // Threaded: 4 workers x 30 local steps, BSP for the first 10.
+  const DataSplit split = threaded_data();
+  const Model proto = threaded_model(split);
+  ThreadedTrainConfig tcfg;
+  tcfg.schedule = SwitchSchedule::bsp_to_asp(10);
+  tcfg.num_workers = kWorkers;
+  tcfg.steps_per_worker = 30;
+  const auto threaded = threaded_train(proto, split.train, tcfg);
+  ASSERT_EQ(threaded.phases.size(), 2u);
+
+  // Sim: the same plan in minibatch steps (BSP 40 of 120), observed through
+  // a recording sink so updates can be attributed to their protocol.
+  RecordingSink sink;
+  RunRequest req;
+  req.workload.arch = ModelArch::kLinear;
+  req.workload.data = Fixture::make_spec();
+  req.workload.total_steps = 120;
+  req.workload.hyper.batch_size = kBatch;
+  req.workload.eval_interval = 64;
+  req.cluster = Fixture::cluster_spec(1);
+  req.policy.schedule = SwitchSchedule::bsp_to_asp(40);
+  req.observer = &sink;
+  const RunResult sim = TrainingSession(req).run();
+  EXPECT_EQ(sim.steps_completed, 120);
+  EXPECT_EQ(sim.num_switches, 1);
+
+  std::int64_t sim_bsp_updates = 0, sim_asp_updates = 0;
+  for (const auto& u : sink.updates) {
+    if (u.protocol == Protocol::kBsp) {
+      ++sim_bsp_updates;
+      ASSERT_EQ(u.staleness, 0) << "BSP update at step " << u.global_step;
+    } else {
+      ASSERT_EQ(u.protocol, Protocol::kAsp);
+      ++sim_asp_updates;
+      ASSERT_GE(u.staleness, 0);
+    }
+  }
+  // Update counts agree phase for phase: 10 aggregated BSP updates, then
+  // one update per worker push for the rest.
+  EXPECT_EQ(sim_bsp_updates, 10);
+  EXPECT_EQ(sim_asp_updates, 80);
+  EXPECT_EQ(threaded.phases[0].updates, sim_bsp_updates);
+  EXPECT_EQ(threaded.phases[1].updates, sim_asp_updates);
+  EXPECT_EQ(threaded.total_updates, sim_bsp_updates + sim_asp_updates);
+  // Per-phase staleness bounds agree: synchronous phase exactly zero in
+  // both runtimes, async phase non-negative.
+  EXPECT_DOUBLE_EQ(threaded.phases[0].mean_staleness, 0.0);
+  EXPECT_EQ(threaded.phases[0].max_clock_gap, 0);
+  EXPECT_GE(threaded.phases[1].mean_staleness, 0.0);
+}
+
+TEST(SwitchingConformance, SspPhaseAfterTheSwitchKeepsTheBoundInBothRuntimes) {
+  // Sim: BSP then SSP on the same TrainingState (Fixture::run persists it).
+  Fixture fx(8);
+  RecordingSink sink;
+  const PhaseResult bsp = fx.run(Protocol::kBsp, 40, sink);
+  EXPECT_DOUBLE_EQ(bsp.mean_staleness, 0.0);
+  EXPECT_EQ(bsp.max_clock_gap, 0);
+  const PhaseResult ssp = fx.run(Protocol::kSsp, 80, sink);
+  EXPECT_LE(ssp.max_clock_gap, kSspBound);
+
+  // Threads: the same plan as a live schedule, with a real slow worker.
+  const DataSplit split = threaded_data();
+  const Model proto = threaded_model(split);
+  ThreadedTrainConfig cfg;
+  cfg.schedule = SwitchSchedule(
+      {SwitchPhase{Protocol::kBsp, SwitchTrigger::kStepCount, 10, -1},
+       SwitchPhase{Protocol::kSsp, SwitchTrigger::kStepCount, 0, kSspBound}});
+  cfg.num_workers = kWorkers;
+  cfg.steps_per_worker = 30;
+  cfg.num_ps_shards = 8;
+  cfg.pre_step_hook = [](std::size_t worker, std::int64_t) {
+    if (worker == 0) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  };
+  const auto threaded = threaded_train(proto, split.train, cfg);
+  ASSERT_EQ(threaded.phases.size(), 2u);
+  EXPECT_EQ(threaded.phases[0].max_clock_gap, 0);
+  EXPECT_LE(threaded.phases[1].max_clock_gap, kSspBound);
+  EXPECT_EQ(threaded.phases[1].updates,
+            20 * static_cast<std::int64_t>(kWorkers));
+  for (float v : threaded.final_params) ASSERT_TRUE(std::isfinite(v));
 }
 
 TEST(ThreadedConformance, BspMathIsIndependentOfShardLayout) {

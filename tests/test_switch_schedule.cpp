@@ -1,0 +1,101 @@
+// SwitchSchedule: construction, validation, labels (cache-key material), and
+// the factory helpers both runtimes consume.
+#include "ps/switch_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ss {
+namespace {
+
+TEST(SwitchSchedule, EmptyScheduleMeansNoSwitching) {
+  const SwitchSchedule s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.has_reactive_trigger());
+  EXPECT_EQ(s.label(), "-");
+}
+
+TEST(SwitchSchedule, StepSwitchedBuildsOrderedPhases) {
+  const SwitchSchedule s = SwitchSchedule::step_switched(
+      {{Protocol::kBsp, 120}, {Protocol::kSsp, 60}, {Protocol::kAsp, 0}});
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.phase(0).protocol, Protocol::kBsp);
+  EXPECT_EQ(s.phase(0).steps, 120);
+  EXPECT_EQ(s.phase(1).protocol, Protocol::kSsp);
+  EXPECT_EQ(s.phase(2).protocol, Protocol::kAsp);
+  EXPECT_EQ(s.phase(2).steps, 0);
+  EXPECT_FALSE(s.has_reactive_trigger());
+  EXPECT_EQ(s.label(), "BSP:120+SSP:60+ASP:0");
+}
+
+TEST(SwitchSchedule, BspToAspHelperMatchesThePaperDefault) {
+  const SwitchSchedule s = SwitchSchedule::bsp_to_asp(16);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.phase(0).protocol, Protocol::kBsp);
+  EXPECT_EQ(s.phase(0).steps, 16);
+  EXPECT_EQ(s.phase(1).protocol, Protocol::kAsp);
+}
+
+TEST(SwitchSchedule, ReactiveHelpersCarryDetectorTriggers) {
+  const SwitchSchedule r = SwitchSchedule::reactive(Protocol::kBsp, Protocol::kAsp);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.phase(0).trigger, SwitchTrigger::kStragglerDetected);
+  EXPECT_EQ(r.phase(1).trigger, SwitchTrigger::kStepCount);
+  EXPECT_TRUE(r.has_reactive_trigger());
+  EXPECT_EQ(r.label(), "BSP:det+ASP:0");
+
+  const SwitchSchedule rt = SwitchSchedule::reactive_round_trip(Protocol::kBsp, Protocol::kAsp);
+  ASSERT_EQ(rt.size(), 3u);
+  EXPECT_EQ(rt.phase(1).trigger, SwitchTrigger::kStragglerCleared);
+  EXPECT_EQ(rt.phase(2).protocol, Protocol::kBsp);
+  EXPECT_EQ(rt.label(), "BSP:det+ASP:clr+BSP:0");
+}
+
+TEST(SwitchSchedule, LabelIncludesBoundOverrides) {
+  SwitchPhase ssp{Protocol::kSsp, SwitchTrigger::kStepCount, 40, 2};
+  SwitchPhase tail{Protocol::kAsp, SwitchTrigger::kStepCount, 0, -1};
+  const SwitchSchedule s({ssp, tail});
+  EXPECT_EQ(s.label(), "SSP:40b2+ASP:0");
+}
+
+TEST(SwitchSchedule, RejectsZeroStepNonLastPhases) {
+  EXPECT_THROW(SwitchSchedule::step_switched({{Protocol::kBsp, 0}, {Protocol::kAsp, 0}}),
+               ConfigError);
+}
+
+TEST(SwitchSchedule, RejectsNegativeSteps) {
+  EXPECT_THROW(SwitchSchedule::step_switched({{Protocol::kBsp, -5}, {Protocol::kAsp, 0}}),
+               ConfigError);
+}
+
+TEST(SwitchSchedule, RejectsStepQuotaOnLastPhase) {
+  // The last phase always runs out the remaining budget; a silent quota
+  // would be misleading, so it is rejected outright.
+  EXPECT_THROW(SwitchSchedule::step_switched({{Protocol::kBsp, 10}, {Protocol::kAsp, 10}}),
+               ConfigError);
+}
+
+TEST(SwitchSchedule, RejectsReactiveLastPhase) {
+  EXPECT_THROW(SwitchSchedule({SwitchPhase{Protocol::kBsp, SwitchTrigger::kStepCount, 10, -1},
+                               SwitchPhase{Protocol::kAsp, SwitchTrigger::kStragglerDetected,
+                                           0, -1}}),
+               ConfigError);
+}
+
+TEST(SwitchSchedule, RejectsStepsOnReactivePhases) {
+  EXPECT_THROW(SwitchSchedule({SwitchPhase{Protocol::kBsp, SwitchTrigger::kStragglerDetected,
+                                           10, -1},
+                               SwitchPhase{Protocol::kAsp, SwitchTrigger::kStepCount, 0, -1}}),
+               ConfigError);
+}
+
+TEST(SwitchSchedule, TriggerNamesAreStable) {
+  EXPECT_EQ(switch_trigger_name(SwitchTrigger::kStepCount), "steps");
+  EXPECT_EQ(switch_trigger_name(SwitchTrigger::kStragglerDetected), "straggler-detected");
+  EXPECT_EQ(switch_trigger_name(SwitchTrigger::kStragglerCleared), "straggler-cleared");
+}
+
+}  // namespace
+}  // namespace ss

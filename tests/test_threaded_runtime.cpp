@@ -173,6 +173,225 @@ TEST(ThreadedRuntime, CompressionShrinksPushBytes) {
   EXPECT_LT(sparse.push_bytes, dense.push_bytes / 4);
 }
 
+// ---------------------------------------------------------------------------
+// Live protocol switching: SwitchSchedule phases execute back to back on the
+// same threads and PS, quiescing at the drain barrier between phases.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadedRuntime, StepTriggeredSwitchCountsExactly) {
+  const DataSplit split = easy_data();
+  const Model proto = proto_model(split);
+  ThreadedTrainConfig cfg;
+  cfg.schedule = SwitchSchedule::bsp_to_asp(10);
+  cfg.num_workers = 4;
+  cfg.steps_per_worker = 30;
+  const auto result = threaded_train(proto, split.train, cfg);
+
+  // BSP phase: 10 rounds = 10 aggregated updates.  ASP phase: the remaining
+  // 20 local steps per worker push individually = 80 updates.
+  ASSERT_EQ(result.phases.size(), 2u);
+  const auto& bsp = result.phases[0];
+  const auto& asp = result.phases[1];
+  EXPECT_EQ(bsp.protocol, Protocol::kBsp);
+  EXPECT_EQ(bsp.start_step, 0);
+  EXPECT_EQ(bsp.steps, 10);
+  EXPECT_EQ(bsp.updates, 10);
+  EXPECT_DOUBLE_EQ(bsp.mean_staleness, 0.0);
+  EXPECT_EQ(bsp.max_clock_gap, 0);
+  EXPECT_FALSE(bsp.ended_by_trigger);
+  EXPECT_EQ(asp.protocol, Protocol::kAsp);
+  EXPECT_EQ(asp.start_step, 10);
+  EXPECT_EQ(asp.steps, 20);
+  EXPECT_EQ(asp.updates, 80);
+  EXPECT_EQ(result.total_updates, 90);
+  EXPECT_EQ(result.push_bytes, bsp.push_bytes + asp.push_bytes);
+  // Every gradient crossed the wire exactly once: 30 local steps x 4 workers.
+  EXPECT_EQ(result.push_bytes,
+            120 * static_cast<std::int64_t>(proto.num_params() * sizeof(float)));
+  EXPECT_GT(bsp.wall_seconds, 0.0);
+  for (float v : result.final_params) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(ThreadedRuntime, SwitchedRunStillTrains) {
+  const DataSplit split = easy_data();
+  Model proto = proto_model(split);
+  const double before = proto.evaluate_accuracy(split.test);
+  ThreadedTrainConfig cfg;
+  cfg.schedule = SwitchSchedule::bsp_to_asp(20);
+  cfg.num_workers = 4;
+  cfg.steps_per_worker = 60;
+  cfg.lr = 0.1;  // derive_phase_lr scales the BSP phase to 4 x 0.1
+  cfg.num_ps_shards = 4;
+  const auto result = threaded_train(proto, split.train, cfg);
+  Model trained = proto.clone();
+  trained.set_params(result.final_params);
+  EXPECT_GT(trained.evaluate_accuracy(split.test), before + 0.2);
+}
+
+TEST(ThreadedRuntime, ThreePhaseScheduleHonorsPerPhaseSspBound) {
+  const DataSplit split = easy_data();
+  const Model proto = proto_model(split);
+  ThreadedTrainConfig cfg;
+  cfg.schedule = SwitchSchedule(
+      {SwitchPhase{Protocol::kBsp, SwitchTrigger::kStepCount, 5, -1},
+       SwitchPhase{Protocol::kSsp, SwitchTrigger::kStepCount, 15, /*bound=*/2},
+       SwitchPhase{Protocol::kAsp, SwitchTrigger::kStepCount, 0, -1}});
+  cfg.num_workers = 4;
+  cfg.steps_per_worker = 30;
+  cfg.ssp_staleness_bound = 99;  // the phase override must win
+  cfg.pre_step_hook = [](std::size_t worker, std::int64_t) {
+    if (worker == 0) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  };
+  const auto result = threaded_train(proto, split.train, cfg);
+  ASSERT_EQ(result.phases.size(), 3u);
+  EXPECT_EQ(result.phases[0].updates, 5);
+  EXPECT_EQ(result.phases[1].protocol, Protocol::kSsp);
+  EXPECT_EQ(result.phases[1].steps, 15);
+  EXPECT_EQ(result.phases[1].updates, 60);
+  EXPECT_LE(result.phases[1].max_clock_gap, 2);
+  EXPECT_EQ(result.phases[2].steps, 10);
+  EXPECT_EQ(result.phases[2].updates, 40);
+  EXPECT_EQ(result.total_updates, 5 + 60 + 40);
+}
+
+TEST(ThreadedRuntime, SwitchedCompressedRunConservesWireAccounting) {
+  const DataSplit split = easy_data();
+  const Model proto = proto_model(split);
+  ThreadedTrainConfig cfg;
+  cfg.schedule = SwitchSchedule::bsp_to_asp(8);
+  cfg.num_workers = 4;
+  cfg.steps_per_worker = 16;
+  cfg.num_ps_shards = 4;
+  cfg.compression = CompressionSpec::topk(0.25);
+  const auto result = threaded_train(proto, split.train, cfg);
+  ASSERT_EQ(result.phases.size(), 2u);
+  EXPECT_EQ(result.total_updates, 8 + 8 * 4);
+  EXPECT_EQ(result.push_bytes, result.phases[0].push_bytes + result.phases[1].push_bytes);
+  EXPECT_LT(result.push_bytes,
+            64 * static_cast<std::int64_t>(proto.num_params() * sizeof(float)));
+  for (float v : result.final_params) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(ThreadedRuntime, ScheduleRejectsSimulatorOnlyProtocols) {
+  const DataSplit split = easy_data();
+  const Model proto = proto_model(split);
+  ThreadedTrainConfig cfg;
+  cfg.schedule = SwitchSchedule::step_switched({{Protocol::kBsp, 4}, {Protocol::kKAsync, 0}});
+  cfg.num_workers = 2;
+  cfg.steps_per_worker = 8;
+  EXPECT_THROW(threaded_train(proto, split.train, cfg), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Straggler injection + reactive switching (paper Section VI-B3 on threads).
+// ---------------------------------------------------------------------------
+
+TEST(ThreadedRuntime, InjectedStragglerOpensTheAspClockGap) {
+  // Worker 0 is slowed 20x by the wall-clock injection hook (it sleeps
+  // (factor - 1) x its measured step time); under ASP the healthy workers
+  // race ahead, so a visible local-clock gap is guaranteed — and the update
+  // count stays exact because injection only delays, never drops, a push.
+  const DataSplit split = easy_data();
+  const Model proto = proto_model(split);
+  ThreadedTrainConfig cfg;
+  cfg.protocol = Protocol::kAsp;
+  cfg.num_workers = 4;
+  cfg.steps_per_worker = 30;
+  cfg.stragglers = StragglerSchedule::permanent(0, 20.0);
+  const auto result = threaded_train(proto, split.train, cfg);
+  EXPECT_EQ(result.total_updates, 120);
+  EXPECT_GT(result.max_clock_gap, 2);
+  for (float v : result.final_params) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(ThreadedRuntime, SspBoundHoldsUnderInjectedStraggler) {
+  const DataSplit split = easy_data();
+  const Model proto = proto_model(split);
+  ThreadedTrainConfig cfg;
+  cfg.protocol = Protocol::kSsp;
+  cfg.num_workers = 4;
+  cfg.steps_per_worker = 30;
+  cfg.ssp_staleness_bound = 2;
+  cfg.stragglers = StragglerSchedule::permanent(0, 20.0);
+  const auto result = threaded_train(proto, split.train, cfg);
+  EXPECT_EQ(result.total_updates, 120);
+  EXPECT_LE(result.max_clock_gap, 2);
+}
+
+TEST(ThreadedRuntime, ReactiveScheduleSwitchesWhenTheDetectorFires) {
+  // BSP until the shared detector flags the injected straggler, then ASP for
+  // the rest.  Worker 0's steps take ~20x longer (sleep, not CPU), so its
+  // throughput collapses relative to the cluster and detection is certain
+  // once the windows warm up — after that, the runtime must (a) have
+  // switched, (b) have conserved the per-worker step budget across the
+  // trigger-latched phase boundary.
+  const DataSplit split = easy_data();
+  const Model proto = proto_model(split);
+  ThreadedTrainConfig cfg;
+  cfg.schedule = SwitchSchedule::reactive(Protocol::kBsp, Protocol::kAsp);
+  cfg.num_workers = 4;
+  cfg.steps_per_worker = 80;
+  cfg.stragglers = StragglerSchedule::permanent(0, 20.0);
+  cfg.detector.window_size = 3;
+  cfg.detector.consecutive_required = 1;
+  const auto result = threaded_train(proto, split.train, cfg);
+
+  ASSERT_EQ(result.phases.size(), 2u);
+  const auto& bsp = result.phases[0];
+  const auto& asp = result.phases[1];
+  EXPECT_EQ(bsp.protocol, Protocol::kBsp);
+  EXPECT_TRUE(bsp.ended_by_trigger);
+  EXPECT_LT(bsp.steps, 80);  // the switch happened before the budget ran out
+  EXPECT_GT(bsp.steps, 0);
+  EXPECT_EQ(asp.protocol, Protocol::kAsp);
+  EXPECT_EQ(bsp.steps + asp.steps, 80);  // budget conserved across the switch
+  EXPECT_EQ(result.total_updates, bsp.updates + asp.updates);
+  EXPECT_EQ(asp.updates, 4 * asp.steps);
+  for (float v : result.final_params) EXPECT_TRUE(std::isfinite(v));
+}
+
+// ---------------------------------------------------------------------------
+// Scalar version contract (regression for the pull_with_version min-shard
+// under/over-reporting pitfall).
+// ---------------------------------------------------------------------------
+
+TEST(ThreadedRuntime, ScalarVersionIsConservativeUnderSparsePushes) {
+  // Two shards of two params each.  A sparse push to shard 0 makes the
+  // shard versions diverge: [1, 0].
+  SharedParameterServer ps({0.0f, 0.0f, 0.0f, 0.0f}, 0.0, /*num_shards=*/2);
+  CompressedPush sparse;
+  sparse.format = CompressedPush::Format::kSparse;
+  sparse.num_params = 4;
+  sparse.wire_size = 8;
+  sparse.indices = {0};
+  sparse.values = {1.0f};
+  std::vector<std::int64_t> fresh(2, 0);
+  EXPECT_EQ(ps.push_compressed(sparse, 0.1, fresh), 0);
+
+  // The scalar is the *minimum* shard version — the count of complete
+  // updates — so it reports 0 even though shard 0 is at version 1.
+  std::vector<float> snap(4);
+  std::vector<std::int64_t> versions;
+  ps.pull_with_versions(snap, versions);
+  ASSERT_EQ(versions.size(), 2u);
+  EXPECT_EQ(versions[0], 1);
+  EXPECT_EQ(versions[1], 0);
+  const std::int64_t scalar = ps.pull_with_version(snap);
+  EXPECT_EQ(scalar, 0);
+
+  // No update landed between the pull and these pushes, so true staleness is
+  // zero.  The per-shard path reports it exactly; the scalar path measures
+  // shard 0 against the min and over-counts by the version spread (1).
+  // Conservative (never under-counting) is the documented contract.
+  std::vector<float> grad(4, 1.0f);
+  EXPECT_EQ(ps.push(grad, 0.1, versions), 0);
+  ps.pull_with_versions(snap, versions);
+  const std::int64_t scalar2 = ps.pull_with_version(snap);
+  EXPECT_EQ(scalar2, 1);  // one complete (dense) update so far
+  EXPECT_EQ(ps.push(grad, 0.1, scalar2), 1);      // over-counts by the spread
+  EXPECT_EQ(ps.push(grad, 0.1, versions), 1);     // exact: one dense push landed since
+}
+
 TEST(ThreadedRuntime, SspStillTrains) {
   const DataSplit split = easy_data();
   Model proto = proto_model(split);
