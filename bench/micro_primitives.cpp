@@ -202,6 +202,38 @@ void BM_ThreadedProtocolSwitch(benchmark::State& state) {
 }
 BENCHMARK(BM_ThreadedProtocolSwitch)->Unit(benchmark::kMillisecond);
 
+// End-to-end elastic crash recovery on real threads: an ASP run whose
+// worker 1 crashes halfway, with background snapshots every 8 updates.
+// Covers the whole membership path — AsyncSnapshotter cadence captures,
+// the drain-barrier quiesce, snapshot restore under the shard locks,
+// thread retire + respawn — so a regression in the recovery machinery
+// (e.g. a snapshot walk that starts blocking pushes) shows up in the
+// BENCH_threaded.json trajectory next to the protocol-switch cost.
+void BM_ThreadedCrashRecovery(benchmark::State& state) {
+  SyntheticSpec spec = SyntheticSpec::cifar10_like();
+  spec.train_size = 256;
+  spec.test_size = 64;
+  spec.num_classes = 4;
+  spec.feature_dim = 16;
+  const DataSplit split = make_synthetic(spec);
+  Rng rng(7);
+  const Model proto = make_model(ModelArch::kLinear, 16, 4, rng);
+  ThreadedTrainConfig cfg;
+  cfg.protocol = Protocol::kAsp;
+  cfg.num_workers = 2;
+  cfg.batch_size = 8;
+  cfg.steps_per_worker = 24;
+  cfg.num_ps_shards = 4;
+  cfg.elastic.plan = MembershipPlan::crash(1, 12);
+  cfg.elastic.snapshot_interval = 8;
+  for (auto _ : state) {
+    const ThreadedTrainResult r = threaded_train(proto, split.train, cfg);
+    benchmark::DoNotOptimize(r.total_updates);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * (24 + 12));
+}
+BENCHMARK(BM_ThreadedCrashRecovery)->Unit(benchmark::kMillisecond);
+
 void BM_EventQueue(benchmark::State& state) {
   for (auto _ : state) {
     EventQueue q;

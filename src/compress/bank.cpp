@@ -72,6 +72,17 @@ double CompressorBank::residual_l1(int worker) const {
   return sum;
 }
 
+std::span<const float> CompressorBank::residual(int worker) const {
+  if (worker < 0 || static_cast<std::size_t>(worker) >= slots_.size())
+    throw ConfigError("CompressorBank: worker index out of range");
+  return slots_[static_cast<std::size_t>(worker)].residual;
+}
+
+void CompressorBank::restore_residual(int worker, std::span<const float> residual) {
+  WorkerSlot& slot = slot_for(worker);
+  slot.residual.assign(residual.begin(), residual.end());
+}
+
 void CompressorBank::reset() {
   for (auto& slot : slots_) slot.residual.clear();
 }

@@ -64,6 +64,17 @@ class CompressorBank {
   /// Exposed for tests and diagnostics.
   [[nodiscard]] double residual_l1(int worker) const;
 
+  /// Worker `w`'s current residual (empty until the slot's first
+  /// transform/encode).  Save it alongside a PS checkpoint to make the
+  /// whole training state — parameters, velocity, AND per-worker transport
+  /// state — restorable bit for bit.
+  [[nodiscard]] std::span<const float> residual(int worker) const;
+
+  /// Restore worker `w`'s residual from a saved copy; after restoring the
+  /// matching checkpoint into the PS, error feedback resumes exactly where
+  /// it left off (see the checkpoint round-trip test in test_elastic.cpp).
+  void restore_residual(int worker, std::span<const float> residual);
+
   /// Drop all residual state (e.g. across a protocol switch that restarts
   /// from a checkpoint, where stale residuals no longer match the model).
   void reset();

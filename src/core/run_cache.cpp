@@ -11,7 +11,9 @@
 namespace ss {
 
 namespace {
-constexpr const char* kHeader = "ss-runresult-v1";
+// v2 added the elastic-membership counters; v1 entries fail the header
+// check and re-run (the cache-key schema tag invalidates them anyway).
+constexpr const char* kHeader = "ss-runresult-v2";
 
 std::uint64_t fnv1a(const std::string& s) {
   std::uint64_t h = 1469598103934665603ULL;
@@ -48,6 +50,8 @@ std::string serialize_run_result(const RunResult& r) {
   os << "init_time_seconds " << r.init_time_seconds << "\n";
   os << "switch_overhead_seconds " << r.switch_overhead_seconds << "\n";
   os << "num_switches " << r.num_switches << "\n";
+  os << "num_membership_events " << r.num_membership_events << "\n";
+  os << "recovery_overhead_seconds " << r.recovery_overhead_seconds << "\n";
   os << "mean_staleness " << r.mean_staleness << "\n";
   os << "throughput_images_per_sec " << r.throughput_images_per_sec << "\n";
   os << "final_train_loss " << r.final_train_loss << "\n";
@@ -82,6 +86,8 @@ std::optional<RunResult> parse_run_result(const std::string& text) {
   if (!expect("init_time_seconds", r.init_time_seconds)) return std::nullopt;
   if (!expect("switch_overhead_seconds", r.switch_overhead_seconds)) return std::nullopt;
   if (!expect("num_switches", r.num_switches)) return std::nullopt;
+  if (!expect("num_membership_events", r.num_membership_events)) return std::nullopt;
+  if (!expect("recovery_overhead_seconds", r.recovery_overhead_seconds)) return std::nullopt;
   if (!expect("mean_staleness", r.mean_staleness)) return std::nullopt;
   if (!expect("throughput_images_per_sec", r.throughput_images_per_sec)) return std::nullopt;
   if (!expect("final_train_loss", r.final_train_loss)) return std::nullopt;

@@ -7,6 +7,7 @@
 #include "common/error.h"
 #include "common/log.h"
 #include "data/batcher.h"
+#include "elastic/recovery_coordinator.h"
 #include "ps/trace.h"
 #include "ps/sim_runtime.h"
 
@@ -53,7 +54,11 @@ SyncSwitchPolicy SyncSwitchPolicy::asp_to_bsp(double fraction) {
 std::string RunRequest::cache_key() const {
   std::ostringstream os;
   os.precision(10);
-  os << "arch=" << arch_name(workload.arch) << ";classes=" << workload.data.num_classes
+  // Schema tag first: bumping kCacheKeySchemaVersion moves every key to a
+  // fresh hash slot, so stale .ss_runcache entries written under an older
+  // grammar (or older result-affecting semantics) self-invalidate.
+  os << "sv=" << kCacheKeySchemaVersion << ";"
+     << "arch=" << arch_name(workload.arch) << ";classes=" << workload.data.num_classes
      << ";dim=" << workload.data.feature_dim << ";train=" << workload.data.train_size
      << ";test=" << workload.data.test_size << ";modes=" << workload.data.modes_per_class
      << ";sep=" << workload.data.class_separation << ";wstd=" << workload.data.within_stddev
@@ -82,7 +87,9 @@ std::string RunRequest::cache_key() const {
      << ";strg=" << stragglers.num_stragglers << "x"
      << stragglers.occurrences << "x" << stragglers.extra_latency_ms << "x"
      << stragglers.max_duration.us() << "x" << stragglers.horizon.us()
-     << ";codec=" << compression.label() << ";ascale=" << actuator_time_scale
+     << ";codec=" << compression.label() << ";elastic=" << elastic.label()
+     << ";joinprov=" << cluster.join_provision.us()
+     << ";ascale=" << actuator_time_scale
      << ";seed=" << seed;
   return os.str();
 }
@@ -100,6 +107,14 @@ TrainingSession::TrainingSession(RunRequest request) : req_(std::move(request)) 
     throw ConfigError("TrainingSession: total_steps must be > 0");
   if (req_.cluster.num_workers < 1)
     throw ConfigError("TrainingSession: need at least one worker");
+  if (!req_.elastic.empty()) {
+    if (req_.policy.online != OnlinePolicy::kNone)
+      throw ConfigError("TrainingSession: an elastic membership plan and an online "
+                        "straggler policy both manipulate the active worker set; pick one");
+    if (req_.elastic.plan.reactive() && req_.policy.schedule.has_reactive_trigger())
+      throw ConfigError("TrainingSession: reactive membership and reactive switch "
+                        "triggers cannot share one straggler detector; pick one");
+  }
 }
 
 namespace {
@@ -168,10 +183,14 @@ RunResult TrainingSession::run() {
       PiecewiseDecay::resnet_style(wl.hyper.learning_rate, wl.total_steps);
 
   Profiler profiler;
-  StragglerDetector detector(n, req_.policy.detector);
+  // Elastic joins extend the worker-slot space past n; size the detector for
+  // every slot the run can ever see, but only the initial cluster is active.
+  StragglerDetector detector(n + req_.elastic.plan.join_count(), req_.policy.detector);
+  if (req_.elastic.plan.join_count() > 0) detector.set_active(all_workers(n));
   DetectorSink detector_sink(detector);
   std::vector<MetricsSink*> tees;
-  if (req_.policy.online != OnlinePolicy::kNone || req_.policy.schedule.has_reactive_trigger())
+  if (req_.policy.online != OnlinePolicy::kNone || req_.policy.schedule.has_reactive_trigger() ||
+      req_.elastic.plan.reactive())
     tees.push_back(&detector_sink);
   if (req_.observer != nullptr) tees.push_back(req_.observer);
   FanoutSink fanout(tees);
@@ -181,8 +200,11 @@ RunResult TrainingSession::run() {
 
   // Optional gradient compression: one bank for the whole session (the
   // per-worker error-feedback residuals are transport state, reset across
-  // protocol switches because the checkpoint-restart abandons in-flight work).
-  std::optional<CompressorBank> compressor_bank = req_.compression.make_bank(n);
+  // protocol switches because the checkpoint-restart abandons in-flight
+  // work).  Elastic joins create worker slots past n, so the bank is sized
+  // for every slot the run can ever see.
+  std::optional<CompressorBank> compressor_bank =
+      req_.compression.make_bank(n + req_.elastic.plan.join_count());
 
   RunResult result;
   const double ascale = req_.actuator_time_scale;
@@ -250,36 +272,191 @@ RunResult TrainingSession::run() {
   bool diverged = false;
   const std::vector<int> everyone = all_workers(n);
 
-  if (!req_.policy.schedule.empty()) {
-    // ---------- Explicit multi-phase switch schedule: each phase runs until
-    // its step quota or reactive trigger, with the usual checkpoint ->
-    // actuate -> restore switch between phases.  The last phase always runs
-    // out the remaining budget (SwitchSchedule validation guarantees it is
-    // step-triggered with steps == 0).  This is the simulator counterpart
-    // of the threaded runtime's live switching, phase for phase.
-    const auto& phases = req_.policy.schedule.phases();
-    for (std::size_t i = 0; i < phases.size() && !diverged; ++i) {
-      const std::int64_t remaining = wl.total_steps - state.global_step;
-      if (remaining <= 0) break;
-      const SwitchPhase& ph = phases[i];
-      const bool last = i + 1 == phases.size();
-      const std::int64_t budget = SwitchSchedule::phase_budget(ph, last, remaining);
-      PhaseConfig cfg = make_phase(ph.protocol, budget, n,
-                                   i == 0 ? MomentumPolicy::kBaseline
-                                          : req_.policy.momentum_policy);
-      if (ph.ssp_staleness_bound >= 0) cfg.ssp_staleness_bound = ph.ssp_staleness_bound;
-      StopPredicate stop;
-      if (ph.trigger == SwitchTrigger::kStragglerDetected)
-        stop = [&](VTime, std::int64_t) { return detector.any_straggler(); };
-      else if (ph.trigger == SwitchTrigger::kStragglerCleared)
-        stop = [&](VTime, std::int64_t) { return !detector.any_straggler(); };
-      const PhaseResult pr = runtime.run_phase(state, cfg, everyone, straggler_schedule, stop);
-      diverged = pr.end == PhaseEnd::kDiverged;
-      if (!diverged && pr.end == PhaseEnd::kStopRequested)
-        log_info("schedule: ", switch_trigger_name(ph.trigger), " fired at step ",
-                 state.global_step, ", switching to ",
-                 protocol_name(phases[i + 1].protocol));
-      if (!diverged && !last && state.global_step < wl.total_steps) pay_switch();
+  if (!req_.elastic.empty() || !req_.policy.schedule.empty()) {
+    // ---------- Phase-plan engine (explicit schedules and/or elastic
+    // membership).  The phase plan — an explicit schedule, or the two-phase
+    // offline plan in schedule form — is segmented at snapshot-capture
+    // steps and membership-event steps; each segment runs through run_phase
+    // with the current active set, and every transition re-derives the
+    // phase configuration (lr, batch) for the new cluster size via
+    // make_phase.  Crashes restore the last snapshot when the policy says
+    // so; every membership change is priced through the cluster/actuator
+    // models.  With an empty membership plan this degenerates to exactly
+    // the schedule execution of PR 4 (the determinism suite holds it to the
+    // legacy two-phase plan bit for bit); with a non-empty plan the worker
+    // set becomes a time-varying quantity.  All state evolution is
+    // deterministic in (plan, seed), so elastic runs are bit-for-bit
+    // reproducible and cacheable.
+    const bool explicit_schedule = !req_.policy.schedule.empty();
+    std::vector<SwitchPhase> phases;
+    if (explicit_schedule) {
+      phases = req_.policy.schedule.phases();
+    } else if (first_budget > 0 && first_budget < wl.total_steps) {
+      phases = {SwitchPhase{req_.policy.first, SwitchTrigger::kStepCount, first_budget, -1},
+                SwitchPhase{req_.policy.second, SwitchTrigger::kStepCount, 0, -1}};
+    } else {
+      phases = {SwitchPhase{first_budget >= wl.total_steps ? req_.policy.first
+                                                           : req_.policy.second,
+                            SwitchTrigger::kStepCount, 0, -1}};
+    }
+
+    RecoveryCoordinator coord(req_.elastic, n);
+    const bool reactive_membership = req_.elastic.plan.reactive();
+
+    // Crash recovery restores the latest snapshot at or before the crash
+    // step.  Only the last cadence boundary before each crash matters, so
+    // the budget is split exactly there instead of at every interval.
+    std::optional<Checkpoint> snapshot;
+    bool plan_has_crash = false;
+    for (const MembershipEvent& e : req_.elastic.plan.events())
+      plan_has_crash |= e.kind == MembershipEventKind::kCrash;
+    if (plan_has_crash) snapshot = state.ps.make_checkpoint(0);  // run-start floor
+    std::vector<std::int64_t> capture_steps;
+    if (plan_has_crash && req_.elastic.snapshot_interval > 0) {
+      for (const MembershipEvent& e : req_.elastic.plan.events()) {
+        if (e.kind != MembershipEventKind::kCrash) continue;
+        const std::int64_t cap =
+            (e.at_step / req_.elastic.snapshot_interval) * req_.elastic.snapshot_interval;
+        if (cap > 0) capture_steps.push_back(cap);
+      }
+      std::sort(capture_steps.begin(), capture_steps.end());
+      capture_steps.erase(std::unique(capture_steps.begin(), capture_steps.end()),
+                          capture_steps.end());
+    }
+    std::size_t next_capture_idx = 0;
+    auto next_capture = [&](std::int64_t after) -> std::int64_t {
+      for (std::size_t i = next_capture_idx; i < capture_steps.size(); ++i)
+        if (capture_steps[i] > after) return capture_steps[i];
+      return -1;
+    };
+
+    auto pay_membership = [&](VTime cost) {
+      state.clock += cost;
+      result.recovery_overhead_seconds += cost.seconds();
+    };
+
+    // Apply every scripted event due at the current step: price it, mutate
+    // the PS / worker-slot state, and log it.
+    auto apply_due_events = [&] {
+      const auto applied = coord.advance_to(state.global_step);
+      for (const AppliedMembershipEvent& a : applied) {
+        ++result.num_membership_events;
+        switch (a.event.kind) {
+          case MembershipEventKind::kCrash: {
+            pay_membership(actuator.resize_time().scaled(ascale));
+            if (req_.elastic.recovery == RecoveryMode::kRestoreSnapshot && snapshot) {
+              pay_membership(cluster.recovery_restore_time());
+              // Parameters + velocity roll back to the snapshot; the global
+              // step and versions do not (batches are not replayed, exactly
+              // like the threaded runtime's recovery).  Surviving workers
+              // keep their error-feedback residuals.
+              state.ps.restore(*snapshot);
+            }
+            log_info("elastic: worker ", a.event.worker, " crashed at step ",
+                     state.global_step, ", ", coord.alive_count(), " workers remain");
+            break;
+          }
+          case MembershipEventKind::kLeave:
+            pay_membership(actuator.resize_time().scaled(ascale));
+            log_info("elastic: worker ", a.event.worker, " left at step ",
+                     state.global_step, ", ", coord.alive_count(), " workers remain");
+            break;
+          case MembershipEventKind::kJoin: {
+            const int slot = a.event.worker;
+            state.samplers.emplace_back(shards[static_cast<std::size_t>(slot) % shards.size()],
+                                        wl.hyper.batch_size, root.fork(1000 + slot));
+            state.worker_rngs.push_back(root.fork(2000 + slot));
+            pay_membership(cluster.join_time());
+            log_info("elastic: worker ", slot, " joined at step ", state.global_step,
+                     ", cluster is now ", coord.alive_count());
+            break;
+          }
+        }
+      }
+      // Throughput history is not comparable across resizes, and retired
+      // slots must not block detector warm-up.
+      detector.set_active(coord.active());
+    };
+
+    for (std::size_t pi = 0; pi < phases.size() && !diverged; ++pi) {
+      const std::int64_t phase_remaining = wl.total_steps - state.global_step;
+      if (phase_remaining <= 0) break;
+      const SwitchPhase& ph = phases[pi];
+      const bool lastp = pi + 1 == phases.size();
+      const std::int64_t phase_end =
+          state.global_step + SwitchSchedule::phase_budget(ph, lastp, phase_remaining);
+      bool advance_phase = false;
+      while (!diverged && state.global_step < phase_end && !advance_phase) {
+        // Segment the budget at the next snapshot capture or membership step.
+        std::int64_t boundary = phase_end;
+        if (const std::int64_t cap = next_capture(state.global_step); cap > 0)
+          boundary = std::min(boundary, cap);
+        if (const std::int64_t ev = coord.next_event_step(state.global_step); ev > 0)
+          boundary = std::min(boundary, ev);
+
+        // Momentum ablation semantics match the branch each plan came from:
+        // explicit schedules pin the first phase to baseline and apply the
+        // ablation to every later phase; the synthesized two-phase plan
+        // defers to make_phase's offline rule (ablation on the post-switch
+        // protocol only), so enabling elasticity never changes which
+        // momentum policy a phase trains under.
+        std::optional<MomentumPolicy> mp;
+        if (explicit_schedule)
+          mp = pi == 0 ? MomentumPolicy::kBaseline : req_.policy.momentum_policy;
+        PhaseConfig cfg =
+            make_phase(ph.protocol, boundary - state.global_step, coord.alive_count(), mp);
+        if (ph.ssp_staleness_bound >= 0) cfg.ssp_staleness_bound = ph.ssp_staleness_bound;
+        StopPredicate stop;
+        if (ph.trigger == SwitchTrigger::kStragglerDetected)
+          stop = [&](VTime, std::int64_t) { return detector.any_straggler(); };
+        else if (ph.trigger == SwitchTrigger::kStragglerCleared)
+          stop = [&](VTime, std::int64_t) { return !detector.any_straggler(); };
+        else if (reactive_membership)
+          stop = [&](VTime, std::int64_t) { return detector.any_straggler(); };
+
+        const PhaseResult pr =
+            runtime.run_phase(state, cfg, coord.active(), straggler_schedule, stop);
+        diverged = pr.end == PhaseEnd::kDiverged;
+        if (diverged) break;
+
+        if (pr.end == PhaseEnd::kStopRequested) {
+          if (ph.trigger != SwitchTrigger::kStepCount) {
+            log_info("schedule: ", switch_trigger_name(ph.trigger), " fired at step ",
+                     pr.trigger_step, ", switching to ",
+                     protocol_name(phases[pi + 1].protocol));
+            advance_phase = true;
+            break;
+          }
+          // Reactive membership: evict the flagged workers and resume.
+          const auto evicted = coord.evict(detector.stragglers(), state.global_step);
+          for (const AppliedMembershipEvent& a : evicted) {
+            ++result.num_membership_events;
+            pay_membership(actuator.resize_time().scaled(ascale));
+            log_info("elastic: evicted straggler slot ", a.event.worker, " at step ",
+                     state.global_step, ", ", a.workers_after, " workers remain");
+          }
+          detector.set_active(coord.active());
+          continue;
+        }
+
+        // Budget ran to the segment boundary: snapshot first (a capture due
+        // at the same step as a crash happens before the crash, matching a
+        // cadence snapshotter that completed just in time), then resolve
+        // membership.  A BSP round can overshoot the boundary by up to n-1
+        // steps, so captures are consumed by index with <=, not matched
+        // exactly.
+        if (next_capture_idx < capture_steps.size() &&
+            capture_steps[next_capture_idx] <= state.global_step) {
+          snapshot = state.ps.make_checkpoint(state.global_step);
+          while (next_capture_idx < capture_steps.size() &&
+                 capture_steps[next_capture_idx] <= state.global_step)
+            ++next_capture_idx;
+        }
+        if (coord.events_due(state.global_step)) apply_due_events();
+      }
+      if (!diverged && (advance_phase || state.global_step >= phase_end) && !lastp &&
+          state.global_step < wl.total_steps)
+        pay_switch();
     }
   } else if (req_.policy.online == OnlinePolicy::kNone || req_.stragglers.num_stragglers == 0) {
     // ---------- Offline plan: first protocol, one switch, second protocol.

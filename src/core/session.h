@@ -22,6 +22,7 @@
 #include "core/config_policy.h"
 #include "core/profiler.h"
 #include "core/straggler_detector.h"
+#include "elastic/membership_plan.h"
 #include "data/synthetic.h"
 #include "nn/zoo.h"
 #include "ps/protocol.h"
@@ -91,6 +92,15 @@ struct RunRequest {
   SyncSwitchPolicy policy;
   StragglerScenario stragglers;  ///< zero stragglers = clean run
   CompressionSpec compression;   ///< optional gradient compression on pushes
+  /// Elastic membership & fault tolerance (src/elastic/): scripted or
+  /// reactive crash/join/leave events, resolved between run_phase segments
+  /// and priced through the cluster/actuator models.  Event `at_step` is in
+  /// global minibatch steps (the unit of Workload::total_steps), matching
+  /// how SwitchSchedule steps read on the sim side; `snapshot_interval` is
+  /// in the same unit.  Incompatible with the online straggler policies
+  /// (both manipulate the active worker set) and — for the reactive plan —
+  /// with reactive schedule triggers (both consume the detector).
+  ElasticConfig elastic;
   std::uint64_t seed = 1;        ///< repetition seed (init, timing, batching)
 
   /// Optional pure-observer sink (e.g. a TraceRecorder): receives every
@@ -105,9 +115,17 @@ struct RunRequest {
   double actuator_time_scale = 1.0;
 
   /// Canonical string covering every field that affects the result; used as
-  /// the run-cache key and for reproducibility audits.
+  /// the run-cache key and for reproducibility audits.  The key opens with
+  /// a schema-version tag (`sv=N`) that is bumped whenever the key grammar
+  /// or any result-affecting semantics change, so stale `.ss_runcache`
+  /// entries hash to unreachable slots and self-invalidate instead of
+  /// requiring a manual delete.
   [[nodiscard]] std::string cache_key() const;
 };
+
+/// Cache-key schema version (the `sv=` tag in cache_key()).  Bump on any
+/// change to the key grammar or to result-affecting semantics.
+inline constexpr int kCacheKeySchemaVersion = 5;
 
 /// Everything the paper's evaluation reads off one run.
 struct RunResult {
@@ -120,6 +138,10 @@ struct RunResult {
   double init_time_seconds = 0.0;      ///< cluster bring-up (reported separately)
   double switch_overhead_seconds = 0.0;
   int num_switches = 0;
+  /// Elastic runs: membership events resolved (crash/join/leave, scripted
+  /// or reactive) and the total virtual time their recoveries cost.
+  int num_membership_events = 0;
+  double recovery_overhead_seconds = 0.0;
   double mean_staleness = 0.0;
   double throughput_images_per_sec = 0.0;
   double final_train_loss = 0.0;

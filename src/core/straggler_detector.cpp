@@ -9,7 +9,9 @@ namespace ss {
 StragglerDetector::StragglerDetector(std::size_t num_workers, DetectorConfig cfg)
     : cfg_(cfg),
       below_count_(static_cast<std::size_t>(num_workers), 0),
-      flagged_(num_workers, false) {
+      flagged_(num_workers, false),
+      active_(num_workers, true),
+      active_count_(num_workers) {
   if (num_workers == 0) throw ConfigError("StragglerDetector: no workers");
   if (cfg.window_size == 0) throw ConfigError("StragglerDetector: window_size must be > 0");
   if (cfg.consecutive_required <= 0)
@@ -24,10 +26,11 @@ bool StragglerDetector::observe(int worker, std::size_t images, VTime duration) 
   const double seconds = duration.seconds();
   if (seconds <= 0.0) return false;
   const auto w = static_cast<std::size_t>(worker);
+  if (!active_[w]) return false;  // retired / not-yet-joined slot
   windows_[w].add(static_cast<double>(images) / seconds);
   // One detection pass per cluster-wide window: the paper's "detection
   // window" covers window_size tasks per worker on average.
-  if (++observations_since_check_ >= cfg_.window_size * windows_.size()) {
+  if (++observations_since_check_ >= cfg_.window_size * active_count_) {
     observations_since_check_ = 0;
     run_detection();
     return true;
@@ -37,17 +40,27 @@ bool StragglerDetector::observe(int worker, std::size_t images, VTime duration) 
 
 void StragglerDetector::run_detection() {
   if (!warmed_up()) return;
-  // Cluster statistics over per-worker window means.
-  std::vector<double> means;
-  means.reserve(windows_.size());
-  for (const auto& w : windows_) means.push_back(w.mean());
-  const double avg = mean_of(means);
-  const double sigma = stddev_of(means);
+  // Cluster statistics over the active workers' window means.
+  std::vector<double> means(windows_.size(), 0.0);
+  std::vector<double> active_means;
+  active_means.reserve(windows_.size());
+  for (std::size_t k = 0; k < windows_.size(); ++k) {
+    if (!active_[k]) continue;
+    means[k] = windows_[k].mean();
+    active_means.push_back(means[k]);
+  }
+  const double avg = mean_of(active_means);
+  const double sigma = stddev_of(active_means);
   // Paper rule (S < avg - sigma) with a relative floor: healthy clusters
   // have near-zero sigma, which would otherwise flag ordinary jitter.
   const double threshold = avg - std::max(sigma, cfg_.min_relative_gap * avg);
 
   for (std::size_t k = 0; k < windows_.size(); ++k) {
+    if (!active_[k]) {
+      below_count_[k] = 0;
+      flagged_[k] = false;
+      continue;
+    }
     if (means[k] < threshold) {
       if (below_count_[k] < cfg_.consecutive_required) ++below_count_[k];
     } else {
@@ -71,8 +84,8 @@ bool StragglerDetector::any_straggler() const noexcept {
 }
 
 bool StragglerDetector::warmed_up() const noexcept {
-  for (const auto& w : windows_)
-    if (!w.full()) return false;
+  for (std::size_t k = 0; k < windows_.size(); ++k)
+    if (active_[k] && !windows_[k].full()) return false;
   return true;
 }
 
@@ -81,6 +94,18 @@ void StragglerDetector::reset() {
   observations_since_check_ = 0;
   for (auto& c : below_count_) c = 0;
   for (std::size_t i = 0; i < flagged_.size(); ++i) flagged_[i] = false;
+}
+
+void StragglerDetector::set_active(const std::vector<int>& active) {
+  reset();
+  std::fill(active_.begin(), active_.end(), false);
+  for (int w : active) {
+    if (w < 0 || static_cast<std::size_t>(w) >= active_.size())
+      throw ConfigError("StragglerDetector::set_active: worker index out of range");
+    active_[static_cast<std::size_t>(w)] = true;
+  }
+  active_count_ = 0;
+  for (const bool a : active_) active_count_ += a ? 1 : 0;
 }
 
 }  // namespace ss

@@ -52,6 +52,14 @@ class StragglerDetector {
   /// historical throughput is no longer comparable).
   void reset();
 
+  /// Elastic membership support: restrict detection to `active` worker
+  /// slots.  Inactive slots are ignored by observe(), excluded from the
+  /// cluster statistics, and — crucially — do not block warm-up, so the
+  /// detector keeps working after a crash/leave retired a slot or before a
+  /// scripted join fills one.  Implies reset() (historical throughput is
+  /// not comparable across a membership change).
+  void set_active(const std::vector<int>& active);
+
   [[nodiscard]] const DetectorConfig& config() const noexcept { return cfg_; }
 
  private:
@@ -62,6 +70,8 @@ class StragglerDetector {
   std::size_t observations_since_check_ = 0;
   std::vector<int> below_count_;   ///< consecutive windows below threshold
   std::vector<bool> flagged_;
+  std::vector<bool> active_;       ///< slots participating in detection
+  std::size_t active_count_ = 0;   ///< cached popcount of active_ (hot path)
 };
 
 }  // namespace ss

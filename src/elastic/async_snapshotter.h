@@ -1,0 +1,93 @@
+// Asynchronous, consistent sharded-PS snapshots for crash recovery.
+//
+// A crash under RecoveryMode::kRestoreSnapshot rolls the parameter server
+// back to the last snapshot, so the loss window is bounded by one snapshot
+// interval — but only if taking a snapshot does not itself stall training.
+// The split here keeps both runtimes honest:
+//
+//  * SnapshotStore is the passive, thread-safe holder of the latest
+//    checkpoint (format v2: params + velocity + shard layout + versions).
+//    The simulator drives it synchronously at exact step boundaries, which
+//    is what makes elastic sim runs bit-for-bit reproducible.
+//  * AsyncSnapshotter is the threaded runtime's driver: a background thread
+//    that watches a progress counter (PS updates applied) and captures a
+//    checkpoint every `interval` updates via a caller-supplied capture
+//    function.  The capture walks the PS copy-on-read, one shard lock at a
+//    time (SharedParameterServer::snapshot_checkpoint), so workers pushing
+//    to other shards never block on it — each shard's slice is internally
+//    consistent (params + velocity + version move together under the shard
+//    lock) and cross-shard skew is bounded by the pushes that land
+//    mid-walk, the same guarantee a worker pull has.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "nn/checkpoint.h"
+
+namespace ss {
+
+/// Thread-safe holder of the most recent snapshot.
+class SnapshotStore {
+ public:
+  void put(Checkpoint ckpt);
+
+  /// Copy of the latest snapshot, if any has been taken.
+  [[nodiscard]] std::optional<Checkpoint> latest() const;
+
+  /// Number of snapshots stored so far.
+  [[nodiscard]] std::int64_t count() const;
+
+  /// `global_step` of the latest snapshot (-1 when none exists).
+  [[nodiscard]] std::int64_t latest_step() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::optional<Checkpoint> latest_;
+  std::int64_t count_ = 0;
+};
+
+/// Background cadence driver: captures a checkpoint into the store every
+/// `interval` progress units.  Construction starts the thread; destruction
+/// (or stop()) joins it.  `capture` and `progress` must be safe to call
+/// concurrently with training — the intended capture is the per-shard-locked
+/// SharedParameterServer::snapshot_checkpoint.
+class AsyncSnapshotter {
+ public:
+  using CaptureFn = std::function<Checkpoint()>;
+  using ProgressFn = std::function<std::int64_t()>;
+
+  AsyncSnapshotter(CaptureFn capture, ProgressFn progress, std::int64_t interval,
+                   SnapshotStore& store);
+  ~AsyncSnapshotter();
+
+  AsyncSnapshotter(const AsyncSnapshotter&) = delete;
+  AsyncSnapshotter& operator=(const AsyncSnapshotter&) = delete;
+
+  /// Capture + store a snapshot immediately on the calling thread (used for
+  /// the run-start snapshot, so recovery always has a floor to restore to).
+  void snapshot_now();
+
+  /// Join the background thread (idempotent).
+  void stop();
+
+ private:
+  void loop();
+
+  CaptureFn capture_;
+  ProgressFn progress_;
+  std::int64_t interval_;
+  SnapshotStore& store_;
+  std::int64_t next_due_;  ///< progress value the next cadence snapshot is due at
+  std::mutex mu_;          ///< guards next_due_ and the stop wait
+  std::condition_variable cv_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace ss

@@ -1,0 +1,110 @@
+#include "elastic/recovery_coordinator.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ss {
+
+namespace {
+
+std::size_t floor_of(const ElasticConfig& cfg) { return std::max<std::size_t>(cfg.min_workers, 1); }
+
+}  // namespace
+
+RecoveryCoordinator::RecoveryCoordinator(const ElasticConfig& cfg, std::size_t initial_workers)
+    : cfg_(cfg), next_slot_(initial_workers) {
+  if (initial_workers == 0)
+    throw ConfigError("RecoveryCoordinator: initial cluster must have at least one worker");
+  active_.reserve(initial_workers + cfg_.plan.join_count());
+  for (std::size_t w = 0; w < initial_workers; ++w) active_.push_back(static_cast<int>(w));
+  max_slots_ = initial_workers + cfg_.plan.join_count();
+
+  // Dry-run the scripted plan so infeasible plans fail at configuration
+  // time.  The simulation mirrors advance_to exactly: joins claim slot ids
+  // in order, crashes/leaves must target a currently-alive slot and may not
+  // shrink the cluster below the floor.
+  std::vector<int> alive = active_;
+  std::size_t slot = next_slot_;
+  for (const MembershipEvent& e : cfg_.plan.events()) {
+    if (e.kind == MembershipEventKind::kJoin) {
+      alive.push_back(static_cast<int>(slot++));
+      continue;
+    }
+    const auto it = std::find(alive.begin(), alive.end(), e.worker);
+    if (it == alive.end())
+      throw ConfigError("MembershipPlan: " + membership_event_name(e.kind) + " of worker " +
+                        std::to_string(e.worker) + " at step " + std::to_string(e.at_step) +
+                        " targets a slot that is not alive at that point");
+    if (alive.size() <= floor_of(cfg_))
+      throw ConfigError("MembershipPlan: " + membership_event_name(e.kind) + " at step " +
+                        std::to_string(e.at_step) + " would shrink the cluster below " +
+                        std::to_string(floor_of(cfg_)) + " worker(s)");
+    alive.erase(it);
+  }
+}
+
+bool RecoveryCoordinator::is_alive(int slot) const noexcept {
+  return std::find(active_.begin(), active_.end(), slot) != active_.end();
+}
+
+std::int64_t RecoveryCoordinator::next_event_step(std::int64_t progress) const noexcept {
+  const auto& events = cfg_.plan.events();
+  for (std::size_t i = next_event_; i < events.size(); ++i)
+    if (events[i].at_step > progress) return events[i].at_step;
+  return -1;
+}
+
+bool RecoveryCoordinator::events_due(std::int64_t progress) const noexcept {
+  const auto& events = cfg_.plan.events();
+  return next_event_ < events.size() && events[next_event_].at_step <= progress;
+}
+
+void RecoveryCoordinator::retire(int slot) {
+  active_.erase(std::find(active_.begin(), active_.end(), slot));
+}
+
+int RecoveryCoordinator::claim_slot() {
+  const int slot = static_cast<int>(next_slot_++);
+  active_.push_back(slot);
+  std::sort(active_.begin(), active_.end());
+  return slot;
+}
+
+std::vector<AppliedMembershipEvent> RecoveryCoordinator::advance_to(std::int64_t progress) {
+  std::vector<AppliedMembershipEvent> applied;
+  const auto& events = cfg_.plan.events();
+  while (next_event_ < events.size() && events[next_event_].at_step <= progress) {
+    MembershipEvent e = events[next_event_++];
+    if (e.kind == MembershipEventKind::kJoin) {
+      e.worker = claim_slot();
+    } else {
+      // The constructor dry-ran the plan, so the target is alive and the
+      // floor holds unless reactive evictions interleaved; re-check so the
+      // combination still fails loudly instead of corrupting the set.
+      if (!is_alive(e.worker))
+        throw ConfigError("RecoveryCoordinator: scripted " + membership_event_name(e.kind) +
+                          " targets dead worker " + std::to_string(e.worker));
+      if (active_.size() <= floor_of(cfg_))
+        throw ConfigError("RecoveryCoordinator: scripted " + membership_event_name(e.kind) +
+                          " would shrink the cluster below its floor");
+      retire(e.worker);
+    }
+    applied.push_back({e, active_.size()});
+  }
+  return applied;
+}
+
+std::vector<AppliedMembershipEvent> RecoveryCoordinator::evict(const std::vector<int>& flagged,
+                                                               std::int64_t progress) {
+  std::vector<AppliedMembershipEvent> applied;
+  for (int slot : flagged) {
+    if (!is_alive(slot)) continue;
+    if (active_.size() <= floor_of(cfg_)) break;  // keep the floor, drop the rest
+    retire(slot);
+    applied.push_back({{MembershipEventKind::kLeave, slot, progress}, active_.size()});
+  }
+  return applied;
+}
+
+}  // namespace ss

@@ -1,0 +1,83 @@
+// Membership bookkeeping shared by both runtimes.
+//
+// The RecoveryCoordinator owns the authoritative answer to "who is in the
+// cluster right now".  Worker *slots* are stable integer ids: the initial
+// cluster occupies [0, n); every join event claims the next id, so a slot id
+// never refers to two different workers.  Both runtimes drive it the same
+// way at their quiesce points (the simulator between run_phase segments, the
+// threaded runtime at the drain barrier with every worker parked):
+//
+//   1. next_event_step() caps the segment so training stops exactly at the
+//      next scripted event;
+//   2. advance_to(progress) applies every scripted event due at or before
+//      `progress` (joins get their slot assigned here) and returns the
+//      applied list for metrics/pricing;
+//   3. evict() is the reactive path: detector-flagged workers leave, never
+//      shrinking the cluster below ElasticConfig::min_workers.
+//
+// The plan is dry-run in the constructor, so an infeasible plan (crashing a
+// dead worker, shrinking below the floor, leaving an empty cluster) fails
+// fast with ConfigError instead of mid-run.  What the coordinator does NOT
+// do is touch runtime state: restoring snapshots, retiring threads,
+// re-deriving hyper-parameters, and pricing are the caller's job — each
+// runtime applies the returned delta with its own machinery.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "elastic/membership_plan.h"
+
+namespace ss {
+
+/// One resolved event: `event.worker` is always filled in (joins get their
+/// assigned slot), `workers_after` is the cluster size once applied.
+struct AppliedMembershipEvent {
+  MembershipEvent event;
+  std::size_t workers_after = 0;
+};
+
+class RecoveryCoordinator {
+ public:
+  /// Validates the scripted plan against `initial_workers` by dry-running
+  /// it; throws ConfigError if any event targets a dead/unknown slot or
+  /// shrinks the cluster below max(min_workers, 1).
+  RecoveryCoordinator(const ElasticConfig& cfg, std::size_t initial_workers);
+
+  /// Upper bound on slot ids ever used: initial workers + scripted joins.
+  /// Runtimes pre-size per-slot state (contexts, clocks, detector) with it.
+  [[nodiscard]] std::size_t max_slots() const noexcept { return max_slots_; }
+
+  /// Currently alive slot ids, ascending.
+  [[nodiscard]] const std::vector<int>& active() const noexcept { return active_; }
+  [[nodiscard]] std::size_t alive_count() const noexcept { return active_.size(); }
+  [[nodiscard]] bool is_alive(int slot) const noexcept;
+
+  /// Step of the next unresolved scripted event strictly after `progress`,
+  /// or -1 when none remain.
+  [[nodiscard]] std::int64_t next_event_step(std::int64_t progress) const noexcept;
+
+  /// True when an unresolved scripted event is due at or before `progress`.
+  [[nodiscard]] bool events_due(std::int64_t progress) const noexcept;
+
+  /// Apply every scripted event with at_step <= progress, in plan order.
+  std::vector<AppliedMembershipEvent> advance_to(std::int64_t progress);
+
+  /// Reactive leave of `flagged` slots (dead/unknown slots are ignored),
+  /// clamped so the cluster keeps at least max(min_workers, 1) workers.
+  /// `progress` stamps the synthesized events' at_step.
+  std::vector<AppliedMembershipEvent> evict(const std::vector<int>& flagged,
+                                            std::int64_t progress);
+
+ private:
+  void retire(int slot);
+  int claim_slot();
+
+  ElasticConfig cfg_;
+  std::vector<int> active_;
+  std::size_t next_slot_;
+  std::size_t max_slots_;
+  std::size_t next_event_ = 0;  ///< index into cfg_.plan.events()
+};
+
+}  // namespace ss

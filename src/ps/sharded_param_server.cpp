@@ -174,6 +174,37 @@ void ShardedParameterServer::restore(const Checkpoint& ckpt) {
   std::copy(ckpt.velocity.begin(), ckpt.velocity.end(), opt_.mutable_velocity().begin());
 }
 
+void ShardedParameterServer::snapshot_shard_state(std::size_t shard, std::span<float> params_out,
+                                                  std::span<float> velocity_out,
+                                                  std::int64_t& version_out) const {
+  if (params_out.size() != params_.size() || velocity_out.size() != params_.size())
+    throw ConfigError("ShardedParameterServer::snapshot_shard_state: size mismatch");
+  const ShardRange r = shard_range(shard);
+  std::copy(params_.begin() + static_cast<std::ptrdiff_t>(r.begin),
+            params_.begin() + static_cast<std::ptrdiff_t>(r.end),
+            params_out.begin() + static_cast<std::ptrdiff_t>(r.begin));
+  const std::span<const float> vel = opt_.velocity();
+  std::copy(vel.begin() + static_cast<std::ptrdiff_t>(r.begin),
+            vel.begin() + static_cast<std::ptrdiff_t>(r.end),
+            velocity_out.begin() + static_cast<std::ptrdiff_t>(r.begin));
+  version_out = shard_versions_[shard];
+}
+
+void ShardedParameterServer::restore_shard_state(std::size_t shard,
+                                                 std::span<const float> params,
+                                                 std::span<const float> velocity) {
+  if (params.size() != params_.size() || velocity.size() != params_.size())
+    throw CheckpointError("ShardedParameterServer::restore_shard_state: size mismatch");
+  const ShardRange r = shard_range(shard);
+  std::copy(params.begin() + static_cast<std::ptrdiff_t>(r.begin),
+            params.begin() + static_cast<std::ptrdiff_t>(r.end),
+            params_.begin() + static_cast<std::ptrdiff_t>(r.begin));
+  const std::span<float> vel = opt_.mutable_velocity();
+  std::copy(velocity.begin() + static_cast<std::ptrdiff_t>(r.begin),
+            velocity.begin() + static_cast<std::ptrdiff_t>(r.end),
+            vel.begin() + static_cast<std::ptrdiff_t>(r.begin));
+}
+
 bool ShardedParameterServer::healthy() const noexcept {
   for (float p : params_)
     if (!std::isfinite(p)) return false;

@@ -165,6 +165,21 @@ class ShardedParameterServer {
   /// across a checkpoint-restart.
   void restore(const Checkpoint& ckpt);
 
+  // --- Per-shard snapshot hooks (the elastic subsystem's granularity).
+  // The threaded facade wraps each call in that shard's mutex, so the
+  // AsyncSnapshotter can walk the server copy-on-read — one consistent
+  // (params, velocity, version) slice at a time — without ever holding more
+  // than one shard lock.  `params_out`/`velocity_out` are full-length
+  // vectors; only the shard's range is touched (like `pull_shard`).
+
+  void snapshot_shard_state(std::size_t shard, std::span<float> params_out,
+                            std::span<float> velocity_out, std::int64_t& version_out) const;
+  /// Overwrite one shard's parameter + velocity slices from full-length
+  /// vectors.  Version counters are never rolled back (same contract as
+  /// `restore`).
+  void restore_shard_state(std::size_t shard, std::span<const float> params,
+                           std::span<const float> velocity);
+
   /// True if all parameters are finite (divergence guard).
   [[nodiscard]] bool healthy() const noexcept;
 

@@ -175,6 +175,7 @@ PhaseResult SimRuntime::run_bsp(TrainingState& state, const PhaseConfig& cfg,
 
     if (stop && stop(state.clock, state.global_step)) {
       result.end = PhaseEnd::kStopRequested;
+      result.trigger_step = state.global_step;
       result.elapsed = state.clock - phase_start;
       return result;
     }
@@ -337,6 +338,7 @@ PhaseResult SimRuntime::run_async(TrainingState& state, const PhaseConfig& cfg,
 
     if (!stop_spawning && stop && stop(state.clock, state.global_step)) {
       result.end = PhaseEnd::kStopRequested;
+      result.trigger_step = state.global_step;
       stop_spawning = true;
       queue.clear();  // in-flight work is abandoned, as in a checkpoint-restart
       break;
@@ -558,6 +560,7 @@ PhaseResult SimRuntime::run_ksync(TrainingState& state, const PhaseConfig& cfg,
 
     if (stop && stop(state.clock, state.global_step)) {
       result.end = PhaseEnd::kStopRequested;
+      result.trigger_step = state.global_step;
       result.elapsed = state.clock - phase_start;
       return result;
     }
@@ -732,6 +735,7 @@ PhaseResult SimRuntime::run_kasync(TrainingState& state, const PhaseConfig& cfg,
 
     if (stop && stop(state.clock, state.global_step)) {
       result.end = PhaseEnd::kStopRequested;
+      result.trigger_step = state.global_step;
       queue.clear();  // abandoned in-flight work, as in a checkpoint-restart
       done = true;
       break;

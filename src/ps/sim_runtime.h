@@ -131,6 +131,12 @@ enum class PhaseEnd {
 struct PhaseResult {
   PhaseEnd end = PhaseEnd::kBudgetExhausted;
   std::int64_t steps_done = 0;  ///< minibatch steps completed in this phase
+  /// Global minibatch step at which the stop predicate fired (-1 unless
+  /// end == kStopRequested).  This mirrors what the threaded runtime's
+  /// ThreadedPhaseStats records for a trigger-ended phase (ended_by_trigger
+  /// + the per-worker step count), so cross-runtime conformance tests can
+  /// compare reactive trigger timing instead of only update counts.
+  std::int64_t trigger_step = -1;
   VTime elapsed;                ///< virtual time this phase took
   double mean_staleness = 0.0;  ///< average gradient staleness over the phase
   std::int64_t push_bytes = 0;  ///< gradient bytes pushed over the wire

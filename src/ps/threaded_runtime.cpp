@@ -4,6 +4,7 @@
 #include <barrier>
 #include <chrono>
 #include <condition_variable>
+#include <limits>
 #include <optional>
 #include <thread>
 
@@ -11,6 +12,8 @@
 #include "common/rng.h"
 #include "compress/bank.h"
 #include "core/config_policy.h"
+#include "elastic/async_snapshotter.h"
+#include "elastic/recovery_coordinator.h"
 #include "tensor/ops.h"
 
 namespace ss {
@@ -54,6 +57,12 @@ std::vector<SwitchPhase> resolve_plan(const ThreadedTrainConfig& cfg) {
   return plan;
 }
 
+/// std::barrier requires a noexcept completion; wrap the transition closure.
+struct DrainCompletion {
+  const std::function<void()>* fn;
+  void operator()() const noexcept { (*fn)(); }
+};
+
 }  // namespace
 
 ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
@@ -62,46 +71,67 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
   if (cfg.steps_per_worker <= 0) throw ConfigError("threaded_train: steps must be > 0");
 
   const std::vector<SwitchPhase> plan = resolve_plan(cfg);
-  const bool use_detector = cfg.schedule.has_reactive_trigger();
+  const bool elastic_mode = !cfg.elastic.empty();
+  const bool reactive_membership = elastic_mode && cfg.elastic.plan.reactive();
+  if (reactive_membership && cfg.schedule.has_reactive_trigger())
+    throw ConfigError("threaded_train: reactive membership and reactive switch triggers "
+                      "cannot share one straggler detector; pick one policy");
+  const bool use_detector = cfg.schedule.has_reactive_trigger() || reactive_membership;
   for (const SwitchPhase& p : plan) {
     const int bound = p.ssp_staleness_bound >= 0 ? p.ssp_staleness_bound : cfg.ssp_staleness_bound;
     if (p.protocol == Protocol::kSsp && bound < 0)
       throw ConfigError("threaded_train: negative staleness bound");
   }
 
-  // Per-phase effective learning rates, resolved before any thread starts so
-  // the drain-barrier transition never allocates or throws.  In schedule
-  // mode the configuration policy's linear scaling rule applies (BSP phases
-  // train on an n-times-larger effective batch); fixed-protocol mode uses
-  // cfg.lr untouched, as it always has.
+  // Membership bookkeeping: slot ids are stable; joins claim ids past the
+  // initial cluster, so every per-slot structure is pre-sized to max_slots.
+  RecoveryCoordinator coord(cfg.elastic, cfg.num_workers);
+  const std::size_t max_slots = coord.max_slots();
+  const std::size_t n0 = cfg.num_workers;
+
+  // Per-phase effective learning rates, re-derived whenever the cluster
+  // size changes.  In schedule mode the configuration policy's linear
+  // scaling rule applies outright (BSP phases train on an n-times-larger
+  // effective batch); fixed-protocol mode starts from cfg.lr exactly as it
+  // always has, and an elastic membership change rescales it by the
+  // policy's n'/n ratio for synchronous protocols (async phases keep lr).
+  const BaseHyper base_hyper{cfg.batch_size, cfg.lr, cfg.momentum};
+  auto lr_multiplier = [&](Protocol proto, std::size_t n) {
+    return derive_hyper(proto, n, base_hyper, MomentumPolicy::kBaseline, /*steps_per_epoch=*/1)
+        .lr_multiplier;
+  };
+  auto lr_for_phase = [&](std::size_t i, std::size_t n) -> double {
+    if (!cfg.derive_phase_lr) return cfg.lr;
+    if (!cfg.schedule.empty()) return cfg.lr * lr_multiplier(plan[i].protocol, n);
+    // n == n0 makes the ratio exactly 1.0, so non-elastic fixed-protocol
+    // runs use cfg.lr bit for bit.
+    return cfg.lr * (lr_multiplier(plan[i].protocol, n) / lr_multiplier(plan[i].protocol, n0));
+  };
   std::vector<double> phase_lr(plan.size(), cfg.lr);
-  if (!cfg.schedule.empty() && cfg.derive_phase_lr) {
-    const BaseHyper base{cfg.batch_size, cfg.lr, cfg.momentum};
-    for (std::size_t i = 0; i < plan.size(); ++i) {
-      const DerivedHyper h = derive_hyper(plan[i].protocol, cfg.num_workers, base,
-                                          MomentumPolicy::kBaseline, /*steps_per_epoch=*/1);
-      phase_lr[i] = cfg.lr * h.lr_multiplier;
-    }
-  }
+  for (std::size_t i = 0; i < plan.size(); ++i) phase_lr[i] = lr_for_phase(i, n0);
 
   const std::size_t p = prototype.num_params();
   const std::size_t d = train.feature_dim();
   SharedParameterServer ps(prototype.get_params(), cfg.momentum, cfg.num_ps_shards);
-  // One bank for the run, one slot per worker; calls are thread-safe because
-  // each worker thread only ever touches its own slot (and its own RNG).
-  std::optional<CompressorBank> bank = cfg.compression.make_bank(cfg.num_workers);
+  // One bank for the run, one slot per worker slot; calls are thread-safe
+  // because each worker thread only ever touches its own slot (and RNG).
+  std::optional<CompressorBank> bank = cfg.compression.make_bank(max_slots);
   const std::int64_t dense_bytes = static_cast<std::int64_t>(p * sizeof(float));
   const bool inject_stragglers = !cfg.stragglers.events().empty();
 
   Rng root(cfg.seed);
   const auto shards = make_shards(train.size(), cfg.num_workers);
   std::vector<WorkerContext> ctx;
-  ctx.reserve(cfg.num_workers);
-  for (std::size_t w = 0; w < cfg.num_workers; ++w) {
+  ctx.reserve(max_slots);
+  for (std::size_t w = 0; w < max_slots; ++w) {
+    // Initial slots keep the historical stream ids; join slots (w >= n0)
+    // draw from disjoint ranges so no stream is ever shared.
+    const std::uint64_t sampler_stream = w < n0 ? w + 1 : 1000 + w;
+    const std::uint64_t codec_stream = w < n0 ? cfg.num_workers + 1 + w : 2000 + w;
     WorkerContext c{
         prototype.clone(),
-        MinibatchSampler(shards[w], cfg.batch_size, root.fork(w + 1)),
-        root.fork(cfg.num_workers + 1 + w),
+        MinibatchSampler(shards[w % shards.size()], cfg.batch_size, root.fork(sampler_stream)),
+        root.fork(codec_stream),
         Tensor({cfg.batch_size, d}),
         {},
         std::vector<float>(p),
@@ -117,30 +147,41 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
   // ------------------------------------------------------------------
   // Shared switch-controller state.  Three synchronization domains:
   //  * clock_mu/clock_cv guard the per-worker local clocks, the phase step
-  //    quota, and the trigger latch during async phases;
+  //    quota, and the trigger/membership latches during async phases;
   //  * det_mu guards the straggler detector;
   //  * everything else (phase index, protocol, lr, BSP round state, phase
-  //    stats) is only mutated inside the drain-barrier completion or by
-  //    worker 0 between BSP round barriers — both points where the barrier
-  //    provides the happens-before edge to every other worker.
+  //    stats, the alive set) is only mutated inside the drain-barrier
+  //    completion, by worker 0 between BSP round barriers, or by the main
+  //    thread while every worker thread is joined — all points where a
+  //    barrier or thread join/spawn provides the happens-before edge.
   // ------------------------------------------------------------------
   std::mutex clock_mu;
   std::condition_variable clock_cv;
-  std::vector<std::int64_t> clock(cfg.num_workers, 0);  ///< local steps in current phase
-  std::int64_t quota = 0;        ///< common local-step count the phase runs to
-  bool trigger_fired = false;    ///< reactive trigger latched for this phase
+  std::vector<std::int64_t> clock(max_slots, 0);  ///< local steps in current phase
+  std::int64_t quota = 0;          ///< effective step count this epoch segment runs to
+  std::int64_t phase_quota = 0;    ///< the phase's full budget (quota <= phase_quota)
+  bool trigger_fired = false;      ///< reactive schedule trigger latched
+  bool membership_fired = false;   ///< reactive membership latched (evict at drain)
 
   std::mutex det_mu;
-  StragglerDetector detector(cfg.num_workers, cfg.detector);
+  StragglerDetector detector(max_slots, cfg.detector);
+  if (max_slots > cfg.num_workers) detector.set_active(coord.active());
+
+  std::vector<char> alive(max_slots, 0);
+  for (int s : coord.active()) alive[static_cast<std::size_t>(s)] = 1;
+  std::size_t n_alive = coord.alive_count();
+  std::size_t leader = 0;  ///< first alive slot (BSP aggregator role)
 
   std::size_t phase_idx = 0;
   Protocol proto = plan[0].protocol;
   double lr = phase_lr[0];
   std::int64_t ssp_bound = 0;
-  std::int64_t done = 0;  ///< local steps per worker completed in finished phases
+  std::int64_t done = 0;             ///< local steps per worker in finished phases
+  std::int64_t phase_steps_done = 0; ///< steps of the current phase finished in prior epochs
   bool run_over = false;
+  bool epoch_over = false;           ///< quiesce threads for a membership transition
 
-  std::vector<float> agg(p);              // BSP aggregation buffer (worker 0)
+  std::vector<float> agg(p);              // BSP aggregation buffer (leader)
   std::vector<float> shared_snapshot(p);  // BSP round snapshot
   std::int64_t rounds_done = 0;           // BSP rounds completed in current phase
   bool bsp_phase_over = false;
@@ -153,15 +194,56 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
 
   std::vector<ThreadedPhaseStats> stats;
   stats.reserve(plan.size());
+  std::vector<ThreadedMembershipStats> membership_stats;
+  membership_stats.reserve(cfg.elastic.plan.size() + 8);
   std::int64_t run_async_staleness = 0;  // run totals over async-phase pushes
   std::int64_t run_async_updates = 0;
 
-  auto min_clock = [&] {  // callers hold clock_mu
-    return *std::min_element(clock.begin(), clock.end());
+  // Asynchronous snapshots for crash recovery: a run-start snapshot gives
+  // recovery a floor, the background cadence bounds the loss window.
+  SnapshotStore store;
+  std::optional<AsyncSnapshotter> snapshotter;
+  auto capture_snapshot = [&ps, &total_updates] {
+    return ps.snapshot_checkpoint(total_updates.load(std::memory_order_relaxed));
+  };
+  auto snapshot_progress = [&total_updates] {
+    return total_updates.load(std::memory_order_relaxed);
+  };
+  // Snapshots only pay off when something can restore them: a scripted
+  // crash under kRestoreSnapshot.  Join/leave-only, reactive, and
+  // kKeepLive runs skip the background thread and its periodic full-PS
+  // copies entirely (the sim engine applies the same gate).
+  bool plan_has_crash = false;
+  for (const MembershipEvent& e : cfg.elastic.plan.events())
+    plan_has_crash |= e.kind == MembershipEventKind::kCrash;
+  const bool snapshots_needed =
+      elastic_mode && plan_has_crash && cfg.elastic.recovery == RecoveryMode::kRestoreSnapshot;
+  if (snapshots_needed) {
+    if (cfg.elastic.snapshot_interval > 0) {
+      snapshotter.emplace(capture_snapshot, snapshot_progress, cfg.elastic.snapshot_interval,
+                          store);
+      snapshotter->snapshot_now();  // run-start floor; also arms the cadence
+    } else {
+      store.put(capture_snapshot());  // the only snapshot a crash can restore
+    }
+  }
+
+  auto min_clock = [&] {  // callers hold clock_mu; alive slots only
+    std::int64_t m = std::numeric_limits<std::int64_t>::max();
+    for (std::size_t s = 0; s < max_slots; ++s)
+      if (alive[s]) m = std::min(m, clock[s]);
+    return m;
+  };
+  auto max_clock = [&] {  // callers hold clock_mu; alive slots only
+    std::int64_t m = 0;
+    for (std::size_t s = 0; s < max_slots; ++s)
+      if (alive[s]) m = std::max(m, clock[s]);
+    return m;
   };
 
-  /// Arm phase `idx`.  Runs before the threads start and inside the drain
-  /// barrier's completion — never concurrently with a worker step.
+  /// Arm phase `idx` from its beginning.  Runs before the threads start,
+  /// inside the drain barrier's completion, or between epochs — never
+  /// concurrently with a worker step.
   auto enter_phase = [&](std::size_t idx) {
     phase_idx = idx;
     const SwitchPhase& ph = plan[idx];
@@ -170,7 +252,15 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
     ssp_bound = ph.ssp_staleness_bound >= 0 ? ph.ssp_staleness_bound : cfg.ssp_staleness_bound;
     const bool last = idx + 1 == plan.size();
     const std::int64_t remaining = cfg.steps_per_worker - done;
-    quota = SwitchSchedule::phase_budget(ph, last, remaining);
+    phase_quota = SwitchSchedule::phase_budget(ph, last, remaining);
+    phase_steps_done = 0;
+    quota = phase_quota;
+    if (elastic_mode) {
+      // Stop exactly at the next scripted membership event so it resolves
+      // at a drain barrier where every worker has the same local step.
+      const std::int64_t cap = coord.next_event_step(done);
+      if (cap > 0) quota = std::min(quota, cap - done);
+    }
     trigger_fired = false;
     std::fill(clock.begin(), clock.end(), 0);
     rounds_done = 0;
@@ -186,15 +276,44 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
   };
   enter_phase(0);
 
-  /// The drain-barrier transition: record the finished phase, then arm the
-  /// next one (or end the run).  Runs on exactly one thread while every
-  /// worker is parked at the barrier.
-  auto finish_phase = [&]() noexcept {
+  /// Resume the current phase after a membership transition: same phase
+  /// budget, clocks fast-forwarded to the steps already done, caps and lr
+  /// refreshed for the new cluster.
+  auto rearm_phase = [&] {
+    lr = phase_lr[phase_idx];
+    quota = phase_quota;
+    if (elastic_mode) {
+      const std::int64_t cap = coord.next_event_step(done + phase_steps_done);
+      if (cap > 0) quota = std::min(quota, cap - done);
+    }
+    trigger_fired = false;
+    std::fill(clock.begin(), clock.end(), phase_steps_done);
+    rounds_done = phase_steps_done;
+    bsp_phase_over = false;
+    // The epoch resumes from the reconciled post-recovery parameters.
+    ps.pull(std::span<float>(shared_snapshot));
+  };
+
+  /// The drain-barrier transition.  Runs on exactly one thread while every
+  /// worker is parked at the barrier.  Three outcomes: the phase completed
+  /// (record it, then arm the next phase live or hand off to the epoch loop
+  /// if a membership event is due), the run completed, or a membership
+  /// boundary interrupted the phase mid-way (quiesce for recovery).
+  const std::function<void()> on_drain = [&]() {
+    const std::int64_t reached = clock[leader];  // equal across alive workers
+    const bool phase_complete = trigger_fired || reached >= phase_quota;
+    if (!phase_complete) {
+      // A scripted membership step or the reactive eviction latch stopped
+      // the epoch inside the phase; the phase's accumulators carry over.
+      phase_steps_done = reached;
+      epoch_over = true;
+      return;
+    }
     ThreadedPhaseStats s;
     s.protocol = proto;
     s.ended_by_trigger = trigger_fired;
     s.start_step = done;
-    s.steps = clock[0];  // equal across workers: phases end at a common quota
+    s.steps = reached;
     s.updates = total_updates.load(std::memory_order_relaxed) - phase_start_updates;
     s.max_clock_gap = phase_max_gap.load(std::memory_order_relaxed);
     std::int64_t staleness_sum = 0;
@@ -215,13 +334,17 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
       s.updates_per_sec = static_cast<double>(s.updates) / s.wall_seconds;
     stats.push_back(s);
     done += s.steps;
+    phase_steps_done = 0;
     run_over = done >= cfg.steps_per_worker;
-    if (!run_over) enter_phase(std::min(phase_idx + 1, plan.size() - 1));
+    if (run_over) return;
+    if (elastic_mode && (membership_fired || coord.events_due(done))) {
+      // Membership change due exactly at the phase boundary: the epoch loop
+      // applies it, then enters the next phase.
+      epoch_over = true;
+      return;
+    }
+    enter_phase(std::min(phase_idx + 1, plan.size() - 1));
   };
-
-  std::barrier round_barrier(static_cast<std::ptrdiff_t>(cfg.num_workers));
-  std::barrier<decltype(finish_phase)> drain_barrier(
-      static_cast<std::ptrdiff_t>(cfg.num_workers), finish_phase);
 
   /// Wall-clock straggler injection: a worker slowed at the current elapsed
   /// time sleeps (factor - 1) x its measured step time, emulating the
@@ -238,16 +361,18 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
   };
 
   /// Feed one step observation to the shared detector.  Returns true when a
-  /// detection pass ran *and* the current phase's reactive trigger condition
-  /// holds afterwards.  Only async workers act on the return value; during
-  /// BSP phases worker 0 evaluates the trigger once per round instead, so
-  /// every worker of a round sees the same decision.
+  /// detection pass ran *and* the reactive condition holds afterwards — the
+  /// current phase's schedule trigger, or (reactive membership) any flagged
+  /// worker.  Only async workers act on the return value; during BSP phases
+  /// the leader evaluates the condition once per round instead, so every
+  /// worker of a round sees the same decision.
   auto feed_detector = [&](std::size_t w, SteadyClock::time_point step_start) -> bool {
     if (!use_detector) return false;
     const double secs = seconds_between(step_start, SteadyClock::now());
     const std::lock_guard<std::mutex> lock(det_mu);
     if (!detector.observe(static_cast<int>(w), cfg.batch_size, VTime::from_seconds(secs)))
       return false;
+    if (reactive_membership) return detector.any_straggler();
     switch (plan[phase_idx].trigger) {
       case SwitchTrigger::kStragglerDetected:
         return detector.any_straggler();
@@ -259,160 +384,275 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
     return false;
   };
 
-  /// Latch a fired reactive trigger (async phases): lower the phase quota to
-  /// a common step count every worker can still reach — the fastest
+  /// Latch a fired reactive condition (async phases): lower the epoch quota
+  /// to a common step count every worker can still reach — the fastest
   /// worker's clock plus one — and wake SSP waiters so they re-check it.
-  auto latch_trigger = [&] {
+  /// `fired` is trigger_fired (schedule trigger) or membership_fired
+  /// (reactive eviction).
+  auto latch = [&](bool& fired) {
     {
       const std::lock_guard<std::mutex> lock(clock_mu);
-      if (!trigger_fired) {
-        trigger_fired = true;
-        const std::int64_t fastest = *std::max_element(clock.begin(), clock.end());
-        quota = std::min(quota, fastest + 1);
+      if (!fired) {
+        fired = true;
+        quota = std::min(quota, max_clock() + 1);
       }
     }
     clock_cv.notify_all();
   };
 
   // ------------------------------------------------------------------
-  // Phase bodies.
+  // Membership recovery: runs on the main thread with every worker thread
+  // joined (full quiesce), so no lock is needed for phase/membership state.
   // ------------------------------------------------------------------
-
-  // Round-based BSP: all workers compute on the same snapshot, worker 0
-  // aggregates after the barrier and applies one averaged update.  The
-  // end-of-phase decision (quota reached or reactive trigger fired) is made
-  // once per round by worker 0 between the two barriers, so every worker
-  // leaves the phase at the same round.
-  auto run_bsp_phase = [&](std::size_t w) {
-    auto& c = ctx[w];
-    std::vector<std::uint32_t> indices;
-    while (!bsp_phase_over) {
-      if (cfg.pre_step_hook) cfg.pre_step_hook(w, done + clock[w]);
-      const SteadyClock::time_point step_start = SteadyClock::now();
-      c.sampler.next_batch(indices);
-      train.gather(indices, c.batch_x, c.batch_y);
-      c.model.gradient_at(shared_snapshot, c.batch_x, c.batch_y, c.grad);
-      if (bank) {
-        // Each worker compresses its own push through its bank slot; the
-        // aggregator decodes, so the PS math sees the lossy values exactly
-        // as the simulator's BSP path does.
-        c.push = bank->encode(static_cast<int>(w), c.grad, c.codec_rng);
-        c.phase_push_bytes += static_cast<std::int64_t>(c.push.wire_size);
-      } else {
-        c.phase_push_bytes += dense_bytes;
+  auto apply_recovery = [&] {
+    const SteadyClock::time_point rec_start = SteadyClock::now();
+    const std::int64_t progress = done + phase_steps_done;
+    std::vector<AppliedMembershipEvent> applied;
+    if (membership_fired) {
+      // Reactive eviction: detector-flagged workers leave (floor-clamped).
+      std::vector<int> flagged;
+      {
+        const std::lock_guard<std::mutex> lock(det_mu);
+        flagged = detector.stragglers();
       }
-      inject_delay(w, step_start);
-      feed_detector(w, step_start);  // w0 evaluates the trigger below
-      round_barrier.arrive_and_wait();  // all gradients ready
-      if (w == 0) {
-        std::fill(agg.begin(), agg.end(), 0.0f);
-        for (auto& other : ctx) {
-          if (bank)
-            other.push.add_into(agg);
-          else
-            ops::add_inplace(std::span<float>(agg), std::span<const float>(other.grad));
+      applied = coord.evict(flagged, progress);
+      membership_fired = false;
+    }
+    {
+      auto scheduled = coord.advance_to(progress);
+      applied.insert(applied.end(), scheduled.begin(), scheduled.end());
+    }
+    bool crashed = false;
+    for (const auto& a : applied) crashed |= a.event.kind == MembershipEventKind::kCrash;
+    std::int64_t updates_lost = 0;
+    if (crashed && cfg.elastic.recovery == RecoveryMode::kRestoreSnapshot) {
+      if (const auto snap = store.latest()) {
+        updates_lost =
+            total_updates.load(std::memory_order_relaxed) - snap->global_step;
+        // Roll parameters + velocity back to the last asynchronous snapshot:
+        // every update since it is lost, bounding the damage to one snapshot
+        // interval.  Surviving workers keep their error-feedback residuals —
+        // the mass a codec dropped is still untransmitted after the rollback.
+        ps.restore_checkpoint(*snap);
+      }
+    }
+    // Refresh the membership-derived state for the next epoch.
+    std::fill(alive.begin(), alive.end(), char{0});
+    for (int s : coord.active()) alive[static_cast<std::size_t>(s)] = 1;
+    n_alive = coord.alive_count();
+    leader = 0;
+    while (leader < max_slots && !alive[leader]) ++leader;
+    // Re-derive hyper-parameters for the new cluster size (derive_hyper's
+    // linear scaling for synchronous phases; async phases keep lr).
+    for (std::size_t i = 0; i < plan.size(); ++i) phase_lr[i] = lr_for_phase(i, n_alive);
+    {
+      // Cluster reconfiguration: historical throughput is not comparable,
+      // and retired slots must not block detector warm-up.
+      const std::lock_guard<std::mutex> lock(det_mu);
+      detector.set_active(coord.active());
+    }
+    // Resume the interrupted phase, or enter the next one if the previous
+    // epoch finished its phase exactly at the membership boundary.
+    if (phase_steps_done == 0)
+      enter_phase(std::min(phase_idx + 1, plan.size() - 1));
+    else
+      rearm_phase();
+    const double rec_seconds = seconds_between(rec_start, SteadyClock::now());
+    bool loss_attributed = false;  // one restore per pass -> charge it once
+    for (const auto& a : applied) {
+      ThreadedMembershipStats ms;
+      ms.kind = a.event.kind;
+      ms.worker = a.event.worker;
+      ms.at_step = a.event.at_step;
+      ms.workers_after = a.workers_after;
+      ms.lr_after = lr;
+      if (a.event.kind == MembershipEventKind::kCrash && !loss_attributed) {
+        ms.updates_lost = updates_lost;
+        loss_attributed = true;
+      }
+      ms.recovery_wall_seconds = rec_seconds;
+      membership_stats.push_back(ms);
+    }
+  };
+
+  // ------------------------------------------------------------------
+  // Epoch loop: one iteration per contiguous stretch of a fixed worker set.
+  // Non-elastic runs execute exactly one epoch (every phase transition is
+  // the live in-barrier kind); membership events end the epoch at the drain
+  // barrier, the recovery runs with all threads joined, and the next epoch
+  // respawns threads (and right-sized barriers) for the new cluster.
+  // ------------------------------------------------------------------
+  while (!run_over) {
+    std::barrier round_barrier(static_cast<std::ptrdiff_t>(n_alive));
+    std::barrier<DrainCompletion> drain_barrier(static_cast<std::ptrdiff_t>(n_alive),
+                                                DrainCompletion{&on_drain});
+
+    // Round-based BSP: all workers compute on the same snapshot, the leader
+    // aggregates after the barrier and applies one averaged update.  The
+    // end-of-phase decision (quota reached, reactive trigger, or reactive
+    // eviction) is made once per round by the leader between the two
+    // barriers, so every worker leaves the phase at the same round.
+    auto run_bsp_phase = [&](std::size_t w) {
+      auto& c = ctx[w];
+      std::vector<std::uint32_t> indices;
+      while (!bsp_phase_over) {
+        if (cfg.pre_step_hook) cfg.pre_step_hook(w, done + clock[w]);
+        const SteadyClock::time_point step_start = SteadyClock::now();
+        c.sampler.next_batch(indices);
+        train.gather(indices, c.batch_x, c.batch_y);
+        c.model.gradient_at(shared_snapshot, c.batch_x, c.batch_y, c.grad);
+        if (bank) {
+          // Each worker compresses its own push through its bank slot; the
+          // aggregator decodes, so the PS math sees the lossy values exactly
+          // as the simulator's BSP path does.
+          c.push = bank->encode(static_cast<int>(w), c.grad, c.codec_rng);
+          c.phase_push_bytes += static_cast<std::int64_t>(c.push.wire_size);
+        } else {
+          c.phase_push_bytes += dense_bytes;
         }
-        ops::scale_inplace(std::span<float>(agg),
-                           1.0f / static_cast<float>(cfg.num_workers));
-        ps.push(agg, lr, ps.version());
-        total_updates.fetch_add(1, std::memory_order_relaxed);
-        ps.pull(std::span<float>(shared_snapshot));
-        ++rounds_done;
-        bool over = rounds_done >= quota;
-        if (!over && plan[phase_idx].trigger != SwitchTrigger::kStepCount) {
-          const std::lock_guard<std::mutex> lock(det_mu);
-          const bool cond = plan[phase_idx].trigger == SwitchTrigger::kStragglerDetected
-                                ? detector.any_straggler()
-                                : !detector.any_straggler();
-          if (cond) {
-            over = true;
-            trigger_fired = true;
+        inject_delay(w, step_start);
+        feed_detector(w, step_start);  // the leader evaluates the condition below
+        round_barrier.arrive_and_wait();  // all gradients ready
+        if (w == leader) {
+          std::fill(agg.begin(), agg.end(), 0.0f);
+          for (std::size_t s = 0; s < max_slots; ++s) {
+            if (!alive[s]) continue;
+            if (bank)
+              ctx[s].push.add_into(agg);
+            else
+              ops::add_inplace(std::span<float>(agg), std::span<const float>(ctx[s].grad));
           }
+          ops::scale_inplace(std::span<float>(agg), 1.0f / static_cast<float>(n_alive));
+          ps.push(agg, lr, ps.version());
+          total_updates.fetch_add(1, std::memory_order_relaxed);
+          ps.pull(std::span<float>(shared_snapshot));
+          ++rounds_done;
+          bool over = rounds_done >= quota;
+          if (!over && use_detector &&
+              (reactive_membership || plan[phase_idx].trigger != SwitchTrigger::kStepCount)) {
+            const std::lock_guard<std::mutex> lock(det_mu);
+            if (reactive_membership) {
+              if (detector.any_straggler()) {
+                over = true;
+                membership_fired = true;
+              }
+            } else {
+              const bool cond = plan[phase_idx].trigger == SwitchTrigger::kStragglerDetected
+                                    ? detector.any_straggler()
+                                    : !detector.any_straggler();
+              if (cond) {
+                over = true;
+                trigger_fired = true;
+              }
+            }
+          }
+          bsp_phase_over = over;
         }
-        bsp_phase_over = over;
+        round_barrier.arrive_and_wait();  // updated snapshot + decision visible
+        ++clock[w];  // own slot; read again only after the next barrier
       }
-      round_barrier.arrive_and_wait();  // updated snapshot + decision visible
-      ++clock[w];  // own slot; read again only after the next barrier
-    }
-  };
+    };
 
-  // ASP: free-running workers.  SSP: free-running within the staleness
-  // bound — a worker whose local clock would run more than `bound` steps
-  // ahead of the slowest parks on the condition variable until the
-  // laggard's push advances the minimum (or the trigger latch lowers the
-  // quota below its clock).
-  auto run_async_phase = [&](std::size_t w) {
-    auto& c = ctx[w];
-    const bool bounded = proto == Protocol::kSsp;
-    std::vector<std::uint32_t> indices;
-    while (true) {
-      std::int64_t my = 0;
-      {
-        std::unique_lock<std::mutex> lock(clock_mu);
-        if (clock[w] >= quota) break;
-        if (bounded) {
-          clock_cv.wait(lock, [&] {
-            return clock[w] >= quota || clock[w] - min_clock() <= ssp_bound;
-          });
+    // ASP: free-running workers.  SSP: free-running within the staleness
+    // bound — a worker whose local clock would run more than `bound` steps
+    // ahead of the slowest parks on the condition variable until the
+    // laggard catches up (or a latch lowers the quota below its clock).
+    auto run_async_phase = [&](std::size_t w) {
+      auto& c = ctx[w];
+      const bool bounded = proto == Protocol::kSsp;
+      std::vector<std::uint32_t> indices;
+      while (true) {
+        std::int64_t my = 0;
+        {
+          std::unique_lock<std::mutex> lock(clock_mu);
           if (clock[w] >= quota) break;
+          if (bounded) {
+            clock_cv.wait(lock, [&] {
+              return clock[w] >= quota || clock[w] - min_clock() <= ssp_bound;
+            });
+            if (clock[w] >= quota) break;
+          }
+          const std::int64_t gap = clock[w] - min_clock();
+          std::int64_t seen = phase_max_gap.load(std::memory_order_relaxed);
+          while (gap > seen &&
+                 !phase_max_gap.compare_exchange_weak(seen, gap, std::memory_order_relaxed)) {
+          }
+          my = clock[w];
         }
-        const std::int64_t gap = clock[w] - min_clock();
-        std::int64_t seen = phase_max_gap.load(std::memory_order_relaxed);
-        while (gap > seen &&
-               !phase_max_gap.compare_exchange_weak(seen, gap, std::memory_order_relaxed)) {
+        if (cfg.pre_step_hook) cfg.pre_step_hook(w, done + my);
+        const SteadyClock::time_point step_start = SteadyClock::now();
+        ps.pull_with_versions(c.snapshot, c.pull_versions);
+        c.sampler.next_batch(indices);
+        train.gather(indices, c.batch_x, c.batch_y);
+        c.model.gradient_at(c.snapshot, c.batch_x, c.batch_y, c.grad);
+        inject_delay(w, step_start);
+        if (bank) {
+          // Sparse (top-k) pushes lock only the shards holding kept
+          // coordinates; dense quantized pushes sweep all shards like an
+          // uncompressed push.
+          const CompressedPush push = bank->encode(static_cast<int>(w), c.grad, c.codec_rng);
+          c.phase_push_bytes += static_cast<std::int64_t>(push.wire_size);
+          c.phase_staleness_sum += ps.push_compressed(push, lr, c.pull_versions);
+        } else {
+          c.phase_push_bytes += dense_bytes;
+          c.phase_staleness_sum += ps.push(c.grad, lr, c.pull_versions);
         }
-        my = clock[w];
+        total_updates.fetch_add(1, std::memory_order_relaxed);
+        if (feed_detector(w, step_start))
+          latch(reactive_membership ? membership_fired : trigger_fired);
+        {
+          const std::lock_guard<std::mutex> lock(clock_mu);
+          ++clock[w];
+        }
+        clock_cv.notify_all();
       }
-      if (cfg.pre_step_hook) cfg.pre_step_hook(w, done + my);
-      const SteadyClock::time_point step_start = SteadyClock::now();
-      ps.pull_with_versions(c.snapshot, c.pull_versions);
-      c.sampler.next_batch(indices);
-      train.gather(indices, c.batch_x, c.batch_y);
-      c.model.gradient_at(c.snapshot, c.batch_x, c.batch_y, c.grad);
-      inject_delay(w, step_start);
-      if (bank) {
-        // Sparse (top-k) pushes lock only the shards holding kept
-        // coordinates; dense quantized pushes sweep all shards like an
-        // uncompressed push.
-        const CompressedPush push = bank->encode(static_cast<int>(w), c.grad, c.codec_rng);
-        c.phase_push_bytes += static_cast<std::int64_t>(push.wire_size);
-        c.phase_staleness_sum += ps.push_compressed(push, lr, c.pull_versions);
-      } else {
-        c.phase_push_bytes += dense_bytes;
-        c.phase_staleness_sum += ps.push(c.grad, lr, c.pull_versions);
-      }
-      total_updates.fetch_add(1, std::memory_order_relaxed);
-      if (feed_detector(w, step_start)) latch_trigger();
-      {
-        const std::lock_guard<std::mutex> lock(clock_mu);
-        ++clock[w];
-      }
-      clock_cv.notify_all();
-    }
-  };
+    };
 
-  // Outer loop: every worker executes the same phase sequence, quiescing at
-  // the drain barrier between phases.  The barrier's completion runs the
-  // transition while all workers are parked, so phase state needs no lock.
-  auto worker_fn = [&](std::size_t w) {
-    while (true) {
-      if (proto == Protocol::kBsp)
-        run_bsp_phase(w);
-      else
-        run_async_phase(w);
-      drain_barrier.arrive_and_wait();
-      if (run_over) break;
-    }
-  };
+    // Every worker of this epoch executes the phase sequence, quiescing at
+    // the drain barrier between phases.  The barrier's completion runs the
+    // transition while all workers are parked, so phase state needs no lock;
+    // an epoch-ending transition makes every worker exit so the main thread
+    // can reshape the cluster.
+    auto worker_fn = [&](std::size_t w) {
+      while (true) {
+        if (proto == Protocol::kBsp)
+          run_bsp_phase(w);
+        else
+          run_async_phase(w);
+        drain_barrier.arrive_and_wait();
+        if (run_over || epoch_over) break;
+      }
+    };
 
-  std::vector<std::thread> threads;
-  threads.reserve(cfg.num_workers);
-  for (std::size_t w = 0; w < cfg.num_workers; ++w) threads.emplace_back(worker_fn, w);
-  for (auto& t : threads) t.join();
+    std::vector<std::thread> threads;
+    threads.reserve(n_alive);
+    for (std::size_t w = 0; w < max_slots; ++w)
+      if (alive[w]) threads.emplace_back(worker_fn, w);
+    for (auto& t : threads) t.join();
+
+    if (run_over) break;
+    // epoch_over: resolve the due membership events and re-arm.  The
+    // snapshotter is parked across the recovery — a cadence capture walking
+    // the shards concurrently with restore_checkpoint could store a torn
+    // mix of pre- and post-restore slices as "latest" — and re-seeded with
+    // the reconciled post-recovery state before the next epoch spawns.
+    epoch_over = false;
+    if (snapshotter) snapshotter->stop();
+    apply_recovery();
+    if (snapshotter) {
+      snapshotter.emplace(capture_snapshot, snapshot_progress, cfg.elastic.snapshot_interval,
+                          store);
+      snapshotter->snapshot_now();
+    }
+  }
+
+  if (snapshotter) snapshotter->stop();
 
   ThreadedTrainResult result;
   result.total_updates = total_updates.load();
   result.phases = std::move(stats);
+  result.membership = std::move(membership_stats);
+  result.snapshots_taken = elastic_mode ? store.count() : 0;
   for (const auto& s : result.phases) {
     result.max_clock_gap = std::max(result.max_clock_gap, s.max_clock_gap);
     result.push_bytes += s.push_bytes;

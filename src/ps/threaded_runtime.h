@@ -31,6 +31,17 @@
 // sleeps (slow_factor - 1) x its measured step time, emulating the paper's
 // injected network latency without consuming CPU.
 //
+// Elastic membership (`ThreadedTrainConfig::elastic`, src/elastic/): the
+// worker set itself can change mid-run.  Scripted crash/join/leave events —
+// or the reactive evict-on-detect rule — resolve at the drain barrier: the
+// epoch's threads quiesce and exit, the RecoveryCoordinator applies the
+// membership delta on the main thread (crash recovery restores the
+// AsyncSnapshotter's last copy-on-read checkpoint when the policy says so),
+// hyper-parameters are re-derived for the new cluster size via derive_hyper,
+// and a fresh set of threads (with barriers sized to the new count) carries
+// the same phase plan forward.  Protocol switches with no membership event
+// due still transition live, exactly as before.
+//
 // All protocols support gradient compression (`ThreadedTrainConfig::
 // compression`): each worker thread encodes its gradient through its own
 // `CompressorBank` slot into a `CompressedPush`, and sparse (top-k) pushes
@@ -55,6 +66,8 @@
 #include "compress/compressed_push.h"
 #include "compress/spec.h"
 #include "core/straggler_detector.h"
+#include "elastic/membership_plan.h"
+#include "nn/checkpoint.h"
 #include "data/batcher.h"
 #include "data/dataset.h"
 #include "nn/lr_schedule.h"
@@ -193,6 +206,41 @@ class SharedParameterServer {
     return out;
   }
 
+  /// Copy-on-read snapshot of the full PS state (params + velocity +
+  /// per-shard versions) as a format-v2 checkpoint, taken one shard lock at
+  /// a time — concurrent pushes to other shards never wait on it.  Each
+  /// shard's slice is internally consistent; cross-shard skew is bounded by
+  /// the pushes that land mid-walk (the same guarantee `pull` gives).
+  /// `logical_step` lands in Checkpoint::global_step (the threaded runtime
+  /// stores its update counter there).
+  [[nodiscard]] Checkpoint snapshot_checkpoint(std::int64_t logical_step) const {
+    Checkpoint ckpt;
+    ckpt.global_step = logical_step;
+    ckpt.params.resize(ps_.num_params());
+    ckpt.velocity.resize(ps_.num_params());
+    ckpt.num_shards = static_cast<std::uint64_t>(ps_.num_shards());
+    ckpt.shard_versions.resize(ps_.num_shards());
+    for (std::size_t s = 0; s < shard_mu_.size(); ++s) {
+      const std::lock_guard<std::mutex> lock(shard_mu_[s]);
+      ps_.snapshot_shard_state(s, ckpt.params, ckpt.velocity, ckpt.shard_versions[s]);
+    }
+    return ckpt;
+  }
+
+  /// Restore params + velocity from `ckpt`, shard by shard under the shard
+  /// locks (crash recovery; versions are never rolled back).  The layout
+  /// must match — snapshots taken by `snapshot_checkpoint` always do.
+  void restore_checkpoint(const Checkpoint& ckpt) {
+    if (ckpt.params.size() != ps_.num_params() || ckpt.velocity.size() != ps_.num_params())
+      throw CheckpointError("SharedParameterServer::restore_checkpoint: size mismatch");
+    if (ckpt.num_shards > 1 && ckpt.num_shards != static_cast<std::uint64_t>(ps_.num_shards()))
+      throw CheckpointError("SharedParameterServer::restore_checkpoint: shard layout mismatch");
+    for (std::size_t s = 0; s < shard_mu_.size(); ++s) {
+      const std::lock_guard<std::mutex> lock(shard_mu_[s]);
+      ps_.restore_shard_state(s, ckpt.params, ckpt.velocity);
+    }
+  }
+
   /// Count of complete updates: the minimum shard version (same contract as
   /// `pull_with_version`).
   [[nodiscard]] std::int64_t version() const {
@@ -251,6 +299,17 @@ struct ThreadedTrainConfig {
   /// PS-side momentum cannot be re-derived mid-run).  When false, every
   /// phase uses `lr` as-is.  Fixed-protocol mode always uses `lr` as-is.
   bool derive_phase_lr = true;
+  /// Elastic membership & fault tolerance (src/elastic/).  Event `at_step`
+  /// is in per-worker local steps (the unit of `steps_per_worker`);
+  /// `snapshot_interval` counts PS updates between asynchronous snapshots.
+  /// Scripted events resolve at the drain barrier once every alive worker
+  /// has completed exactly `at_step` local steps; the reactive plan evicts
+  /// detector-flagged workers at the next drain.  When a membership plan is
+  /// active, `derive_phase_lr` additionally re-derives the learning rate for
+  /// the changed cluster size (synchronous phases rescale by n'/n, matching
+  /// the configuration policy's linear scaling; async phases keep lr) — in
+  /// fixed-protocol mode too, relative to the configured `lr`.
+  ElasticConfig elastic;
   /// Test hook: called by each worker before every local step (e.g. to make
   /// one worker artificially slow).  Must be thread-safe; may be null.
   std::function<void(std::size_t worker, std::int64_t step)> pre_step_hook;
@@ -273,6 +332,20 @@ struct ThreadedPhaseStats {
   double updates_per_sec = 0.0;   ///< phase throughput (updates / wall_seconds)
 };
 
+/// Metrics for one resolved membership event (crash / join / leave —
+/// scripted or reactive).  One entry per event, in resolution order.
+struct ThreadedMembershipStats {
+  MembershipEventKind kind = MembershipEventKind::kLeave;
+  int worker = -1;                ///< slot the event applied to (joins: the assigned slot)
+  std::int64_t at_step = 0;       ///< per-worker local step the event resolved at
+  std::size_t workers_after = 0;  ///< cluster size once applied
+  double lr_after = 0.0;          ///< current phase's lr re-derived for the new n
+  /// Crash with RecoveryMode::kRestoreSnapshot: PS updates rolled back to
+  /// the restored snapshot (bounded by one snapshot interval).  0 otherwise.
+  std::int64_t updates_lost = 0;
+  double recovery_wall_seconds = 0.0;  ///< wall time of the whole recovery pass
+};
+
 struct ThreadedTrainResult {
   std::int64_t total_updates = 0;   ///< PS updates applied
   double mean_staleness = 0.0;      ///< over async pushes (0 for pure BSP)
@@ -283,8 +356,16 @@ struct ThreadedTrainResult {
   /// size per push when compression is on, full fp32 width otherwise.
   std::int64_t push_bytes = 0;
   /// One entry per executed phase, in order.  Phases the run budget never
-  /// reached (or that a never-firing trigger absorbed) are absent.
+  /// reached (or that a never-firing trigger absorbed) are absent.  A phase
+  /// interrupted by a membership event contributes ONE entry covering its
+  /// whole span (its wall_seconds include the recovery pauses inside it).
   std::vector<ThreadedPhaseStats> phases;
+  /// One entry per resolved membership event, in order (empty when the run
+  /// is not elastic).
+  std::vector<ThreadedMembershipStats> membership;
+  /// Snapshots the AsyncSnapshotter stored (incl. the run-start one); 0 for
+  /// non-elastic runs.
+  std::int64_t snapshots_taken = 0;
   std::vector<float> final_params;
 };
 

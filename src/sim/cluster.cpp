@@ -44,6 +44,14 @@ VTime ClusterModel::sync_overhead(std::size_t n) const noexcept {
   return spec_.sync_base + spec_.sync_quad.scaled(nn * nn);
 }
 
+VTime ClusterModel::join_time() const noexcept {
+  return spec_.join_provision + transfer_time(1.0);
+}
+
+VTime ClusterModel::recovery_restore_time() const noexcept {
+  return transfer_time(1.0, 2.0 * spec_.payload_bytes);
+}
+
 VTime ClusterModel::mean_cycle(std::size_t batch) const noexcept {
   const double batch_scale =
       static_cast<double>(batch) / static_cast<double>(spec_.reference_batch);

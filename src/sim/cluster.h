@@ -72,6 +72,14 @@ struct ClusterSpec {
 
   /// PS-side apply cost for one asynchronous update.
   VTime async_apply = VTime::from_ms(1.0);
+
+  /// Elastic membership pricing (src/elastic/): fixed hand-off cost of
+  /// integrating a newly provisioned node at a join event.  The VM itself
+  /// is provisioned in the background (as in the replacement policy's
+  /// ~100 s), so what the running job pays is the barrier-group
+  /// reconfiguration + session hand-shake; the joining node's initial
+  /// full-parameter pull is priced on top via `join_time()`.
+  VTime join_provision = VTime::from_seconds(8.0);
 };
 
 /// Per-(worker, step) sampled durations.
@@ -107,6 +115,17 @@ class ClusterModel {
 
   /// Barrier overhead for `n` participating workers.
   [[nodiscard]] VTime sync_overhead(std::size_t n) const noexcept;
+
+  /// Virtual-time cost of integrating a joining node: the re-provision
+  /// hand-off (ClusterSpec::join_provision) plus the node's initial
+  /// full-parameter pull from the PS shards.
+  [[nodiscard]] VTime join_time() const noexcept;
+
+  /// Crash recovery: streaming the last asynchronous snapshot (parameters +
+  /// optimizer velocity, i.e. 2x payload_bytes) back into the PS shards.
+  /// The barrier-group reconfiguration itself is priced by the caller via
+  /// the actuator's resize_time.
+  [[nodiscard]] VTime recovery_restore_time() const noexcept;
 
   /// Expected (jitter-free) worker cycle for a batch: pull + compute + push.
   /// Used to stagger asynchronous worker start-ups over one cycle.

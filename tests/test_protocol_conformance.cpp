@@ -510,6 +510,55 @@ TEST(SwitchingConformance, SspPhaseAfterTheSwitchKeepsTheBoundInBothRuntimes) {
   for (float v : threaded.final_params) ASSERT_TRUE(std::isfinite(v));
 }
 
+TEST(SwitchingConformance, ReactiveTriggerTimingIsSurfacedOnBothRuntimes) {
+  // PR 4 left an asymmetry: the threaded runtime records where a reactive
+  // trigger fired (ThreadedPhaseStats::ended_by_trigger + steps) but the
+  // simulator's PhaseResult did not.  Both sides now surface the firing
+  // point in their own step currency (global minibatch steps vs per-worker
+  // local steps; one BSP round = n sim steps = 1 threaded step).
+  //
+  // Sim side: a stop predicate standing in for a reactive trigger fires at
+  // global step 60; the phase must report kStopRequested AND the step.
+  Fixture fx(1);
+  RecordingSink sink;
+  SimRuntime runtime(ClusterModel(Fixture::cluster_spec(1)), fx.model, fx.eval_model,
+                     fx.split.train, fx.eval_set, sink);
+  std::vector<int> workers(kWorkers);
+  for (std::size_t i = 0; i < kWorkers; ++i) workers[i] = static_cast<int>(i);
+  const StopPredicate at_60 = [](VTime, std::int64_t step) { return step >= 60; };
+  const PhaseResult fired = runtime.run_phase(fx.state, fx.phase(Protocol::kBsp, 200),
+                                              workers, StragglerSchedule(), at_60);
+  EXPECT_EQ(fired.end, PhaseEnd::kStopRequested);
+  EXPECT_EQ(fired.trigger_step, 60);
+  EXPECT_EQ(fired.steps_done, 60);
+  // One BSP round advances n sim steps, so the fire point converts to a
+  // whole number of threaded rounds — the unit the threaded side reports.
+  EXPECT_EQ(fired.trigger_step % static_cast<std::int64_t>(kWorkers), 0);
+
+  // No trigger -> no firing step.
+  const PhaseResult ran_out = runtime.run_phase(fx.state, fx.phase(Protocol::kBsp, 40),
+                                                workers, StragglerSchedule(), nullptr);
+  EXPECT_EQ(ran_out.end, PhaseEnd::kBudgetExhausted);
+  EXPECT_EQ(ran_out.trigger_step, -1);
+
+  // Threaded side: the detector-driven switch reports the firing round the
+  // same way (this is the field the sim now mirrors).
+  const DataSplit split = threaded_data();
+  const Model proto = threaded_model(split);
+  ThreadedTrainConfig cfg;
+  cfg.schedule = SwitchSchedule::reactive(Protocol::kBsp, Protocol::kAsp);
+  cfg.num_workers = kWorkers;
+  cfg.steps_per_worker = 60;
+  cfg.stragglers = StragglerSchedule::permanent(0, 20.0);
+  cfg.detector.window_size = 3;
+  cfg.detector.consecutive_required = 1;
+  const auto threaded = threaded_train(proto, split.train, cfg);
+  ASSERT_GE(threaded.phases.size(), 1u);
+  EXPECT_TRUE(threaded.phases[0].ended_by_trigger);
+  EXPECT_GT(threaded.phases[0].steps, 0);
+  EXPECT_LT(threaded.phases[0].steps, 60);
+}
+
 TEST(ThreadedConformance, BspMathIsIndependentOfShardLayout) {
   // Threaded BSP aggregates in a fixed worker order, so the whole run is
   // deterministic; the shard layout must not change a single bit of it.

@@ -61,7 +61,7 @@ def main():
     baseline = load_benchmarks(args.baseline, args.metric)
     current = load_benchmarks(args.current, args.metric)
 
-    regressions, improvements = [], []
+    regressions, improvements, skipped = [], [], []
     width = max(len(n) for n in sorted(set(baseline) | set(current)))
     print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  {'delta':>8}")
     for name in sorted(set(baseline) | set(current)):
@@ -70,7 +70,11 @@ def main():
             print(f"{name:<{width}}  {'--':>12}  {new:>12.1f}  {'NEW':>8}")
             continue
         if new is None:
-            print(f"{name:<{width}}  {old:>12.1f}  {'--':>12}  {'GONE':>8}")
+            # A baseline entry the candidate run did not produce (narrower
+            # --benchmark_filter, bench compiled out, etc.) is skipped, not
+            # an error: the baseline may legitimately be a superset.
+            skipped.append(name)
+            print(f"{name:<{width}}  {old:>12.1f}  {'--':>12}  {'SKIP':>8}")
             continue
         delta = (new - old) / old if old > 0 else 0.0
         marker = ""
@@ -81,6 +85,9 @@ def main():
             improvements.append((name, delta))
         print(f"{name:<{width}}  {old:>12.1f}  {new:>12.1f}  {delta:>+7.1%}{marker}")
 
+    if skipped:
+        print(f"\n{len(skipped)} baseline benchmark(s) absent from the candidate run "
+              f"were skipped: {', '.join(skipped)}")
     if improvements:
         print(f"\n{len(improvements)} benchmark(s) improved by more than "
               f"{args.threshold:.0%}.")
