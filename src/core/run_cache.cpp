@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/log.h"
@@ -11,9 +12,11 @@
 namespace ss {
 
 namespace {
-// v2 added the elastic-membership counters; v1 entries fail the header
-// check and re-run (the cache-key schema tag invalidates them anyway).
-constexpr const char* kHeader = "ss-runresult-v2";
+// v2 added the elastic-membership counters; v3 adds updates_lost and moves
+// doubles to max_digits10 precision so a cache hit round-trips the result
+// bit for bit.  Older entries fail the header check and re-run (the
+// cache-key schema tag invalidates them anyway).
+constexpr const char* kHeader = "ss-runresult-v3";
 
 std::uint64_t fnv1a(const std::string& s) {
   std::uint64_t h = 1469598103934665603ULL;
@@ -39,7 +42,10 @@ std::string RunCache::path_for(const RunRequest& request) const {
 
 std::string serialize_run_result(const RunResult& r) {
   std::ostringstream os;
-  os.precision(12);
+  // max_digits10: every double round-trips exactly, so a cache hit is
+  // bit-identical to the cold run it replays (the scenario fuzzer's
+  // cache-fidelity invariant).
+  os.precision(std::numeric_limits<double>::max_digits10);
   os << kHeader << "\n";
   os << "diverged " << (r.diverged ? 1 : 0) << "\n";
   os << "converged " << (r.converged ? 1 : 0) << "\n";
@@ -52,6 +58,7 @@ std::string serialize_run_result(const RunResult& r) {
   os << "num_switches " << r.num_switches << "\n";
   os << "num_membership_events " << r.num_membership_events << "\n";
   os << "recovery_overhead_seconds " << r.recovery_overhead_seconds << "\n";
+  os << "updates_lost " << r.updates_lost << "\n";
   os << "mean_staleness " << r.mean_staleness << "\n";
   os << "throughput_images_per_sec " << r.throughput_images_per_sec << "\n";
   os << "final_train_loss " << r.final_train_loss << "\n";
@@ -88,6 +95,7 @@ std::optional<RunResult> parse_run_result(const std::string& text) {
   if (!expect("num_switches", r.num_switches)) return std::nullopt;
   if (!expect("num_membership_events", r.num_membership_events)) return std::nullopt;
   if (!expect("recovery_overhead_seconds", r.recovery_overhead_seconds)) return std::nullopt;
+  if (!expect("updates_lost", r.updates_lost)) return std::nullopt;
   if (!expect("mean_staleness", r.mean_staleness)) return std::nullopt;
   if (!expect("throughput_images_per_sec", r.throughput_images_per_sec)) return std::nullopt;
   if (!expect("final_train_loss", r.final_train_loss)) return std::nullopt;

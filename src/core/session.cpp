@@ -87,6 +87,7 @@ std::string RunRequest::cache_key() const {
      << ";strg=" << stragglers.num_stragglers << "x"
      << stragglers.occurrences << "x" << stragglers.extra_latency_ms << "x"
      << stragglers.max_duration.us() << "x" << stragglers.horizon.us()
+     << ";xstrg=" << straggler_schedule.label()
      << ";codec=" << compression.label() << ";elastic=" << elastic.label()
      << ";joinprov=" << cluster.join_provision.us()
      << ";ascale=" << actuator_time_scale
@@ -176,7 +177,9 @@ RunResult TrainingSession::run() {
 
   Rng straggler_rng = root.fork(300);
   StragglerSchedule straggler_schedule;
-  if (req_.stragglers.num_stragglers > 0)
+  if (!req_.straggler_schedule.events().empty())
+    straggler_schedule = req_.straggler_schedule;
+  else if (req_.stragglers.num_stragglers > 0)
     straggler_schedule = StragglerSchedule::generate(req_.stragglers, n, straggler_rng);
 
   const PiecewiseDecay schedule =
@@ -346,6 +349,7 @@ RunResult TrainingSession::run() {
             pay_membership(actuator.resize_time().scaled(ascale));
             if (req_.elastic.recovery == RecoveryMode::kRestoreSnapshot && snapshot) {
               pay_membership(cluster.recovery_restore_time());
+              result.updates_lost += state.global_step - snapshot->global_step;
               // Parameters + velocity roll back to the snapshot; the global
               // step and versions do not (batches are not replayed, exactly
               // like the threaded runtime's recovery).  Surviving workers

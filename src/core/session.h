@@ -91,6 +91,12 @@ struct RunRequest {
   ActuatorExec actuator = ActuatorExec::kParallel;
   SyncSwitchPolicy policy;
   StragglerScenario stragglers;  ///< zero stragglers = clean run
+  /// Explicit straggler schedule (scenario engine / trace replays).  When
+  /// non-empty it drives the run verbatim and `stragglers` is ignored —
+  /// episode times are virtual-clock points, exactly as run_phase reads
+  /// them.  Empty (the default) keeps the historical behavior: a schedule is
+  /// generated from the `stragglers` scenario and the run seed.
+  StragglerSchedule straggler_schedule;
   CompressionSpec compression;   ///< optional gradient compression on pushes
   /// Elastic membership & fault tolerance (src/elastic/): scripted or
   /// reactive crash/join/leave events, resolved between run_phase segments
@@ -125,7 +131,9 @@ struct RunRequest {
 
 /// Cache-key schema version (the `sv=` tag in cache_key()).  Bump on any
 /// change to the key grammar or to result-affecting semantics.
-inline constexpr int kCacheKeySchemaVersion = 5;
+/// v6: explicit straggler schedules (`xstrg=`), RunResult::updates_lost,
+/// and full-precision (17-digit) result serialization.
+inline constexpr int kCacheKeySchemaVersion = 6;
 
 /// Everything the paper's evaluation reads off one run.
 struct RunResult {
@@ -142,6 +150,11 @@ struct RunResult {
   /// or reactive) and the total virtual time their recoveries cost.
   int num_membership_events = 0;
   double recovery_overhead_seconds = 0.0;
+  /// Global steps of applied work rolled back by crash recoveries (summed
+  /// over crashes; 0 under RecoveryMode::kKeepLive).  The snapshot cadence
+  /// bounds each crash's contribution by one snapshot_interval plus the
+  /// BSP round overshoot — the invariant the scenario fuzzer asserts.
+  std::int64_t updates_lost = 0;
   double mean_staleness = 0.0;
   double throughput_images_per_sec = 0.0;
   double final_train_loss = 0.0;

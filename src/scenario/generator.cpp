@@ -1,0 +1,151 @@
+#include "scenario/generator.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ss {
+
+namespace {
+
+Protocol draw_protocol(Rng& rng, bool sim_only) {
+  // Threaded-supported protocols dominate so most scenarios can be
+  // cross-checked on real threads; DSSP keeps the sim-only family covered.
+  switch (rng.uniform_index(sim_only ? 4 : 3)) {
+    case 0:
+      return Protocol::kBsp;
+    case 1:
+      return Protocol::kAsp;
+    case 2:
+      return Protocol::kSsp;
+    default:
+      return Protocol::kDssp;
+  }
+}
+
+}  // namespace
+
+Scenario generate_scenario(std::uint64_t seed, const ScenarioGenConfig& cfg) {
+  // Decorrelate the scenario stream from the run seed (which is also set to
+  // `seed`): the same constant-splitmix trick the session uses.
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 0x5CEAA105ULL);
+
+  const auto q = static_cast<std::int64_t>(std::max<std::size_t>(cfg.num_workers, 1));
+  const std::int64_t total = ((std::max<std::int64_t>(cfg.total_steps, q) + q - 1) / q) * q;
+  const auto max_slots = static_cast<std::int64_t>(cfg.num_workers + cfg.max_joins);
+
+  Scenario s;
+  s.name = "fuzz-" + std::to_string(seed);
+  s.num_workers = cfg.num_workers;
+  s.total_steps = total;
+  s.seed = seed;
+  s.ssp_staleness_bound = 1 + static_cast<int>(rng.uniform_index(4));
+
+  // --- Switch schedule.  Non-last budgets always leave a tail larger than
+  // the worst accumulated BSP round overshoot (one round can overrun a
+  // segment boundary by up to alive-1 steps), so every planned switch is
+  // paid before the budget runs out and the invariant checker can hold the
+  // run to exactly phases-1 switches.
+  const std::size_t nphases =
+      1 + rng.uniform_index(std::max<std::size_t>(cfg.max_phases, 1));
+  const std::int64_t margin = static_cast<std::int64_t>(nphases + 1) * max_slots + q;
+  std::int64_t avail_quanta = std::max<std::int64_t>((total - margin) / q, 0);
+  std::vector<SwitchPhase> phases;
+  for (std::size_t i = 0; i < nphases; ++i) {
+    SwitchPhase ph;
+    ph.protocol = draw_protocol(rng, cfg.sim_only_protocols);
+    ph.trigger = SwitchTrigger::kStepCount;
+    const bool last = i + 1 == nphases;
+    if (!last) {
+      const auto later = static_cast<std::int64_t>(nphases - i - 2);  // non-last after me
+      const std::int64_t cap = std::min<std::int64_t>(avail_quanta - later, 16);
+      if (cap < 1) {
+        // No room for another switch: this leg becomes the final one.
+        ph.steps = 0;
+        phases.push_back(ph);
+        break;
+      }
+      ph.steps = q * (1 + static_cast<std::int64_t>(
+                              rng.uniform_index(static_cast<std::uint64_t>(cap))));
+      avail_quanta -= ph.steps / q;
+    }
+    if (ph.protocol == Protocol::kSsp || ph.protocol == Protocol::kDssp)
+      ph.ssp_staleness_bound =
+          rng.bernoulli(0.5) ? 1 + static_cast<int>(rng.uniform_index(4)) : -1;
+    phases.push_back(ph);
+  }
+  s.schedule = SwitchSchedule(std::move(phases));
+
+  // --- Membership plan, drawn against a simulated alive set so the
+  // RecoveryCoordinator's dry-run always accepts it: crashes/leaves target
+  // alive slots only and never shrink below the floor; joins claim the next
+  // slot id in order, capped at max_joins.
+  const std::size_t floor = std::max<std::size_t>(cfg.min_workers, 1);
+  std::vector<int> alive;
+  for (std::size_t w = 0; w < cfg.num_workers; ++w) alive.push_back(static_cast<int>(w));
+  std::size_t joins_used = 0;
+  const std::size_t nevents = rng.uniform_index(cfg.max_membership_events + 1);
+  std::vector<MembershipEvent> events;
+  std::int64_t step = 0;
+  for (std::size_t e = 0; e < nevents; ++e) {
+    const std::int64_t quanta_left = (total - q - step) / q;
+    const auto needed = static_cast<std::int64_t>(nevents - e);
+    if (quanta_left < needed) break;
+    const std::int64_t max_jump = quanta_left - (needed - 1);
+    step += q * (1 + static_cast<std::int64_t>(
+                         rng.uniform_index(static_cast<std::uint64_t>(max_jump))));
+
+    const bool can_shrink = alive.size() > floor;
+    const bool can_join = joins_used < cfg.max_joins;
+    if (!can_shrink && !can_join) break;
+    MembershipEvent ev;
+    ev.at_step = step;
+    const std::uint64_t pick = rng.uniform_index(can_shrink && can_join ? 3 : 1);
+    if (!can_shrink || (can_join && pick == 2)) {
+      ev.kind = MembershipEventKind::kJoin;
+      ev.worker = -1;
+      alive.push_back(static_cast<int>(cfg.num_workers + joins_used));
+      ++joins_used;
+    } else {
+      ev.kind = pick == 0 ? MembershipEventKind::kCrash : MembershipEventKind::kLeave;
+      const std::size_t victim = rng.uniform_index(alive.size());
+      ev.worker = alive[victim];
+      alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    events.push_back(ev);
+  }
+  if (!events.empty()) {
+    s.elastic.plan = MembershipPlan(std::move(events));
+    s.elastic.min_workers = cfg.min_workers;
+    s.elastic.recovery =
+        rng.bernoulli(0.75) ? RecoveryMode::kRestoreSnapshot : RecoveryMode::kKeepLive;
+    s.elastic.snapshot_interval =
+        rng.bernoulli(0.4)
+            ? 0
+            : q * (1 + static_cast<std::int64_t>(rng.uniform_index(
+                           static_cast<std::uint64_t>(std::max<std::int64_t>(total / (4 * q), 1)))));
+  }
+
+  // --- Straggler episodes over the virtual clock.  The fuzz workload runs a
+  // few virtual seconds, so episodes drawn in [0, 4) s with sub-3 s
+  // durations land inside (or harmlessly past) the run.
+  const std::size_t nstrag = rng.uniform_index(cfg.max_straggler_events + 1);
+  std::vector<StragglerEvent> strag;
+  for (std::size_t i = 0; i < nstrag; ++i) {
+    StragglerEvent ev;
+    ev.worker = static_cast<int>(rng.uniform_index(cfg.num_workers));
+    ev.start = VTime::from_seconds(rng.uniform(0.0, 4.0));
+    ev.duration = VTime::from_seconds(rng.uniform(0.5, 3.0));
+    ev.slow_factor = rng.uniform(1.2, 3.0);
+    strag.push_back(ev);
+  }
+  std::sort(strag.begin(), strag.end(), [](const StragglerEvent& a, const StragglerEvent& b) {
+    return a.start != b.start ? a.start < b.start : a.worker < b.worker;
+  });
+  s.stragglers = StragglerSchedule(std::move(strag));
+  return s;
+}
+
+}  // namespace ss

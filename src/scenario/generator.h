@@ -1,0 +1,45 @@
+// Seeded random scenario generation: the fuzz half of the scenario engine.
+//
+// generate_scenario(seed) draws a valid composed scenario — switch schedule,
+// straggler schedule, membership plan — deterministically from the seed.
+// Validity is maintained *during* generation, not patched up afterwards:
+// phase budgets always leave enough tail for every switch to be paid,
+// membership events are drawn against a simulated alive set (never a double
+// crash, never below ElasticConfig::min_workers, joins claim sequential
+// slots), and event steps are strictly increasing.  Every step quantity is a
+// multiple of the cluster size, so any scenario whose protocols the threaded
+// runtime supports converts exactly (Scenario::to_threaded_config).
+//
+// The same seed always generates the same scenario (the generator is a pure
+// function of (seed, config)), which is what makes a failing fuzz seed a
+// permanent, replayable regression case: `sync_switch_cli scenario
+// replay --seed=N`.
+#pragma once
+
+#include <cstdint>
+
+#include "scenario/scenario.h"
+
+namespace ss {
+
+/// Knobs bounding the drawn scenarios.  Defaults match the fuzz corpus the
+/// CI suite runs; the CLI exposes workers/steps.
+struct ScenarioGenConfig {
+  std::size_t num_workers = 4;
+  std::int64_t total_steps = 256;  ///< rounded up to a num_workers multiple
+  std::size_t min_workers = 2;     ///< membership floor (crash/leave keep >= this)
+  std::size_t max_phases = 3;
+  std::size_t max_membership_events = 3;
+  std::size_t max_joins = 2;
+  std::size_t max_straggler_events = 2;
+  /// Allow DSSP legs (simulator-only; such scenarios fail
+  /// threaded_compatible() and are checked on the sim runtime alone).
+  bool sim_only_protocols = true;
+};
+
+/// Draw the scenario for `seed`.  Deterministic; throws nothing for any
+/// seed — every drawn scenario constructs valid schedule/plan objects.
+[[nodiscard]] Scenario generate_scenario(std::uint64_t seed,
+                                         const ScenarioGenConfig& cfg = {});
+
+}  // namespace ss

@@ -1,0 +1,83 @@
+// Conformance invariants over composed scenarios.
+//
+// check_scenario() runs a Scenario on the simulator (and, on request, on the
+// real-thread runtime) and asserts the cross-cutting contracts the unit
+// suites prove piecewise — on arbitrary generated or traced compositions of
+// switching, stragglers, and elastic membership:
+//
+// Simulator:
+//  * the run terminates without divergence, with
+//    total_steps <= steps_completed <= total_steps + max worker slots
+//    (a BSP round may overshoot a budget boundary by at most alive-1);
+//  * synchronous-protocol updates carry zero staleness; SSP/DSSP per-push
+//    version staleness respects the bound implied by the local-clock gap
+//    gate; all-synchronous schedules report mean_staleness == 0;
+//  * exactly one switch per planned phase boundary whenever the tail margin
+//    covers the worst accumulated round overshoot (never more);
+//  * every scripted membership event resolves exactly once;
+//  * crash loss (RunResult::updates_lost) is zero under kKeepLive, exactly
+//    the pre-crash progress when snapshot_interval == 0 (only the run-start
+//    snapshot exists), and bounded by one snapshot interval plus the round
+//    overshoot per crash otherwise;
+//  * replaying the same scenario reproduces the RunResult bit for bit, with
+//    or without an attached observer (determinism + observer purity);
+//  * the run-cache text codec round-trips the result bit for bit.
+//
+// Threaded (threaded-compatible scenarios only):
+//  * exact update accounting: BSP contributes one aggregated update per
+//    round, async protocols one per worker step, summed over each worker
+//    slot's [birth, death) interval across membership events;
+//  * exact wire accounting: every worker step pushes one dense gradient;
+//  * per-phase: BSP phases report zero staleness and zero clock gap; SSP
+//    phases respect their (possibly per-phase) staleness bound;
+//  * every scripted membership event resolves exactly once, crash loss is
+//    exact when snapshot_interval == 0 and bounded by pre-crash progress
+//    otherwise (the async snapshotter may lag its cadence);
+//  * final parameters are finite.
+//
+// Violations come back as human-readable strings (empty = scenario passed);
+// the CLI prints them and the fuzz suites assert emptiness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "scenario/scenario.h"
+
+namespace ss {
+
+struct CheckOptions {
+  /// Re-run the scenario (without the observer) and require a bit-identical
+  /// RunResult.  Roughly doubles the cost of a check.
+  bool check_determinism = true;
+  /// Serialize + parse the RunResult through the run-cache text codec and
+  /// require bit-identity (what a warm cache hit replays).
+  bool check_cache_roundtrip = true;
+  /// Also execute threaded-compatible scenarios on the real-thread runtime
+  /// and check the exact accounting invariants.  Costs real wall time;
+  /// ignored when the scenario is not threaded-compatible.
+  bool run_threaded = false;
+};
+
+struct ScenarioReport {
+  std::string label;                    ///< Scenario::label() of the checked scenario
+  std::vector<std::string> violations;  ///< empty = all invariants held
+  RunResult result;                     ///< the (first) simulator run
+  bool threaded_ran = false;            ///< the threaded cross-check executed
+
+  [[nodiscard]] bool passed() const noexcept { return violations.empty(); }
+  /// "PASS <label>" or "FAIL <label>" followed by one line per violation.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Run `s` and check every applicable invariant.  Never throws for a
+/// well-formed scenario: runtime exceptions are reported as violations.
+[[nodiscard]] ScenarioReport check_scenario(const Scenario& s, const CheckOptions& opts = {});
+
+/// Names of the RunResult fields on which `a` and `b` differ bitwise
+/// (doubles compared by bit pattern, so NaNs compare equal to themselves).
+/// Empty = bit-identical.
+[[nodiscard]] std::vector<std::string> diff_run_results(const RunResult& a, const RunResult& b);
+
+}  // namespace ss

@@ -1,0 +1,107 @@
+#include "scenario/scenario.h"
+
+#include <sstream>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ss {
+
+std::string Scenario::label() const {
+  std::ostringstream os;
+  os << name << "|n=" << num_workers << "|T=" << total_steps
+     << "|sched=" << schedule.label() << "|strg=" << stragglers.label()
+     << "|elastic=" << elastic.label() << "|sspb=" << ssp_staleness_bound
+     << "|seed=" << seed;
+  return os.str();
+}
+
+RunRequest Scenario::to_run_request() const {
+  // The standard tiny fuzz workload (the determinism suite's fixture): a
+  // linear model on easy 3-class synthetic data with ms-scale cluster
+  // timings, so one scenario run costs tens of milliseconds and hundreds of
+  // seeds fit in a CI job.
+  RunRequest req;
+  req.workload.arch = ModelArch::kLinear;
+  req.workload.data = SyntheticSpec::cifar10_like();
+  req.workload.data.num_classes = 3;
+  req.workload.data.feature_dim = 16;
+  req.workload.data.train_size = 1024;
+  req.workload.data.test_size = 512;
+  req.workload.data.class_separation = 1.2;
+  req.workload.total_steps = total_steps;
+  req.workload.hyper.batch_size = 16;
+  req.workload.hyper.learning_rate = 0.05;
+  req.workload.hyper.momentum = 0.9;
+  req.workload.eval_interval = 32;
+
+  req.cluster.num_workers = num_workers;
+  req.cluster.compute_per_batch = VTime::from_ms(20.0);
+  req.cluster.reference_batch = 16;
+  req.cluster.compute_jitter_sigma = 0.1;
+  req.cluster.net_latency = VTime::from_ms(1.0);
+  req.cluster.payload_bytes = 1000.0;
+  req.cluster.bandwidth_bps = 1e8;
+  req.cluster.sync_base = VTime::from_ms(20.0);
+  req.cluster.sync_quad = VTime::from_ms(0.5);
+
+  // Always an explicit schedule: an empty one would fall back to the legacy
+  // two-phase policy fields, which a scenario must never depend on.
+  req.policy.schedule = schedule.empty() ? SwitchSchedule::single(Protocol::kBsp) : schedule;
+  req.policy.ssp_staleness_bound = ssp_staleness_bound;
+  req.straggler_schedule = stragglers;
+  req.elastic = elastic;
+  req.actuator_time_scale = 0.01;
+  req.seed = seed;
+  return req;
+}
+
+bool Scenario::threaded_compatible() const {
+  const auto n = static_cast<std::int64_t>(num_workers);
+  if (n <= 0 || total_steps % n != 0) return false;
+  for (const SwitchPhase& p : schedule.phases()) {
+    if (!threaded_supported(p.protocol)) return false;
+    if (p.trigger != SwitchTrigger::kStepCount) return false;
+    if (p.steps % n != 0) return false;
+  }
+  if (elastic.plan.reactive()) return false;
+  for (const MembershipEvent& e : elastic.plan.events())
+    if (e.at_step % n != 0) return false;
+  if (elastic.snapshot_interval % n != 0) return false;
+  return true;
+}
+
+ThreadedTrainConfig Scenario::to_threaded_config() const {
+  if (!threaded_compatible())
+    throw ConfigError("Scenario: '" + name +
+                      "' is not threaded-compatible (sim-only protocol, reactive "
+                      "trigger/membership, or step quantities not aligned to the "
+                      "cluster size)");
+  const auto n = static_cast<std::int64_t>(num_workers);
+  ThreadedTrainConfig cfg;
+  cfg.num_workers = num_workers;
+  cfg.steps_per_worker = total_steps / n;
+  cfg.batch_size = 16;
+  cfg.lr = 0.05;
+  cfg.momentum = 0.9;
+  cfg.seed = seed;
+  cfg.ssp_staleness_bound = ssp_staleness_bound;
+
+  if (!schedule.empty()) {
+    std::vector<SwitchPhase> local = schedule.phases();
+    for (SwitchPhase& p : local) p.steps /= n;
+    cfg.schedule = SwitchSchedule(std::move(local));
+    cfg.protocol = cfg.schedule.phase(0).protocol;
+  } else {
+    cfg.protocol = Protocol::kBsp;
+  }
+
+  cfg.elastic = elastic;
+  std::vector<MembershipEvent> events = elastic.plan.events();
+  for (MembershipEvent& e : events) e.at_step /= n;
+  cfg.elastic.plan = events.empty() ? MembershipPlan() : MembershipPlan(std::move(events));
+  cfg.elastic.snapshot_interval = elastic.snapshot_interval / n;
+  return cfg;
+}
+
+}  // namespace ss

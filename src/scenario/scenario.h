@@ -1,0 +1,72 @@
+// Composed scenarios: one value object tying together everything PRs 3-5
+// made scriptable — a SwitchSchedule, a StragglerSchedule, and an
+// ElasticConfig — plus the cluster size, step budget, and seed needed to
+// run it.  Scenarios are the currency of the scenario engine:
+//
+//  * generator.h draws valid random ones from a seed (the fuzz corpus),
+//  * trace_replay.h parses them from CSV/JSON trace files,
+//  * invariants.h runs them on the runtimes and asserts the cross-cutting
+//    contracts the conformance suites prove piecewise.
+//
+// Step currency: Scenario quantities are in SIMULATOR units — global
+// minibatch steps for `total_steps`, schedule legs, and membership
+// `at_step`; virtual-clock VTime for straggler episodes.  The threaded
+// conversion (`to_threaded_config`) divides every step quantity by
+// `num_workers` (one threaded local step = n sim minibatch steps), which is
+// exact when the scenario is *threaded-aligned*: every step quantity a
+// multiple of the cluster size.  The generator only emits aligned
+// scenarios, so any generated scenario whose protocols the threaded runtime
+// supports can be cross-checked on real threads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/session.h"
+#include "elastic/membership_plan.h"
+#include "ps/switch_schedule.h"
+#include "ps/threaded_runtime.h"
+#include "sim/straggler.h"
+
+namespace ss {
+
+/// One composed scenario, runnable on either runtime.
+struct Scenario {
+  std::string name = "adhoc";
+  std::size_t num_workers = 4;
+  std::int64_t total_steps = 256;  ///< sim global minibatch steps
+  /// Protocol plan.  Empty means "BSP throughout" (to_run_request installs
+  /// an explicit single-phase schedule so the legacy two-phase fields can
+  /// never leak into a scenario run).
+  SwitchSchedule schedule;
+  StragglerSchedule stragglers;  ///< virtual-clock slowdown episodes
+  ElasticConfig elastic;         ///< empty plan = fixed membership
+  int ssp_staleness_bound = 3;   ///< default bound for SSP/DSSP legs
+  std::uint64_t seed = 1;
+
+  /// Human-auditable one-line description (cluster, budget, schedule,
+  /// straggler, and membership labels plus the seed).  The authoritative
+  /// injectivity carrier is to_run_request().cache_key(), which embeds the
+  /// same labels plus the full workload description.
+  [[nodiscard]] std::string label() const;
+
+  /// The simulator form: the standard tiny fuzz workload (linear model on
+  /// 3-class synthetic data, ms-scale cluster timings) carrying this
+  /// scenario's schedule, stragglers, membership plan, and seed.  Runs in
+  /// tens of milliseconds, deterministically.
+  [[nodiscard]] RunRequest to_run_request() const;
+
+  /// True when the threaded runtime can execute this scenario: every phase
+  /// a threaded-supported protocol (BSP/ASP/SSP) with a step trigger,
+  /// membership scripted (not reactive), and every step quantity
+  /// num_workers-aligned so the sim -> local step conversion is exact.
+  [[nodiscard]] bool threaded_compatible() const;
+
+  /// The threaded form (step quantities divided by num_workers; straggler
+  /// episodes are sim-only and not carried over — the threaded invariants
+  /// are timing-independent update/wire accounting).  Throws ConfigError
+  /// when !threaded_compatible().
+  [[nodiscard]] ThreadedTrainConfig to_threaded_config() const;
+};
+
+}  // namespace ss

@@ -1,6 +1,8 @@
 #include "sim/straggler.h"
 
 #include <algorithm>
+#include <limits>
+#include <sstream>
 
 #include "common/error.h"
 
@@ -95,6 +97,19 @@ StragglerSchedule StragglerSchedule::generate(const StragglerScenario& scenario,
   std::sort(events.begin(), events.end(),
             [](const StragglerEvent& a, const StragglerEvent& b) { return a.start < b.start; });
   return StragglerSchedule(std::move(events));
+}
+
+std::string StragglerSchedule::label() const {
+  if (events_.empty()) return "-";
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const StragglerEvent& e = events_[i];
+    if (i > 0) os << "+";
+    os << "w" << e.worker << "@" << e.start.us() << "+" << e.duration.us() << "x"
+       << e.slow_factor;
+  }
+  return os.str();
 }
 
 double StragglerSchedule::slow_factor(int worker, VTime t) const noexcept {

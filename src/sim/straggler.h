@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -81,6 +82,13 @@ class StragglerSchedule {
   [[nodiscard]] VTime next_clear_time(VTime t) const noexcept;
 
   [[nodiscard]] const std::vector<StragglerEvent>& events() const noexcept { return events_; }
+
+  /// Canonical string covering every field that affects the result; feeds
+  /// RunRequest::cache_key() for explicitly-scheduled runs (the scenario
+  /// engine and traces).  "-" when empty.  Times are printed in integral
+  /// microseconds and the factor at full precision, so two schedules share a
+  /// label only when they are behaviorally identical.
+  [[nodiscard]] std::string label() const;
 
   /// Latency-to-slowdown conversion shared by scenario generation: a step's
   /// messages are each delayed by `extra_latency`, adding roughly

@@ -1,0 +1,175 @@
+// Scenario engine: seeded-random scenarios fuzzed against the conformance
+// invariants (src/scenario/).
+//
+//  * a fixed seed corpus runs through check_scenario() on the simulator with
+//    determinism + cache-codec round-trip checks on, and a bounded subset
+//    additionally cross-checks exact update/wire accounting on the threaded
+//    runtime;
+//  * the generator only emits valid scenarios (schedule/plan construction
+//    and feasibility over a wide seed range);
+//  * generation is a pure function of the seed, and distinct seeds have
+//    distinct cache keys (the seed is part of the key), so a failing fuzz
+//    seed is a permanent, replayable regression case;
+//  * a cache hit replays a scenario's RunResult bit for bit through the
+//    on-disk run cache (the max_digits10 text codec).
+//
+// A failing seed reproduces outside the suite as:
+//   sync_switch_cli scenario replay --seed=N [--threaded]
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/run_cache.h"
+#include "scenario/generator.h"
+#include "scenario/invariants.h"
+#include "scenario/scenario.h"
+
+namespace ss {
+namespace {
+
+std::string replay_hint(std::uint64_t seed, bool threaded) {
+  return "reproduce: sync_switch_cli scenario replay --seed=" + std::to_string(seed) +
+         (threaded ? " --threaded" : "");
+}
+
+// ---------------------------------------------------------------------------
+// The CI corpus: simulator invariants (determinism + codec round-trip
+// included) on every seed, threaded cross-check on a bounded subset.
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioFuzz, SimCorpusUpholdsAllInvariants) {
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const Scenario s = generate_scenario(seed);
+    const ScenarioReport rep = check_scenario(s);
+    EXPECT_TRUE(rep.passed()) << rep.summary() << "\n" << replay_hint(seed, false);
+  }
+}
+
+TEST(ScenarioFuzz, ThreadedSubsetUpholdsExactAccounting) {
+  CheckOptions opts;
+  opts.check_determinism = false;  // covered by the sim corpus above
+  opts.check_cache_roundtrip = false;
+  opts.run_threaded = true;
+  int threaded_runs = 0;
+  for (std::uint64_t seed = 1; seed <= 40 && threaded_runs < 4; ++seed) {
+    const Scenario s = generate_scenario(seed);
+    if (!s.threaded_compatible()) continue;
+    ++threaded_runs;
+    const ScenarioReport rep = check_scenario(s, opts);
+    EXPECT_TRUE(rep.threaded_ran);
+    EXPECT_TRUE(rep.passed()) << rep.summary() << "\n" << replay_hint(seed, true);
+  }
+  // The generator draws mostly threaded-supported protocols, so a window of
+  // 40 seeds always contains cross-checkable scenarios.
+  EXPECT_EQ(threaded_runs, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Generator validity: every seed constructs, deterministically, within the
+// configured bounds.  Construct-only, so a wide range stays cheap.
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioGenerator, WideSeedRangeConstructsValidScenarios) {
+  const ScenarioGenConfig cfg;
+  const auto q = static_cast<std::int64_t>(cfg.num_workers);
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const Scenario s = generate_scenario(seed);  // schedule/plan ctors validate
+    EXPECT_EQ(s.seed, seed);
+    EXPECT_EQ(s.num_workers, cfg.num_workers);
+    EXPECT_EQ(s.total_steps % q, 0) << "seed " << seed;
+
+    // Step quantities are threaded-aligned multiples of the cluster size.
+    for (const SwitchPhase& p : s.schedule.phases())
+      EXPECT_EQ(p.steps % q, 0) << "seed " << seed;
+    std::size_t alive = cfg.num_workers;
+    std::int64_t prev_at = 0;
+    for (const MembershipEvent& e : s.elastic.plan.events()) {
+      EXPECT_EQ(e.at_step % q, 0) << "seed " << seed;
+      EXPECT_GT(e.at_step, prev_at) << "seed " << seed;  // strictly increasing
+      EXPECT_LT(e.at_step, s.total_steps) << "seed " << seed;
+      prev_at = e.at_step;
+      if (e.kind == MembershipEventKind::kJoin) {
+        ++alive;
+      } else {
+        --alive;
+        EXPECT_GE(alive, cfg.min_workers) << "seed " << seed;  // floor respected
+      }
+    }
+    EXPECT_LE(s.elastic.plan.join_count(), cfg.max_joins);
+    for (const StragglerEvent& e : s.stragglers.events()) {
+      EXPECT_GE(e.worker, 0);
+      EXPECT_LT(static_cast<std::size_t>(e.worker), cfg.num_workers);
+      EXPECT_GT(e.slow_factor, 1.0) << "seed " << seed;
+    }
+
+    // Pure function of the seed: regenerating gives the identical scenario.
+    EXPECT_EQ(generate_scenario(seed).label(), s.label()) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cache-key injectivity: distinct seeds -> distinct scenarios -> distinct
+// cache keys (the seed feeds RunRequest::seed, which is part of the key, and
+// the schedule/straggler/membership labels key the rest).
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioFuzz, CacheKeysAreInjectiveInTheSeed) {
+  std::set<std::string> labels, keys;
+  constexpr std::uint64_t kSeeds = 200;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const Scenario s = generate_scenario(seed);
+    labels.insert(s.label());
+    keys.insert(s.to_run_request().cache_key());
+  }
+  EXPECT_EQ(labels.size(), kSeeds);
+  EXPECT_EQ(keys.size(), kSeeds);
+}
+
+TEST(ScenarioFuzz, CacheKeySeparatesNameAndSeedAndShape) {
+  Scenario a = generate_scenario(3);
+  Scenario b = a;
+  b.seed += 1;
+  EXPECT_NE(a.to_run_request().cache_key(), b.to_run_request().cache_key());
+
+  Scenario c = a;
+  c.total_steps += 4;
+  EXPECT_NE(a.to_run_request().cache_key(), c.to_run_request().cache_key());
+
+  // The name is presentation only — it must NOT shift the cache key (two
+  // identically-shaped scenarios share cached results).
+  Scenario d = a;
+  d.name = "renamed";
+  EXPECT_EQ(a.to_run_request().cache_key(), d.to_run_request().cache_key());
+  EXPECT_NE(a.label(), d.label());  // but the human label does differ
+}
+
+// ---------------------------------------------------------------------------
+// Warm cache hits replay the RunResult bit for bit through the on-disk text
+// codec (max_digits10 serialization).
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioFuzz, RunCacheHitIsBitIdenticalToColdRun) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "ss_scenario_cache_test").string();
+  std::filesystem::remove_all(dir);
+  const RunCache cache(dir);
+
+  const Scenario s = generate_scenario(5);
+  const RunRequest req = s.to_run_request();
+  const RunResult cold = cache.run_cached(req);   // miss: runs + stores
+  const RunResult warm = cache.run_cached(req);   // hit: parses the stored text
+
+  const std::vector<std::string> diff = diff_run_results(cold, warm);
+  std::string joined;
+  for (const std::string& f : diff) joined += f + " ";
+  EXPECT_TRUE(diff.empty()) << "cache hit differs in: " << joined;
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ss

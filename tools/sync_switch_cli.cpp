@@ -13,13 +13,24 @@
 //
 // Example: the paper's P1 policy on an 8-node cluster:
 //   sync_switch_cli --workers 8 --policy switch --fraction 0.0625
+//
+// Scenario engine (src/scenario/): trace-driven and seeded-random workloads
+// checked against the conformance invariants:
+//   sync_switch_cli scenario gen --seed=7 --out spot.csv
+//   sync_switch_cli scenario replay --seed=7 [--threaded]
+//   sync_switch_cli scenario replay --file spot.csv
+//   sync_switch_cli scenario fuzz --seeds=200 [--threaded-every=25]
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "common/log.h"
 #include "core/session.h"
 #include "ps/trace.h"
+#include "scenario/generator.h"
+#include "scenario/invariants.h"
+#include "scenario/trace_replay.h"
 
 using namespace ss;
 
@@ -28,6 +39,7 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " [options]\n"
+      << "       " << argv0 << " scenario gen|replay|fuzz [options]\n"
       << "  --workers N        cluster size (default 8)\n"
       << "  --steps S          minibatch-step budget (default 2048)\n"
       << "  --batch B          per-worker batch size (default 64)\n"
@@ -46,9 +58,147 @@ namespace {
   std::exit(2);
 }
 
+[[noreturn]] void scenario_usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " scenario <subcommand> [options]\n"
+      << "subcommands:\n"
+      << "  gen      generate a seeded scenario and print it as a trace file\n"
+      << "  replay   run one scenario (seeded or from a trace) against the\n"
+      << "           conformance invariants\n"
+      << "  fuzz     check a whole seed range, printing failing seeds as\n"
+      << "           copy-pasteable replay commands\n"
+      << "options (flags take '--flag value' or '--flag=value'):\n"
+      << "  --seed N            scenario seed (gen/replay; default 1)\n"
+      << "  --file TRACE        replay a CSV/JSON trace file instead of a seed\n"
+      << "  --out FILE          gen: write the trace here instead of stdout\n"
+      << "  --json              gen: emit the JSON trace form (default CSV)\n"
+      << "  --threaded          replay: also cross-check on the threaded runtime\n"
+      << "  --seeds N           fuzz: number of seeds to check (default 200)\n"
+      << "  --start K           fuzz: first seed (default 1)\n"
+      << "  --threaded-every M  fuzz: threaded cross-check every M-th seed\n"
+      << "                      (default 25; 0 = simulator only)\n"
+      << "  --workers N         generator cluster size (default 4)\n"
+      << "  --steps S           generator step budget (default 256)\n"
+      << "  --verbose           info-level logging\n";
+  std::exit(2);
+}
+
+void print_scenario_result(const ScenarioReport& rep) {
+  const RunResult& r = rep.result;
+  std::cout << "  steps " << r.steps_completed << ", switches " << r.num_switches
+            << ", membership events " << r.num_membership_events << ", updates lost "
+            << r.updates_lost << "\n  accuracy " << r.final_accuracy << ", staleness "
+            << r.mean_staleness << ", virtual time " << r.train_time_seconds << " s";
+  if (rep.threaded_ran) std::cout << " (threaded cross-check ran)";
+  std::cout << "\n";
+}
+
+int scenario_main(int argc, char** argv) {
+  if (argc < 3) scenario_usage(argv[0]);
+  const std::string sub = argv[2];
+  if (sub != "gen" && sub != "replay" && sub != "fuzz") scenario_usage(argv[0]);
+
+  std::uint64_t seed = 1, seeds = 200, start = 1, threaded_every = 25;
+  std::string file, out;
+  bool json = false, threaded = false;
+  ScenarioGenConfig gen_cfg;
+
+  for (int i = 3; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.rfind("--", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg = arg.substr(0, eq);
+        has_inline = true;
+      }
+    }
+    auto value = [&]() -> std::string {
+      if (has_inline) return inline_value;
+      if (i + 1 >= argc) scenario_usage(argv[0]);
+      return argv[++i];
+    };
+    try {
+      if (arg == "--seed") seed = std::stoull(value());
+      else if (arg == "--file") file = value();
+      else if (arg == "--out") out = value();
+      else if (arg == "--json") json = true;
+      else if (arg == "--threaded") threaded = true;
+      else if (arg == "--seeds") seeds = std::stoull(value());
+      else if (arg == "--start") start = std::stoull(value());
+      else if (arg == "--threaded-every") threaded_every = std::stoull(value());
+      else if (arg == "--workers") gen_cfg.num_workers = std::stoul(value());
+      else if (arg == "--steps") gen_cfg.total_steps = std::stoll(value());
+      else if (arg == "--verbose") set_log_level(LogLevel::kInfo);
+      else scenario_usage(argv[0]);
+    } catch (const std::invalid_argument&) {
+      scenario_usage(argv[0]);
+    }
+  }
+
+  try {
+    if (sub == "gen") {
+      const Scenario s = generate_scenario(seed, gen_cfg);
+      const std::string text = json ? write_trace_json(s) : write_trace_csv(s);
+      if (out.empty()) {
+        std::cout << text;
+      } else {
+        std::ofstream f(out, std::ios::trunc);
+        if (!f) {
+          std::cerr << "error: cannot write " << out << "\n";
+          return 1;
+        }
+        f << text;
+        std::cout << "wrote " << out << "\n";
+      }
+      std::cerr << "scenario: " << s.label() << "\n";
+      return 0;
+    }
+
+    if (sub == "replay") {
+      const Scenario s = file.empty() ? generate_scenario(seed, gen_cfg) : load_trace_file(file);
+      CheckOptions opts;
+      opts.run_threaded = threaded;
+      const ScenarioReport rep = check_scenario(s, opts);
+      std::cout << rep.summary() << "\n";
+      print_scenario_result(rep);
+      return rep.passed() ? 0 : 1;
+    }
+
+    // fuzz
+    std::uint64_t failures = 0, threaded_runs = 0;
+    for (std::uint64_t k = 0; k < seeds; ++k) {
+      const std::uint64_t sd = start + k;
+      CheckOptions opts;
+      opts.run_threaded = threaded_every > 0 && k % threaded_every == 0;
+      const ScenarioReport rep = check_scenario(generate_scenario(sd, gen_cfg), opts);
+      if (rep.threaded_ran) ++threaded_runs;
+      if (!rep.passed()) {
+        ++failures;
+        std::cout << rep.summary() << "\n  reproduce: " << argv[0]
+                  << " scenario replay --seed=" << sd;
+        if (rep.threaded_ran) std::cout << " --threaded";
+        std::cout << "\n";
+      } else if ((k + 1) % 25 == 0 || k + 1 == seeds) {
+        std::cout << "checked " << (k + 1) << "/" << seeds << " seeds, " << failures
+                  << " failing\n";
+      }
+    }
+    std::cout << "fuzz: " << seeds << " seeds (" << threaded_runs << " with threaded cross-check), "
+              << failures << " failing\n";
+    return failures == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "scenario") return scenario_main(argc, argv);
   RunRequest req;
   req.workload.arch = ModelArch::kResNet32Lite;
   req.workload.data = SyntheticSpec::cifar10_like();
