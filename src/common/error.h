@@ -39,4 +39,11 @@ class CheckpointError : public std::runtime_error {
   explicit CheckpointError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Transport-layer failure: malformed wire frame, socket error, peer
+/// disconnect, or a protocol violation between worker and PS server.
+class NetError : public std::runtime_error {
+ public:
+  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
 }  // namespace ss

@@ -1,0 +1,31 @@
+// Checked command-line value parsing.
+//
+// The raw std::sto* family is the wrong tool for CLI flags: it accepts
+// trailing junk ("8x" parses as 8), silently wraps negatives into unsigned
+// types, and throws std::invalid_argument/std::out_of_range with useless
+// messages ("stoull") that read like a crash.  These helpers parse the full
+// string with std::from_chars and throw ConfigError carrying the flag name
+// and the offending value — "--workers: expected integer, got 'eight'" — so
+// an entry point can report it and print usage instead of aborting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ss {
+
+/// Parse a non-negative integer flag value.  Throws ConfigError
+/// ("<flag>: expected integer, got '<value>'") on empty input, sign,
+/// trailing junk, or overflow.
+[[nodiscard]] std::uint64_t parse_u64(const std::string& flag, const std::string& value);
+
+/// Parse a (possibly negative) integer flag value.  Same error contract.
+[[nodiscard]] std::int64_t parse_i64(const std::string& flag, const std::string& value);
+
+/// parse_i64 narrowed to int; out-of-range values are rejected, not wrapped.
+[[nodiscard]] int parse_int(const std::string& flag, const std::string& value);
+
+/// Parse a floating-point flag value ("<flag>: expected number, got ...").
+[[nodiscard]] double parse_double(const std::string& flag, const std::string& value);
+
+}  // namespace ss

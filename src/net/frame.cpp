@@ -1,0 +1,384 @@
+#include "net/frame.h"
+
+#include <cstring>
+#include <type_traits>
+
+#include "common/error.h"
+
+namespace ss {
+
+namespace {
+
+/// Append-only little-endian payload writer (the checkpoint codec's `put`
+/// idiom, shared by every message encoder).
+class Writer {
+ public:
+  void raw(const void* src, std::size_t n) {
+    if (n == 0) return;  // empty vectors hand over a null data()
+    const auto* p = static_cast<const std::uint8_t*>(src);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+  template <typename T>
+  void scalar(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    raw(&v, sizeof(v));
+  }
+  template <typename T>
+  void vec(const std::vector<T>& v) {
+    scalar(static_cast<std::uint64_t>(v.size()));
+    raw(v.data(), v.size() * sizeof(T));
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Strictly-validating payload reader: every read is bounds-checked, vector
+/// counts are validated against the bytes actually present before resizing,
+/// and `done()` rejects trailing bytes — a frame must decode exactly.
+class Reader {
+ public:
+  Reader(std::span<const std::uint8_t> bytes, const char* what)
+      : p_(bytes.data()), remaining_(bytes.size()), what_(what) {}
+
+  void raw(void* dst, std::size_t n) {
+    if (remaining_ < n) throw NetError(std::string(what_) + ": truncated payload");
+    if (n == 0) return;
+    std::memcpy(dst, p_, n);
+    p_ += n;
+    remaining_ -= n;
+  }
+  template <typename T>
+  T scalar() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v{};
+    raw(&v, sizeof(v));
+    return v;
+  }
+  template <typename T>
+  void vec(std::vector<T>& out) {
+    const auto count = scalar<std::uint64_t>();
+    if (count > remaining_ / sizeof(T))
+      throw NetError(std::string(what_) + ": truncated payload");
+    out.resize(count);
+    raw(out.data(), count * sizeof(T));
+  }
+  void done() const {
+    if (remaining_ != 0) throw NetError(std::string(what_) + ": trailing bytes");
+  }
+
+ private:
+  const std::uint8_t* p_;
+  std::size_t remaining_;
+  const char* what_;
+};
+
+bool known_type(std::uint16_t t) {
+  return t >= static_cast<std::uint16_t>(MsgType::kHello) &&
+         t <= static_cast<std::uint16_t>(MsgType::kError);
+}
+
+Frame finish(MsgType type, Writer&& w) { return Frame{type, std::move(w).take()}; }
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  Writer w;
+  w.scalar(kFrameMagic);
+  w.scalar(kFrameVersion);
+  w.scalar(static_cast<std::uint16_t>(frame.type));
+  w.scalar(static_cast<std::uint64_t>(frame.payload.size()));
+  w.raw(frame.payload.data(), frame.payload.size());
+  return std::move(w).take();
+}
+
+std::uint64_t decode_frame_header(std::span<const std::uint8_t> header, MsgType& type) {
+  if (header.size() != kFrameHeaderBytes) throw NetError("Frame: truncated header");
+  Reader r(header, "Frame header");
+  if (r.scalar<std::uint32_t>() != kFrameMagic) throw NetError("Frame: bad magic");
+  const auto version = r.scalar<std::uint16_t>();
+  if (version != kFrameVersion)
+    throw NetError("Frame: unsupported protocol version " + std::to_string(version));
+  const auto raw_type = r.scalar<std::uint16_t>();
+  if (!known_type(raw_type))
+    throw NetError("Frame: unknown message type " + std::to_string(raw_type));
+  type = static_cast<MsgType>(raw_type);
+  const auto payload_size = r.scalar<std::uint64_t>();
+  if (payload_size > kMaxFramePayload)
+    throw NetError("Frame: payload length " + std::to_string(payload_size) +
+                   " exceeds the " + std::to_string(kMaxFramePayload) + "-byte cap");
+  return payload_size;
+}
+
+Frame decode_frame(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kFrameHeaderBytes) throw NetError("Frame: truncated header");
+  Frame frame;
+  const std::uint64_t payload_size =
+      decode_frame_header(bytes.first(kFrameHeaderBytes), frame.type);
+  const std::span<const std::uint8_t> payload = bytes.subspan(kFrameHeaderBytes);
+  if (payload.size() != payload_size)
+    throw NetError(payload.size() < payload_size ? "Frame: truncated payload"
+                                                 : "Frame: trailing bytes");
+  frame.payload.assign(payload.begin(), payload.end());
+  return frame;
+}
+
+Frame make_empty_frame(MsgType type) { return Frame{type, {}}; }
+
+// ------------------------------------------------------------------ Hello
+
+Frame HelloMsg::encode() const {
+  Writer w;
+  w.scalar(protocol_version);
+  return finish(MsgType::kHello, std::move(w));
+}
+
+HelloMsg HelloMsg::decode(std::span<const std::uint8_t> payload) {
+  Reader r(payload, "Hello");
+  HelloMsg m;
+  m.protocol_version = r.scalar<std::uint16_t>();
+  r.done();
+  return m;
+}
+
+// ------------------------------------------------------------- Assignment
+
+Frame AssignmentMsg::encode() const {
+  Writer w;
+  w.scalar(worker);
+  w.scalar(num_workers);
+  w.scalar(num_params);
+  w.scalar(num_shards);
+  w.scalar(steps_per_worker);
+  w.scalar(batch_size);
+  w.scalar(lr);
+  w.scalar(momentum);
+  w.scalar(seed);
+  w.scalar(static_cast<std::uint8_t>(arch));
+  w.scalar(static_cast<std::uint8_t>(compression.kind));
+  w.scalar(compression.topk_fraction);
+  w.scalar(static_cast<std::int32_t>(compression.qsgd_levels));
+  w.scalar(compression.terngrad_clip_sigma);
+  w.scalar(static_cast<std::int32_t>(data.num_classes));
+  w.scalar(static_cast<std::uint64_t>(data.feature_dim));
+  w.scalar(static_cast<std::uint64_t>(data.train_size));
+  w.scalar(static_cast<std::uint64_t>(data.test_size));
+  w.scalar(static_cast<std::int32_t>(data.modes_per_class));
+  w.scalar(data.class_separation);
+  w.scalar(data.within_stddev);
+  w.scalar(data.label_noise);
+  w.scalar(data.seed);
+  return finish(MsgType::kAssignment, std::move(w));
+}
+
+AssignmentMsg AssignmentMsg::decode(std::span<const std::uint8_t> payload) {
+  Reader r(payload, "Assignment");
+  AssignmentMsg m;
+  m.worker = r.scalar<std::uint32_t>();
+  m.num_workers = r.scalar<std::uint64_t>();
+  m.num_params = r.scalar<std::uint64_t>();
+  m.num_shards = r.scalar<std::uint64_t>();
+  m.steps_per_worker = r.scalar<std::int64_t>();
+  m.batch_size = r.scalar<std::uint64_t>();
+  m.lr = r.scalar<double>();
+  m.momentum = r.scalar<double>();
+  m.seed = r.scalar<std::uint64_t>();
+  const auto arch = r.scalar<std::uint8_t>();
+  if (arch > static_cast<std::uint8_t>(ModelArch::kResNet50BnLite))
+    throw NetError("Assignment: unknown model arch " + std::to_string(arch));
+  m.arch = static_cast<ModelArch>(arch);
+  const auto codec = r.scalar<std::uint8_t>();
+  if (codec > static_cast<std::uint8_t>(CodecKind::kQsgd))
+    throw NetError("Assignment: unknown codec kind " + std::to_string(codec));
+  m.compression.kind = static_cast<CodecKind>(codec);
+  m.compression.topk_fraction = r.scalar<double>();
+  m.compression.qsgd_levels = r.scalar<std::int32_t>();
+  m.compression.terngrad_clip_sigma = r.scalar<double>();
+  m.data.num_classes = r.scalar<std::int32_t>();
+  m.data.feature_dim = r.scalar<std::uint64_t>();
+  m.data.train_size = r.scalar<std::uint64_t>();
+  m.data.test_size = r.scalar<std::uint64_t>();
+  m.data.modes_per_class = r.scalar<std::int32_t>();
+  m.data.class_separation = r.scalar<double>();
+  m.data.within_stddev = r.scalar<double>();
+  m.data.label_noise = r.scalar<double>();
+  m.data.seed = r.scalar<std::uint64_t>();
+  r.done();
+  if (m.worker >= m.num_workers)
+    throw NetError("Assignment: worker slot out of range");
+  return m;
+}
+
+// -------------------------------------------------------------- PullReply
+
+Frame PullReplyMsg::encode() const {
+  Writer w;
+  w.vec(versions);
+  w.vec(params);
+  return finish(MsgType::kPullReply, std::move(w));
+}
+
+PullReplyMsg PullReplyMsg::decode(std::span<const std::uint8_t> payload) {
+  Reader r(payload, "PullReply");
+  PullReplyMsg m;
+  r.vec(m.versions);
+  r.vec(m.params);
+  r.done();
+  if (m.versions.empty()) throw NetError("PullReply: empty version vector");
+  return m;
+}
+
+// -------------------------------------------------------------- PushDense
+
+Frame PushDenseMsg::encode() const {
+  Writer w;
+  w.scalar(lr);
+  w.vec(pull_versions);
+  w.vec(grad);
+  return finish(MsgType::kPushDense, std::move(w));
+}
+
+PushDenseMsg PushDenseMsg::decode(std::span<const std::uint8_t> payload) {
+  Reader r(payload, "PushDense");
+  PushDenseMsg m;
+  m.lr = r.scalar<double>();
+  r.vec(m.pull_versions);
+  r.vec(m.grad);
+  r.done();
+  if (m.pull_versions.empty()) throw NetError("PushDense: empty version vector");
+  return m;
+}
+
+// --------------------------------------------------------- PushCompressed
+
+Frame PushCompressedMsg::encode() const {
+  Writer w;
+  w.scalar(lr);
+  w.vec(pull_versions);
+  w.scalar(static_cast<std::uint8_t>(push.format));
+  w.scalar(static_cast<std::uint64_t>(push.num_params));
+  w.scalar(static_cast<std::uint64_t>(push.wire_size));
+  w.vec(push.values);
+  w.vec(push.indices);
+  return finish(MsgType::kPushCompressed, std::move(w));
+}
+
+PushCompressedMsg PushCompressedMsg::decode(std::span<const std::uint8_t> payload) {
+  Reader r(payload, "PushCompressed");
+  PushCompressedMsg m;
+  m.lr = r.scalar<double>();
+  r.vec(m.pull_versions);
+  const auto format = r.scalar<std::uint8_t>();
+  if (format > static_cast<std::uint8_t>(CompressedPush::Format::kSparse))
+    throw NetError("PushCompressed: unknown push format " + std::to_string(format));
+  m.push.format = static_cast<CompressedPush::Format>(format);
+  m.push.num_params = r.scalar<std::uint64_t>();
+  m.push.wire_size = r.scalar<std::uint64_t>();
+  r.vec(m.push.values);
+  r.vec(m.push.indices);
+  r.done();
+  if (m.pull_versions.empty()) throw NetError("PushCompressed: empty version vector");
+  // Re-validate the push invariants at the trust boundary, converting the
+  // library's ConfigError into the transport's typed error: a corrupt frame
+  // must never reach the PS apply path (whose ascending-index walk is what
+  // the per-shard deadlock-freedom argument rests on).
+  try {
+    m.push.validate(m.push.num_params);
+  } catch (const ConfigError& e) {
+    throw NetError(std::string("PushCompressed: ") + e.what());
+  }
+  return m;
+}
+
+// --------------------------------------------------------------- replies
+
+Frame PushReplyMsg::encode() const {
+  Writer w;
+  w.scalar(staleness);
+  return finish(MsgType::kPushReply, std::move(w));
+}
+
+PushReplyMsg PushReplyMsg::decode(std::span<const std::uint8_t> payload) {
+  Reader r(payload, "PushReply");
+  PushReplyMsg m;
+  m.staleness = r.scalar<std::int64_t>();
+  r.done();
+  return m;
+}
+
+Frame DrainArriveMsg::encode() const {
+  Writer w;
+  w.scalar(local_steps);
+  return finish(MsgType::kDrainArrive, std::move(w));
+}
+
+DrainArriveMsg DrainArriveMsg::decode(std::span<const std::uint8_t> payload) {
+  Reader r(payload, "DrainArrive");
+  DrainArriveMsg m;
+  m.local_steps = r.scalar<std::int64_t>();
+  r.done();
+  return m;
+}
+
+Frame DrainReleaseMsg::encode() const {
+  Writer w;
+  w.scalar(static_cast<std::uint8_t>(done ? 1 : 0));
+  return finish(MsgType::kDrainRelease, std::move(w));
+}
+
+DrainReleaseMsg DrainReleaseMsg::decode(std::span<const std::uint8_t> payload) {
+  Reader r(payload, "DrainRelease");
+  DrainReleaseMsg m;
+  m.done = r.scalar<std::uint8_t>() != 0;
+  r.done();
+  return m;
+}
+
+Frame CheckpointRequestMsg::encode() const {
+  Writer w;
+  w.scalar(logical_step);
+  return finish(MsgType::kCheckpointRequest, std::move(w));
+}
+
+CheckpointRequestMsg CheckpointRequestMsg::decode(std::span<const std::uint8_t> payload) {
+  Reader r(payload, "CheckpointRequest");
+  CheckpointRequestMsg m;
+  m.logical_step = r.scalar<std::int64_t>();
+  r.done();
+  return m;
+}
+
+Frame VersionReplyMsg::encode() const {
+  Writer w;
+  w.scalar(version);
+  return finish(MsgType::kVersionReply, std::move(w));
+}
+
+VersionReplyMsg VersionReplyMsg::decode(std::span<const std::uint8_t> payload) {
+  Reader r(payload, "VersionReply");
+  VersionReplyMsg m;
+  m.version = r.scalar<std::int64_t>();
+  r.done();
+  return m;
+}
+
+Frame ErrorMsg::encode() const {
+  Writer w;
+  w.scalar(static_cast<std::uint64_t>(message.size()));
+  w.raw(message.data(), message.size());
+  return finish(MsgType::kError, std::move(w));
+}
+
+ErrorMsg ErrorMsg::decode(std::span<const std::uint8_t> payload) {
+  Reader r(payload, "Error");
+  ErrorMsg m;
+  const auto n = r.scalar<std::uint64_t>();
+  if (n > payload.size()) throw NetError("Error: truncated payload");
+  m.message.resize(n);
+  r.raw(m.message.data(), n);
+  r.done();
+  return m;
+}
+
+}  // namespace ss

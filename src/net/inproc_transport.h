@@ -1,0 +1,66 @@
+// In-process Transport backend: a zero-copy forwarding shim over
+// SharedParameterServer.
+//
+// This is the backend the threaded runtime constructs internally.  Every
+// method is a one-line forward to the facade's identically-named call (the
+// scalar push maps to the scalar `push` overload), so routing the runtime
+// through the seam changes nothing observable — the determinism and
+// conformance suites hold it to the pre-seam behaviour bit for bit, exactly
+// as ShardApplyPool was held to serial apply.
+//
+// The shim borrows the server; the owner (threaded_train, PsServer) keeps
+// it alive for the transport's lifetime.  Thread-safety is inherited from
+// SharedParameterServer's per-shard locking.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/transport.h"
+#include "ps/threaded_runtime.h"
+
+namespace ss {
+
+class InProcTransport final : public Transport {
+ public:
+  explicit InProcTransport(SharedParameterServer& ps) : ps_(ps) {}
+
+  [[nodiscard]] std::size_t num_params() const override { return ps_.num_params(); }
+  [[nodiscard]] std::size_t num_shards() const override { return ps_.num_shards(); }
+
+  void pull(std::span<float> out) override { ps_.pull(out); }
+
+  void pull_with_versions(std::span<float> out,
+                          std::vector<std::int64_t>& versions) override {
+    ps_.pull_with_versions(out, versions);
+  }
+
+  std::int64_t push(std::span<const float> grad, double lr,
+                    std::span<const std::int64_t> pull_versions) override {
+    return ps_.push(grad, lr, pull_versions);
+  }
+
+  std::int64_t push_compressed(const CompressedPush& push, double lr,
+                               std::span<const std::int64_t> pull_versions) override {
+    return ps_.push_compressed(push, lr, pull_versions);
+  }
+
+  std::int64_t push_scalar(std::span<const float> grad, double lr,
+                           std::int64_t pull_version) override {
+    return ps_.push(grad, lr, pull_version);
+  }
+
+  [[nodiscard]] std::int64_t version() override { return ps_.version(); }
+
+  [[nodiscard]] Checkpoint snapshot_checkpoint(std::int64_t logical_step) override {
+    return ps_.snapshot_checkpoint(logical_step);
+  }
+
+  void restore_checkpoint(const Checkpoint& ckpt) override { ps_.restore_checkpoint(ckpt); }
+
+ private:
+  SharedParameterServer& ps_;
+};
+
+}  // namespace ss

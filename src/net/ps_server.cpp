@@ -1,0 +1,298 @@
+#include "net/ps_server.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "elastic/async_snapshotter.h"
+#include "net/frame.h"
+#include "net/inproc_transport.h"
+#include "net/socket.h"
+#include "ps/threaded_runtime.h"
+
+namespace ss {
+
+namespace {
+
+/// Shared server state: the PS facade plus the cross-process drain barrier
+/// and eviction bookkeeping.  `mu` guards the membership/drain fields; the
+/// PS itself carries its own per-shard locks, so pushes from different
+/// session threads interleave at shard granularity exactly as worker
+/// threads do in-process.
+struct ServerState {
+  SharedParameterServer ps;
+  SnapshotStore store;
+  std::atomic<std::int64_t> total_updates{0};
+
+  std::mutex mu;
+  std::condition_variable drain_cv;
+  std::vector<char> alive;
+  std::vector<char> arrived;
+  bool run_done = false;
+  std::size_t evicted = 0;
+  std::int64_t restores = 0;
+  std::int64_t updates_lost = 0;
+
+  ServerState(std::vector<float> init, double momentum, std::size_t shards,
+              std::size_t num_workers)
+      : ps(std::move(init), momentum, shards),
+        alive(num_workers, 1),
+        arrived(num_workers, 0) {}
+
+  /// Callers hold `mu`.  The drain completes when every alive worker has
+  /// arrived (an eviction can complete it retroactively).
+  [[nodiscard]] bool drain_complete() const {
+    for (std::size_t w = 0; w < alive.size(); ++w)
+      if (alive[w] && !arrived[w]) return false;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t alive_count() const {
+    std::size_t n = 0;
+    for (const char a : alive) n += a != 0;
+    return n;
+  }
+};
+
+/// Evict `worker` after its connection died: mark it dead, roll the PS back
+/// to the last snapshot (the paper's recovery semantics — bounded loss, no
+/// version rollback), and re-check the drain barrier, which the death may
+/// have completed.  Callers must NOT hold `state.mu`.
+void evict_worker(ServerState& state, std::uint32_t worker, const std::string& why) {
+  const std::unique_lock<std::mutex> lock(state.mu);
+  if (!state.alive[worker]) return;
+  state.alive[worker] = 0;
+  ++state.evicted;
+  const std::int64_t now = state.total_updates.load(std::memory_order_relaxed);
+  std::int64_t lost = 0;
+  if (const auto snap = state.store.latest()) {
+    lost = now - snap->global_step;
+    state.ps.restore_checkpoint(*snap);
+    ++state.restores;
+    state.updates_lost += lost;
+  }
+  log_info("ps_server: evicted worker ", worker, " (", why, "); restored snapshot, ",
+           lost, " updates lost, ", state.alive_count(), " workers remain");
+  if (state.drain_complete()) {
+    state.run_done = true;
+    state.drain_cv.notify_all();
+  }
+}
+
+/// One worker session: serve frames until the worker leaves (Bye), the
+/// connection dies (eviction), or the run completes.
+void serve_session(ServerState& state, Socket sock, std::uint32_t worker,
+                   const AssignmentMsg& assignment) {
+  InProcTransport tx(state.ps);
+  bool drained = false;
+  try {
+    Frame req;
+    while (recv_frame(sock, req)) {
+      Frame reply;
+      try {
+        switch (req.type) {
+          case MsgType::kPull: {
+            PullReplyMsg msg;
+            msg.params.resize(tx.num_params());
+            tx.pull_with_versions(msg.params, msg.versions);
+            reply = msg.encode();
+            break;
+          }
+          case MsgType::kPushDense: {
+            const PushDenseMsg msg = PushDenseMsg::decode(req.payload);
+            if (msg.grad.size() != tx.num_params())
+              throw NetError("PushDense: gradient length mismatch");
+            PushReplyMsg out;
+            out.staleness = tx.push(msg.grad, msg.lr, msg.pull_versions);
+            state.total_updates.fetch_add(1, std::memory_order_relaxed);
+            reply = out.encode();
+            break;
+          }
+          case MsgType::kPushCompressed: {
+            const PushCompressedMsg msg = PushCompressedMsg::decode(req.payload);
+            if (msg.push.num_params != tx.num_params())
+              throw NetError("PushCompressed: gradient length mismatch");
+            PushReplyMsg out;
+            out.staleness = tx.push_compressed(msg.push, msg.lr, msg.pull_versions);
+            state.total_updates.fetch_add(1, std::memory_order_relaxed);
+            reply = out.encode();
+            break;
+          }
+          case MsgType::kDrainArrive: {
+            (void)DrainArriveMsg::decode(req.payload);
+            std::unique_lock<std::mutex> lock(state.mu);
+            state.arrived[worker] = 1;
+            if (state.drain_complete()) {
+              state.run_done = true;
+              state.drain_cv.notify_all();
+            } else {
+              state.drain_cv.wait(lock, [&] { return state.run_done; });
+            }
+            drained = true;
+            DrainReleaseMsg out;
+            out.done = true;  // the v1 deployment drains once, at the quota
+            reply = out.encode();
+            break;
+          }
+          case MsgType::kCheckpointRequest: {
+            const CheckpointRequestMsg msg = CheckpointRequestMsg::decode(req.payload);
+            Frame out;
+            out.type = MsgType::kCheckpointReply;
+            out.payload = tx.snapshot_checkpoint(msg.logical_step).serialize();
+            reply = std::move(out);
+            break;
+          }
+          case MsgType::kRestoreRequest: {
+            // Serialize against the snapshotter's capture (same torn-mix
+            // hazard the threaded runtime guards — see threaded_runtime.cpp).
+            const Checkpoint ckpt = Checkpoint::deserialize(req.payload);
+            const std::lock_guard<std::mutex> lock(state.mu);
+            tx.restore_checkpoint(ckpt);
+            reply = make_empty_frame(MsgType::kOk);
+            break;
+          }
+          case MsgType::kVersionRequest: {
+            VersionReplyMsg out;
+            out.version = tx.version();
+            reply = out.encode();
+            break;
+          }
+          case MsgType::kBye:
+            return;
+          case MsgType::kHello: {
+            // Re-greeting an assigned session is a protocol error, but a
+            // recoverable one: re-send the assignment.
+            reply = assignment.encode();
+            break;
+          }
+          default:
+            throw NetError("ps_server: unexpected message type " +
+                           std::to_string(static_cast<std::uint16_t>(req.type)));
+        }
+      } catch (const std::exception& e) {
+        // Request-level failure: report to the worker, keep the session.
+        ErrorMsg err;
+        err.message = e.what();
+        reply = err.encode();
+      }
+      send_frame(sock, reply);
+    }
+    // Clean EOF without Bye: treat as a lost worker unless it already
+    // drained (some clients just close after the release).
+    if (!drained) evict_worker(state, worker, "connection closed");
+  } catch (const NetError& e) {
+    // Transport failure (dead socket mid-frame, send to a killed peer).
+    if (!drained) evict_worker(state, worker, e.what());
+  }
+}
+
+}  // namespace
+
+PsServerResult run_ps_server(const PsServerConfig& cfg) {
+  if (cfg.num_workers == 0) throw ConfigError("run_ps_server: num_workers must be > 0");
+  if (cfg.steps_per_worker <= 0) throw ConfigError("run_ps_server: steps must be > 0");
+  if (cfg.snapshot_interval < 0)
+    throw ConfigError("run_ps_server: snapshot_interval must be >= 0");
+
+  // The server builds the model only for its initial parameters and the
+  // final evaluation; all gradient math happens in the worker processes.
+  Rng model_rng(cfg.seed);
+  const DataSplit split = make_synthetic(cfg.data);
+  Model model = make_model(cfg.arch, split.train.feature_dim(),
+                           cfg.data.num_classes, model_rng);
+
+  ServerState state(model.get_params(), cfg.momentum, cfg.num_ps_shards, cfg.num_workers);
+
+  AssignmentMsg assignment;
+  assignment.num_workers = cfg.num_workers;
+  assignment.num_params = state.ps.num_params();
+  assignment.num_shards = state.ps.num_shards();
+  assignment.steps_per_worker = cfg.steps_per_worker;
+  assignment.batch_size = cfg.batch_size;
+  assignment.lr = cfg.lr;
+  assignment.momentum = cfg.momentum;
+  assignment.seed = cfg.seed;
+  assignment.arch = cfg.arch;
+  assignment.compression = cfg.compression;
+  assignment.data = cfg.data;
+
+  // Crash-recovery snapshots: run-start floor + optional update cadence.
+  // Captures serialize against restores via state.mu (a cadence capture
+  // walking the shards concurrently with a restore could store a torn mix
+  // of pre- and post-restore slices — the exact hazard the threaded
+  // runtime parks its snapshotter for).
+  auto capture = [&state] {
+    const std::lock_guard<std::mutex> lock(state.mu);
+    return state.ps.snapshot_checkpoint(state.total_updates.load(std::memory_order_relaxed));
+  };
+  auto progress = [&state] { return state.total_updates.load(std::memory_order_relaxed); };
+  std::optional<AsyncSnapshotter> snapshotter;
+  if (cfg.snapshot_interval > 0) {
+    snapshotter.emplace(capture, progress, cfg.snapshot_interval, state.store);
+    snapshotter->snapshot_now();
+  } else {
+    state.store.put(capture());
+  }
+
+  Listener listener = listen_endpoint(cfg.listen);
+  log_info("ps_server: listening on ", listener.endpoint(), " for ", cfg.num_workers,
+           " workers (", state.ps.num_params(), " params, ", state.ps.num_shards(),
+           " shards)");
+  if (cfg.on_listening) cfg.on_listening(listener.endpoint());
+
+  // Admission: the first num_workers connections that complete the Hello
+  // handshake get slots 0..n-1.  Sessions start serving immediately — ASP
+  // workers train while later slots are still joining.
+  std::vector<std::thread> sessions;
+  sessions.reserve(cfg.num_workers);
+  std::size_t joined = 0;
+  while (joined < cfg.num_workers) {
+    Socket sock = listener.accept();
+    Frame hello;
+    try {
+      if (!recv_frame(sock, hello) || hello.type != MsgType::kHello) continue;
+      const HelloMsg msg = HelloMsg::decode(hello.payload);
+      if (msg.protocol_version != kFrameVersion) {
+        ErrorMsg err;
+        err.message = "protocol version mismatch";
+        send_frame(sock, err.encode());
+        continue;
+      }
+      const auto worker = static_cast<std::uint32_t>(joined);
+      AssignmentMsg own = assignment;
+      own.worker = worker;
+      send_frame(sock, own.encode());
+      log_info("ps_server: worker ", worker, " joined");
+      sessions.emplace_back([&state, sock = std::move(sock), worker, own]() mutable {
+        serve_session(state, std::move(sock), worker, own);
+      });
+      ++joined;
+    } catch (const NetError& e) {
+      log_warn("ps_server: rejected connection: ", e.what());
+    }
+  }
+  listener.close();  // fixed worker set: no late admissions in v1
+
+  for (auto& t : sessions) t.join();
+  if (snapshotter) snapshotter->stop();
+
+  PsServerResult result;
+  result.total_updates = state.total_updates.load();
+  result.workers_joined = joined;
+  result.workers_evicted = state.evicted;
+  result.snapshots_restored = state.restores;
+  result.updates_lost = state.updates_lost;
+  result.final_params.resize(state.ps.num_params());
+  state.ps.pull(result.final_params);
+  model.set_params(result.final_params);
+  result.final_accuracy = model.evaluate_accuracy(split.test);
+  return result;
+}
+
+}  // namespace ss

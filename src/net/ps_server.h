@@ -1,0 +1,70 @@
+// PsServer: host the sharded parameter server in its own OS process.
+//
+// `run_ps_server` owns the whole run: it builds the model + initial
+// parameters from the seed, listens on the endpoint, assigns slots to the
+// first `num_workers` connections (shipping each the full run configuration
+// — the server owns the config, workers only know where to connect), and
+// serves pull/push/drain/checkpoint frames from one session thread per
+// connection against a SharedParameterServer.  The deployed protocol is
+// ASP: workers free-run their step quota and quiesce at one final drain
+// barrier (the in-process runtime remains the reference for BSP/SSP and
+// live switching).
+//
+// Fault tolerance is PR 5's crash path made real: an AsyncSnapshotter takes
+// copy-on-read checkpoints on an update cadence, and when a worker's socket
+// dies mid-run (kill -9, OOM, network partition — anything that closes the
+// fd) the server evicts the slot, restores the latest snapshot
+// (RecoveryMode::kRestoreSnapshot semantics: updates since the snapshot are
+// lost, versions never roll back), recomputes the drain barrier over the
+// survivors, and the run continues.  A worker dying at the barrier is
+// caught on the release send instead.  The run ends when every alive worker
+// has drained (or every worker died); the server then evaluates final
+// accuracy on the test split and returns.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "compress/spec.h"
+#include "data/synthetic.h"
+#include "nn/zoo.h"
+
+namespace ss {
+
+struct PsServerConfig {
+  std::string listen = "unix:/tmp/sync_switch_ps.sock";
+  std::size_t num_workers = 2;
+  std::int64_t steps_per_worker = 100;
+  std::size_t batch_size = 32;
+  double lr = 0.05;
+  double momentum = 0.9;
+  std::uint64_t seed = 99;
+  std::size_t num_ps_shards = 1;
+  /// PS updates between asynchronous snapshots; 0 = run-start snapshot only
+  /// (recovery still has a floor, the loss window is just the whole run).
+  std::int64_t snapshot_interval = 0;
+  ModelArch arch = ModelArch::kLinear;
+  SyntheticSpec data;           ///< workers regenerate the same split
+  CompressionSpec compression;  ///< encoded worker-side; wire carries CompressedPush
+  /// Invoked with the concrete endpoint once the server is listening (tcp
+  /// port 0 resolved) — tests and scripts use it to know when to connect.
+  std::function<void(const std::string&)> on_listening;
+};
+
+struct PsServerResult {
+  std::int64_t total_updates = 0;    ///< pushes applied (incl. rolled-back ones)
+  std::size_t workers_joined = 0;
+  std::size_t workers_evicted = 0;   ///< slots lost to a dead connection
+  std::int64_t snapshots_restored = 0;
+  std::int64_t updates_lost = 0;     ///< rolled back across all restores
+  double final_accuracy = 0.0;       ///< on the test split, server-side
+  std::vector<float> final_params;
+};
+
+/// Run one full serve cycle (blocking).  Throws ConfigError on a bad
+/// config, NetError if the endpoint cannot be bound.
+PsServerResult run_ps_server(const PsServerConfig& cfg);
+
+}  // namespace ss

@@ -1,0 +1,256 @@
+#include "net/socket.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.h"
+
+namespace ss {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw NetError(what + ": " + std::strerror(errno));
+}
+
+/// Split "unix:<path>" / "tcp:<host>:<port>".  A bare path (contains '/')
+/// is accepted as a Unix endpoint for convenience.
+struct ParsedEndpoint {
+  bool is_unix = true;
+  std::string path;  // unix
+  std::string host;  // tcp
+  std::string port;  // tcp (string form for getaddrinfo)
+};
+
+ParsedEndpoint parse_endpoint(const std::string& endpoint) {
+  ParsedEndpoint ep;
+  if (endpoint.rfind("unix:", 0) == 0) {
+    ep.path = endpoint.substr(5);
+  } else if (endpoint.rfind("tcp:", 0) == 0) {
+    ep.is_unix = false;
+    const std::string rest = endpoint.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == rest.size())
+      throw NetError("endpoint '" + endpoint + "': expected tcp:<host>:<port>");
+    ep.host = rest.substr(0, colon);
+    ep.port = rest.substr(colon + 1);
+  } else if (endpoint.find('/') != std::string::npos) {
+    ep.path = endpoint;
+  } else {
+    throw NetError("endpoint '" + endpoint +
+                   "': expected unix:<path> or tcp:<host>:<port>");
+  }
+  if (ep.is_unix && ep.path.empty())
+    throw NetError("endpoint '" + endpoint + "': empty unix path");
+  if (ep.is_unix && ep.path.size() >= sizeof(sockaddr_un{}.sun_path))
+    throw NetError("endpoint '" + endpoint + "': unix path too long");
+  return ep;
+}
+
+sockaddr_un make_unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::send_all(const void* data, std::size_t n) {
+  if (fd_ < 0) throw NetError("Socket::send_all: socket closed");
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (n > 0) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the process.
+    const ssize_t sent = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("Socket::send_all");
+    }
+    p += sent;
+    n -= static_cast<std::size_t>(sent);
+  }
+}
+
+bool Socket::recv_all(void* data, std::size_t n, bool eof_ok) {
+  if (fd_ < 0) throw NetError("Socket::recv_all: socket closed");
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd_, p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("Socket::recv_all");
+    }
+    if (r == 0) {
+      if (got == 0 && eof_ok) return false;
+      throw NetError("Socket::recv_all: connection closed mid-message");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+void send_frame(Socket& sock, const Frame& frame) {
+  const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  sock.send_all(bytes.data(), bytes.size());
+}
+
+bool recv_frame(Socket& sock, Frame& frame) {
+  std::uint8_t header[kFrameHeaderBytes];
+  if (!sock.recv_all(header, sizeof(header), /*eof_ok=*/true)) return false;
+  const std::uint64_t payload_size =
+      decode_frame_header(std::span<const std::uint8_t>(header, sizeof(header)), frame.type);
+  frame.payload.resize(payload_size);
+  if (payload_size > 0) (void)sock.recv_all(frame.payload.data(), payload_size, /*eof_ok=*/false);
+  return true;
+}
+
+Socket connect_endpoint(const std::string& endpoint) {
+  const ParsedEndpoint ep = parse_endpoint(endpoint);
+  if (ep.is_unix) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("connect_endpoint: socket");
+    Socket sock(fd);
+    const sockaddr_un addr = make_unix_addr(ep.path);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0)
+      throw_errno("connect_endpoint: connect " + endpoint);
+    return sock;
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(ep.host.c_str(), ep.port.c_str(), &hints, &res);
+  if (rc != 0)
+    throw NetError("connect_endpoint: resolve " + endpoint + ": " + gai_strerror(rc));
+  Socket sock;
+  std::string last_error = "no addresses";
+  for (const addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      sock = Socket(fd);
+      break;
+    }
+    last_error = std::strerror(errno);
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  if (!sock.valid())
+    throw NetError("connect_endpoint: connect " + endpoint + ": " + last_error);
+  return sock;
+}
+
+Listener::~Listener() { close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      endpoint_(std::move(other.endpoint_)),
+      unix_path_(std::move(other.unix_path_)) {}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    endpoint_ = std::move(other.endpoint_);
+    unix_path_ = std::move(other.unix_path_);
+  }
+  return *this;
+}
+
+void Listener::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!unix_path_.empty()) {
+    ::unlink(unix_path_.c_str());
+    unix_path_.clear();
+  }
+}
+
+Socket Listener::accept() {
+  if (fd_ < 0) throw NetError("Listener::accept: listener closed");
+  while (true) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    throw_errno("Listener::accept");
+  }
+}
+
+Listener listen_endpoint(const std::string& endpoint, int backlog) {
+  const ParsedEndpoint ep = parse_endpoint(endpoint);
+  Listener listener;
+  if (ep.is_unix) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("listen_endpoint: socket");
+    listener.fd_ = fd;
+    ::unlink(ep.path.c_str());  // stale socket file from a killed server
+    const sockaddr_un addr = make_unix_addr(ep.path);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0)
+      throw_errno("listen_endpoint: bind " + endpoint);
+    listener.unix_path_ = ep.path;
+    listener.endpoint_ = "unix:" + ep.path;
+  } else {
+    addrinfo hints{};
+    hints.ai_family = AF_INET;  // deterministic endpoint() string form
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE;
+    addrinfo* res = nullptr;
+    const int rc = ::getaddrinfo(ep.host.c_str(), ep.port.c_str(), &hints, &res);
+    if (rc != 0)
+      throw NetError("listen_endpoint: resolve " + endpoint + ": " + gai_strerror(rc));
+    int fd = -1;
+    for (const addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+      fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+      if (fd < 0) continue;
+      const int one = 1;
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+      ::close(fd);
+      fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0) throw_errno("listen_endpoint: bind " + endpoint);
+    listener.fd_ = fd;
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0)
+      throw_errno("listen_endpoint: getsockname");
+    listener.endpoint_ = "tcp:" + ep.host + ":" + std::to_string(ntohs(bound.sin_port));
+  }
+  if (::listen(listener.fd_, backlog) != 0) throw_errno("listen_endpoint: listen");
+  return listener;
+}
+
+}  // namespace ss

@@ -1,0 +1,92 @@
+// Thin POSIX socket layer for the multi-process deployment.
+//
+// Endpoints are strings so the CLI, tests, and docs all speak one format:
+//
+//   unix:/path/to/ps.sock   Unix-domain stream socket (the default for
+//                           single-host deployments and the CI smoke test)
+//   tcp:host:port           TCP; port 0 binds an ephemeral port and
+//                           Listener::endpoint() reports the concrete one
+//
+// `Socket` is a movable RAII fd with loop-until-complete send/recv (EINTR
+// retried, SIGPIPE suppressed); failures throw NetError.  A peer closing
+// the connection surfaces as `recv_frame` returning false when the EOF
+// lands exactly on a frame boundary — the clean-shutdown signal the PS
+// server's eviction logic keys off — and as a NetError mid-frame.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+
+namespace ss {
+
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Send exactly `n` bytes (retries short writes and EINTR).
+  void send_all(const void* data, std::size_t n);
+
+  /// Receive exactly `n` bytes.  Returns false iff the peer closed the
+  /// connection before the first byte and `eof_ok` is set; any other
+  /// shortfall throws NetError.
+  [[nodiscard]] bool recv_all(void* data, std::size_t n, bool eof_ok);
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Write one frame to the socket.
+void send_frame(Socket& sock, const Frame& frame);
+
+/// Read one frame.  Returns false on a clean EOF at a frame boundary;
+/// throws NetError on a malformed header, an oversized payload, or a
+/// connection lost mid-frame.
+[[nodiscard]] bool recv_frame(Socket& sock, Frame& frame);
+
+/// Connect to `endpoint` ("unix:<path>" or "tcp:<host>:<port>").
+[[nodiscard]] Socket connect_endpoint(const std::string& endpoint);
+
+/// Listening socket bound to an endpoint.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Block until a client connects.
+  [[nodiscard]] Socket accept();
+
+  /// The concrete endpoint string (tcp port 0 resolved to the bound port);
+  /// what a worker passes to connect_endpoint.
+  [[nodiscard]] const std::string& endpoint() const noexcept { return endpoint_; }
+
+  void close() noexcept;
+
+ private:
+  friend Listener listen_endpoint(const std::string&, int);
+  int fd_ = -1;
+  std::string endpoint_;
+  std::string unix_path_;  ///< unlinked on close
+};
+
+/// Bind + listen on `endpoint`.  A pre-existing Unix socket path is
+/// replaced (stale file from a killed server).
+[[nodiscard]] Listener listen_endpoint(const std::string& endpoint, int backlog = 16);
+
+}  // namespace ss

@@ -1,0 +1,114 @@
+#include "net/socket_transport.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ss {
+
+SocketTransport::SocketTransport(const std::string& endpoint, AssignmentMsg& assignment)
+    : sock_(connect_endpoint(endpoint)) {
+  assignment = handshake();
+}
+
+SocketTransport::SocketTransport(Socket sock, AssignmentMsg& assignment)
+    : sock_(std::move(sock)) {
+  assignment = handshake();
+}
+
+AssignmentMsg SocketTransport::handshake() {
+  const Frame reply = rpc(HelloMsg{}.encode(), MsgType::kAssignment);
+  const AssignmentMsg assignment = AssignmentMsg::decode(reply.payload);
+  num_params_ = assignment.num_params;
+  num_shards_ = assignment.num_shards;
+  return assignment;
+}
+
+Frame SocketTransport::rpc(const Frame& request, MsgType expected) {
+  send_frame(sock_, request);
+  Frame reply;
+  if (!recv_frame(sock_, reply))
+    throw NetError("SocketTransport: server closed the connection");
+  if (reply.type == MsgType::kError)
+    throw NetError("ps_server: " + ErrorMsg::decode(reply.payload).message);
+  if (reply.type != expected)
+    throw NetError("SocketTransport: unexpected reply type " +
+                   std::to_string(static_cast<std::uint16_t>(reply.type)));
+  return reply;
+}
+
+void SocketTransport::pull(std::span<float> out) {
+  std::vector<std::int64_t> versions;
+  pull_with_versions(out, versions);
+}
+
+void SocketTransport::pull_with_versions(std::span<float> out,
+                                         std::vector<std::int64_t>& versions) {
+  const Frame reply = rpc(make_empty_frame(MsgType::kPull), MsgType::kPullReply);
+  PullReplyMsg msg = PullReplyMsg::decode(reply.payload);
+  if (msg.params.size() != out.size() || msg.versions.size() != num_shards_)
+    throw NetError("SocketTransport::pull: reply shape mismatch");
+  std::copy(msg.params.begin(), msg.params.end(), out.begin());
+  versions = std::move(msg.versions);
+}
+
+std::int64_t SocketTransport::push(std::span<const float> grad, double lr,
+                                   std::span<const std::int64_t> pull_versions) {
+  PushDenseMsg msg;
+  msg.lr = lr;
+  msg.pull_versions.assign(pull_versions.begin(), pull_versions.end());
+  msg.grad.assign(grad.begin(), grad.end());
+  const Frame reply = rpc(msg.encode(), MsgType::kPushReply);
+  return PushReplyMsg::decode(reply.payload).staleness;
+}
+
+std::int64_t SocketTransport::push_compressed(const CompressedPush& push, double lr,
+                                              std::span<const std::int64_t> pull_versions) {
+  PushCompressedMsg msg;
+  msg.lr = lr;
+  msg.pull_versions.assign(pull_versions.begin(), pull_versions.end());
+  msg.push = push;
+  const Frame reply = rpc(msg.encode(), MsgType::kPushReply);
+  return PushReplyMsg::decode(reply.payload).staleness;
+}
+
+std::int64_t SocketTransport::push_scalar(std::span<const float> grad, double lr,
+                                          std::int64_t pull_version) {
+  // The scalar compatibility push is a dense push against a flattened
+  // version vector (the same collapse SharedParameterServer applies).
+  const std::vector<std::int64_t> versions(num_shards_, pull_version);
+  return push(grad, lr, versions);
+}
+
+std::int64_t SocketTransport::version() {
+  const Frame reply = rpc(make_empty_frame(MsgType::kVersionRequest), MsgType::kVersionReply);
+  return VersionReplyMsg::decode(reply.payload).version;
+}
+
+Checkpoint SocketTransport::snapshot_checkpoint(std::int64_t logical_step) {
+  CheckpointRequestMsg msg;
+  msg.logical_step = logical_step;
+  const Frame reply = rpc(msg.encode(), MsgType::kCheckpointReply);
+  return Checkpoint::deserialize(reply.payload);
+}
+
+void SocketTransport::restore_checkpoint(const Checkpoint& ckpt) {
+  Frame request;
+  request.type = MsgType::kRestoreRequest;
+  request.payload = ckpt.serialize();
+  (void)rpc(request, MsgType::kOk);
+}
+
+bool SocketTransport::drain_arrive(std::int64_t local_steps) {
+  DrainArriveMsg msg;
+  msg.local_steps = local_steps;
+  const Frame reply = rpc(msg.encode(), MsgType::kDrainRelease);
+  return DrainReleaseMsg::decode(reply.payload).done;
+}
+
+void SocketTransport::bye() {
+  send_frame(sock_, make_empty_frame(MsgType::kBye));
+  sock_.close();
+}
+
+}  // namespace ss

@@ -1,0 +1,78 @@
+// Socket-backed Transport: the worker side of the multi-process deployment.
+//
+// One SocketTransport is one worker's connection to the PsServer.  The
+// constructor performs the Hello handshake and returns the server-owned run
+// configuration (AssignmentMsg), after which the Transport methods map 1:1
+// onto request/reply frame pairs:
+//
+//   pull_with_versions  ->  kPull           / kPullReply
+//   push                ->  kPushDense      / kPushReply
+//   push_compressed     ->  kPushCompressed / kPushReply
+//   version             ->  kVersionRequest / kVersionReply
+//   snapshot_checkpoint ->  kCheckpointRequest / kCheckpointReply
+//   restore_checkpoint  ->  kRestoreRequest / kOk
+//
+// plus the control-plane calls the interface does not carry: drain_arrive
+// (blocks until the server releases the barrier) and bye (clean leave; an
+// abrupt close instead is exactly what the server's eviction path handles).
+//
+// A kError reply, a malformed frame, or a lost connection all throw
+// NetError.  Not thread-safe: one transport per worker process/thread — the
+// wire protocol is strictly request/reply per connection.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/socket.h"
+#include "net/transport.h"
+
+namespace ss {
+
+class SocketTransport final : public Transport {
+ public:
+  /// Connect to a PsServer and run the Hello handshake; `assignment`
+  /// receives the slot + run configuration the server owns.
+  SocketTransport(const std::string& endpoint, AssignmentMsg& assignment);
+
+  /// Wrap an already-connected socket (tests).  `assignment` as above.
+  SocketTransport(Socket sock, AssignmentMsg& assignment);
+
+  [[nodiscard]] std::size_t num_params() const override { return num_params_; }
+  [[nodiscard]] std::size_t num_shards() const override { return num_shards_; }
+
+  void pull(std::span<float> out) override;
+  void pull_with_versions(std::span<float> out,
+                          std::vector<std::int64_t>& versions) override;
+  std::int64_t push(std::span<const float> grad, double lr,
+                    std::span<const std::int64_t> pull_versions) override;
+  std::int64_t push_compressed(const CompressedPush& push, double lr,
+                               std::span<const std::int64_t> pull_versions) override;
+  std::int64_t push_scalar(std::span<const float> grad, double lr,
+                           std::int64_t pull_version) override;
+  [[nodiscard]] std::int64_t version() override;
+  [[nodiscard]] Checkpoint snapshot_checkpoint(std::int64_t logical_step) override;
+  void restore_checkpoint(const Checkpoint& ckpt) override;
+
+  /// Announce quiescence after `local_steps` steps and block until every
+  /// alive worker has arrived.  Returns true when the run is over.
+  [[nodiscard]] bool drain_arrive(std::int64_t local_steps);
+
+  /// Clean leave.  After bye() the transport is closed.
+  void bye();
+
+ private:
+  AssignmentMsg handshake();
+  /// Send `request`, receive the reply, unwrap kError into NetError, and
+  /// require `expected` as the reply type.
+  Frame rpc(const Frame& request, MsgType expected);
+
+  Socket sock_;
+  std::size_t num_params_ = 0;
+  std::size_t num_shards_ = 1;
+};
+
+}  // namespace ss

@@ -1,0 +1,86 @@
+// The Transport seam: every worker <-> parameter-server interaction goes
+// through this interface, so the same training loop runs against an
+// in-address-space PS (threads) or a remote one (sockets, separate OS
+// processes).
+//
+// The surface is exactly the SharedParameterServer contract the threaded
+// runtime has always trained against (ps/threaded_runtime.h documents the
+// version/staleness semantics in detail):
+//
+//  * `pull_with_versions` — copy the parameters and snapshot every shard's
+//    version counter as it is copied (the exact staleness-accounting path).
+//  * `push` / `push_compressed` — apply a dense gradient or a CompressedPush
+//    against the versions observed at pull time; both return the push's
+//    staleness (max updates any touched shard absorbed since the pull).
+//  * `push_scalar` / `version` — the scalar compatibility API (min shard
+//    version = count of complete updates; conservative under sparse pushes).
+//  * `snapshot_checkpoint` / `restore_checkpoint` — the crash-recovery
+//    hooks the elastic subsystem drives (checkpoint format v2).
+//
+// Backends:
+//
+//  * InProcTransport (net/inproc_transport.h) — a zero-cost forwarding shim
+//    over SharedParameterServer.  The threaded runtime constructs one
+//    internally, so its behaviour is bit-for-bit what it was before the
+//    seam existed (the determinism and conformance suites pin this).
+//  * SocketTransport (net/socket_transport.h) — the same calls serialized
+//    as length-prefixed binary frames (net/frame.h) over a Unix-domain or
+//    TCP socket to a PsServer hosting the shards in another OS process.
+//
+// Thread-safety is a property of the backend, not the interface:
+// InProcTransport inherits SharedParameterServer's per-shard locking and is
+// safe to share across worker threads; SocketTransport multiplexes one
+// socket and is single-worker (one transport per worker process).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/compressed_push.h"
+#include "nn/checkpoint.h"
+
+namespace ss {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  [[nodiscard]] virtual std::size_t num_params() const = 0;
+  [[nodiscard]] virtual std::size_t num_shards() const = 0;
+
+  /// Copy the current parameters into `out` (sized num_params).
+  virtual void pull(std::span<float> out) = 0;
+
+  /// Pull + snapshot the per-shard version vector (resized to num_shards).
+  virtual void pull_with_versions(std::span<float> out,
+                                  std::vector<std::int64_t>& versions) = 0;
+
+  /// Apply a full dense gradient; returns the push's staleness measured
+  /// against `pull_versions` (one entry per shard).
+  virtual std::int64_t push(std::span<const float> grad, double lr,
+                            std::span<const std::int64_t> pull_versions) = 0;
+
+  /// Apply a compressed push (dense quantized or sparse top-k); sparse
+  /// pushes touch — and measure staleness over — only the shards owning
+  /// kept coordinates.
+  virtual std::int64_t push_compressed(const CompressedPush& push, double lr,
+                                       std::span<const std::int64_t> pull_versions) = 0;
+
+  /// Scalar compatibility push (staleness against one pulled version; see
+  /// SharedParameterServer::push overloads for the conservative contract).
+  virtual std::int64_t push_scalar(std::span<const float> grad, double lr,
+                                   std::int64_t pull_version) = 0;
+
+  /// Count of complete updates: the minimum shard version.
+  [[nodiscard]] virtual std::int64_t version() = 0;
+
+  /// Consistent copy-on-read snapshot of the PS state as a format-v2
+  /// checkpoint; `logical_step` lands in Checkpoint::global_step.
+  [[nodiscard]] virtual Checkpoint snapshot_checkpoint(std::int64_t logical_step) = 0;
+
+  /// Restore params + velocity from `ckpt` (versions never roll back).
+  virtual void restore_checkpoint(const Checkpoint& ckpt) = 0;
+};
+
+}  // namespace ss

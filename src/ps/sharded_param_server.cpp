@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/error.h"
 
@@ -167,9 +168,15 @@ void ShardedParameterServer::restore(const Checkpoint& ckpt) {
   if (ckpt.params.size() != params_.size() || ckpt.velocity.size() != params_.size())
     throw CheckpointError("ShardedParameterServer::restore: checkpoint size mismatch");
   // Flat (single-shard / legacy) checkpoints restore into any layout; a
-  // sharded checkpoint must match the server's layout exactly.
+  // sharded checkpoint must match the server's layout exactly and be
+  // self-consistent (declared shard count == shard_versions carried) — an
+  // inconsistent one is corrupt and must not restore silently.
   if (ckpt.num_shards > 1 && ckpt.num_shards != static_cast<std::uint64_t>(num_shards()))
     throw CheckpointError("ShardedParameterServer::restore: shard layout mismatch");
+  if (ckpt.num_shards > 1 && ckpt.shard_versions.size() != ckpt.num_shards)
+    throw CheckpointError("ShardedParameterServer::restore: checkpoint declares " +
+                          std::to_string(ckpt.num_shards) + " shards but carries " +
+                          std::to_string(ckpt.shard_versions.size()) + " shard versions");
   params_ = ckpt.params;
   std::copy(ckpt.velocity.begin(), ckpt.velocity.end(), opt_.mutable_velocity().begin());
 }

@@ -14,6 +14,7 @@
 #include "core/config_policy.h"
 #include "elastic/async_snapshotter.h"
 #include "elastic/recovery_coordinator.h"
+#include "net/inproc_transport.h"
 #include "tensor/ops.h"
 
 namespace ss {
@@ -112,7 +113,12 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
 
   const std::size_t p = prototype.num_params();
   const std::size_t d = train.feature_dim();
-  SharedParameterServer ps(prototype.get_params(), cfg.momentum, cfg.num_ps_shards);
+  SharedParameterServer ps_impl(prototype.get_params(), cfg.momentum, cfg.num_ps_shards);
+  // Every worker<->PS interaction below goes through the Transport seam —
+  // the same interface the socket backend (net/socket_transport.h) serves
+  // over a wire.  The in-process shim adds only a virtual dispatch, so the
+  // threaded runtime stays the bit-for-bit reference implementation.
+  InProcTransport ps(ps_impl);
   // One bank for the run, one slot per worker slot; calls are thread-safe
   // because each worker thread only ever touches its own slot (and RNG).
   std::optional<CompressorBank> bank = cfg.compression.make_bank(max_slots);
@@ -185,6 +191,17 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
   std::vector<float> shared_snapshot(p);  // BSP round snapshot
   std::int64_t rounds_done = 0;           // BSP rounds completed in current phase
   bool bsp_phase_over = false;
+
+  // Worker-thread failure containment: an exception escaping a worker body
+  // must surface as a catchable error on the calling thread, not a
+  // std::terminate.  The first thrower records itself, raises `aborted`
+  // (under clock_mu so parked SSP waiters cannot miss the wake), and drops
+  // out of both barriers; every other worker observes the flag at its next
+  // coherent point and drains out, the drain completion turns the run off,
+  // and the main thread rethrows after joining.
+  std::mutex error_mu;
+  std::exception_ptr worker_error;
+  std::atomic<bool> aborted{false};
 
   std::atomic<std::int64_t> total_updates{0};
   std::atomic<std::int64_t> phase_max_gap{0};
@@ -300,6 +317,12 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
   /// if a membership event is due), the run completed, or a membership
   /// boundary interrupted the phase mid-way (quiesce for recovery).
   const std::function<void()> on_drain = [&]() {
+    if (aborted.load()) {
+      // A worker failed: no transition — stop the run so every surviving
+      // worker exits after the barrier and the main thread can rethrow.
+      run_over = true;
+      return;
+    }
     const std::int64_t reached = clock[leader];  // equal across alive workers
     const bool phase_complete = trigger_fired || reached >= phase_quota;
     if (!phase_complete) {
@@ -496,6 +519,15 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
       auto& c = ctx[w];
       std::vector<std::uint32_t> indices;
       while (!bsp_phase_over) {
+        if (aborted.load()) {
+          // A peer failed.  Leave its barrier slot behind so workers still
+          // parked in this round are released, then head for the drain
+          // barrier (worker_fn arrives there after we return).  Arriving at
+          // the drain while others still wait at the round barrier would
+          // deadlock both groups — hence the drop, not a plain break.
+          round_barrier.arrive_and_drop();
+          return;
+        }
         if (cfg.pre_step_hook) cfg.pre_step_hook(w, done + clock[w]);
         const SteadyClock::time_point step_start = SteadyClock::now();
         c.sampler.next_batch(indices);
@@ -523,7 +555,7 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
               ops::add_inplace(std::span<float>(agg), std::span<const float>(ctx[s].grad));
           }
           ops::scale_inplace(std::span<float>(agg), 1.0f / static_cast<float>(n_alive));
-          ps.push(agg, lr, ps.version());
+          ps.push_scalar(agg, lr, ps.version());
           total_updates.fetch_add(1, std::memory_order_relaxed);
           ps.pull(std::span<float>(shared_snapshot));
           ++rounds_done;
@@ -565,12 +597,17 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
         std::int64_t my = 0;
         {
           std::unique_lock<std::mutex> lock(clock_mu);
-          if (clock[w] >= quota) break;
+          // A dead peer's clock stops advancing, so without the aborted
+          // check an SSP waiter whose bound the dead peer anchors would
+          // park forever; the thrower raises the flag under clock_mu and
+          // notifies, so the wake cannot be lost.
+          if (aborted.load() || clock[w] >= quota) break;
           if (bounded) {
             clock_cv.wait(lock, [&] {
-              return clock[w] >= quota || clock[w] - min_clock() <= ssp_bound;
+              return aborted.load() || clock[w] >= quota ||
+                     clock[w] - min_clock() <= ssp_bound;
             });
-            if (clock[w] >= quota) break;
+            if (aborted.load() || clock[w] >= quota) break;
           }
           const std::int64_t gap = clock[w] - min_clock();
           std::int64_t seen = phase_max_gap.load(std::memory_order_relaxed);
@@ -614,13 +651,33 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
     // an epoch-ending transition makes every worker exit so the main thread
     // can reshape the cluster.
     auto worker_fn = [&](std::size_t w) {
-      while (true) {
-        if (proto == Protocol::kBsp)
-          run_bsp_phase(w);
-        else
-          run_async_phase(w);
-        drain_barrier.arrive_and_wait();
-        if (run_over || epoch_over) break;
+      try {
+        while (true) {
+          if (proto == Protocol::kBsp)
+            run_bsp_phase(w);
+          else
+            run_async_phase(w);
+          drain_barrier.arrive_and_wait();
+          if (run_over || epoch_over) break;
+        }
+      } catch (...) {
+        // First failure wins; later ones (usually peers tripping over the
+        // same cause) are dropped.
+        {
+          const std::lock_guard<std::mutex> lock(error_mu);
+          if (!worker_error) worker_error = std::current_exception();
+        }
+        {
+          // Under clock_mu so a concurrently-parking SSP waiter either sees
+          // the flag in its predicate or is woken by the notify below.
+          const std::lock_guard<std::mutex> lock(clock_mu);
+          aborted.store(true);
+        }
+        clock_cv.notify_all();
+        // Leave both barriers for good: peers parked at either are released
+        // now, and the phases no longer expect this thread.
+        round_barrier.arrive_and_drop();
+        drain_barrier.arrive_and_drop();
       }
     };
 
@@ -630,6 +687,13 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
       if (alive[w]) threads.emplace_back(worker_fn, w);
     for (auto& t : threads) t.join();
 
+    if (worker_error) {
+      // Every thread is joined (throwers via barrier drops, survivors via
+      // the aborted run_over), so the failure surfaces as a plain exception
+      // on the calling thread instead of a std::terminate.
+      if (snapshotter) snapshotter->stop();
+      std::rethrow_exception(worker_error);
+    }
     if (run_over) break;
     // epoch_over: resolve the due membership events and re-arm.  The
     // snapshotter is parked across the recovery — a cadence capture walking
@@ -660,7 +724,8 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
   if (run_async_updates > 0)
     result.mean_staleness =
         static_cast<double>(run_async_staleness) / static_cast<double>(run_async_updates);
-  result.final_params = ps.snapshot();
+  result.final_params.resize(ps.num_params());
+  ps.pull(result.final_params);
   return result;
 }
 

@@ -60,6 +60,7 @@
 #include <functional>
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/error.h"
@@ -107,6 +108,7 @@ class SharedParameterServer {
         shard_mu_(ps_.num_shards()) {}
 
   [[nodiscard]] std::size_t num_shards() const noexcept { return shard_mu_.size(); }
+  [[nodiscard]] std::size_t num_params() const noexcept { return ps_.num_params(); }
 
   void pull(std::span<float> out) const {
     for (std::size_t s = 0; s < shard_mu_.size(); ++s) {
@@ -228,13 +230,26 @@ class SharedParameterServer {
   }
 
   /// Restore params + velocity from `ckpt`, shard by shard under the shard
-  /// locks (crash recovery; versions are never rolled back).  The layout
-  /// must match — snapshots taken by `snapshot_checkpoint` always do.
+  /// locks (crash recovery; versions are never rolled back).
+  ///
+  /// Layout compatibility: a flat checkpoint (`num_shards <= 1` — v1 files
+  /// and single-shard snapshots carry no meaningful shard metadata) restores
+  /// into any shard layout, because params/velocity are stored as flat
+  /// vectors that the receiving server re-slices.  A sharded checkpoint must
+  /// match the server's shard count exactly, and must be self-consistent:
+  /// one declaring N shards but carrying a different number of
+  /// shard_versions is corrupt (truncated or hand-edited) and is rejected
+  /// rather than restored with silently wrong staleness metadata.
   void restore_checkpoint(const Checkpoint& ckpt) {
     if (ckpt.params.size() != ps_.num_params() || ckpt.velocity.size() != ps_.num_params())
       throw CheckpointError("SharedParameterServer::restore_checkpoint: size mismatch");
     if (ckpt.num_shards > 1 && ckpt.num_shards != static_cast<std::uint64_t>(ps_.num_shards()))
       throw CheckpointError("SharedParameterServer::restore_checkpoint: shard layout mismatch");
+    if (ckpt.num_shards > 1 && ckpt.shard_versions.size() != ckpt.num_shards)
+      throw CheckpointError(
+          "SharedParameterServer::restore_checkpoint: checkpoint declares " +
+          std::to_string(ckpt.num_shards) + " shards but carries " +
+          std::to_string(ckpt.shard_versions.size()) + " shard versions");
     for (std::size_t s = 0; s < shard_mu_.size(); ++s) {
       const std::lock_guard<std::mutex> lock(shard_mu_[s]);
       ps_.restore_shard_state(s, ckpt.params, ckpt.velocity);

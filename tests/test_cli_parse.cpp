@@ -1,0 +1,109 @@
+#include "common/parse.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.h"
+
+namespace ss {
+namespace {
+
+// The CLI used to feed flag values straight into std::stoull/stoi, so a typo
+// like `--steps 10x` aborted the process via an uncaught std::invalid_argument.
+// These helpers must instead reject anything that is not a complete, in-range
+// literal, with a message naming the flag — the table below pins both the
+// accept and the reject sides.
+
+TEST(CliParse, AcceptsValidIntegers) {
+  EXPECT_EQ(parse_u64("--steps", "0"), 0u);
+  EXPECT_EQ(parse_u64("--steps", "8192"), 8192u);
+  EXPECT_EQ(parse_u64("--seed", "18446744073709551615"), UINT64_MAX);
+  EXPECT_EQ(parse_i64("--crash-after", "-1"), -1);
+  EXPECT_EQ(parse_i64("--crash-after", "9223372036854775807"), INT64_MAX);
+  EXPECT_EQ(parse_int("--workers", "4"), 4);
+  EXPECT_EQ(parse_int("--workers", "-2147483648"), INT32_MIN);
+  EXPECT_EQ(parse_int("--workers", "2147483647"), INT32_MAX);
+}
+
+TEST(CliParse, AcceptsValidDoubles) {
+  EXPECT_DOUBLE_EQ(parse_double("--lr", "0.05"), 0.05);
+  EXPECT_DOUBLE_EQ(parse_double("--lr", "1e-3"), 1e-3);
+  EXPECT_DOUBLE_EQ(parse_double("--momentum", "-0.5"), -0.5);
+}
+
+struct RejectCase {
+  const char* flag;
+  const char* value;
+};
+
+TEST(CliParse, RejectsMalformedU64) {
+  const RejectCase cases[] = {
+      {"--steps", ""},        // empty
+      {"--steps", "8x"},      // trailing junk
+      {"--steps", " 8"},      // leading whitespace
+      {"--steps", "8 "},      // trailing whitespace
+      {"--steps", "-1"},      // negative into unsigned
+      {"--steps", "1e3"},     // float syntax
+      {"--steps", "0x10"},    // hex not accepted
+      {"--seed", "18446744073709551616"},  // UINT64_MAX + 1
+      {"--steps", "ten"},
+  };
+  for (const RejectCase& c : cases) {
+    try {
+      (void)parse_u64(c.flag, c.value);
+      FAIL() << c.flag << "=" << c.value << " parsed without error";
+    } catch (const ConfigError& e) {
+      EXPECT_EQ(std::string(e.what()),
+                std::string(c.flag) + ": expected integer, got '" + c.value + "'")
+          << "for value '" << c.value << "'";
+    }
+  }
+}
+
+TEST(CliParse, RejectsMalformedI64) {
+  const RejectCase cases[] = {
+      {"--crash-after", ""},
+      {"--crash-after", "5.0"},
+      {"--crash-after", "--3"},
+      {"--crash-after", "9223372036854775808"},  // INT64_MAX + 1
+  };
+  for (const RejectCase& c : cases) {
+    EXPECT_THROW((void)parse_i64(c.flag, c.value), ConfigError)
+        << c.flag << "=" << c.value;
+  }
+}
+
+TEST(CliParse, RejectsOutOfIntRange) {
+  // Fits in i64 but not int: parse_int must reject rather than truncate.
+  EXPECT_THROW((void)parse_int("--workers", "2147483648"), ConfigError);
+  EXPECT_THROW((void)parse_int("--workers", "-2147483649"), ConfigError);
+  try {
+    (void)parse_int("--workers", "4294967296");
+    FAIL() << "out-of-int value parsed without error";
+  } catch (const ConfigError& e) {
+    EXPECT_STREQ(e.what(), "--workers: expected integer, got '4294967296'");
+  }
+}
+
+TEST(CliParse, RejectsMalformedDoubles) {
+  const RejectCase cases[] = {
+      {"--lr", ""},
+      {"--lr", "0.05x"},
+      {"--lr", "fast"},
+      {"--lr", " 0.1"},
+  };
+  for (const RejectCase& c : cases) {
+    try {
+      (void)parse_double(c.flag, c.value);
+      FAIL() << c.flag << "=" << c.value << " parsed without error";
+    } catch (const ConfigError& e) {
+      EXPECT_EQ(std::string(e.what()),
+                std::string(c.flag) + ": expected number, got '" + c.value + "'");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ss

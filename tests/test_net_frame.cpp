@@ -1,0 +1,361 @@
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ss {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Round trips: every message type encodes to a frame whose payload decodes
+// back to an equal value.  Fields use distinct, non-default values so a
+// swapped or skipped field cannot round-trip by accident.
+// ---------------------------------------------------------------------------
+
+TEST(NetFrame, FrameEnvelopeRoundTrips) {
+  Frame f;
+  f.type = MsgType::kPushDense;
+  f.payload = {1, 2, 3, 4, 5};
+  const std::vector<std::uint8_t> bytes = encode_frame(f);
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes + f.payload.size());
+  const Frame back = decode_frame(bytes);
+  EXPECT_EQ(back.type, f.type);
+  EXPECT_EQ(back.payload, f.payload);
+}
+
+TEST(NetFrame, EmptyPayloadFrameRoundTrips) {
+  const std::vector<std::uint8_t> bytes = encode_frame(make_empty_frame(MsgType::kBye));
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes);
+  const Frame back = decode_frame(bytes);
+  EXPECT_EQ(back.type, MsgType::kBye);
+  EXPECT_TRUE(back.payload.empty());
+}
+
+TEST(NetFrame, HelloRoundTrips) {
+  HelloMsg m;
+  m.protocol_version = 7;
+  const Frame f = m.encode();
+  EXPECT_EQ(f.type, MsgType::kHello);
+  EXPECT_EQ(HelloMsg::decode(f.payload).protocol_version, 7);
+}
+
+TEST(NetFrame, AssignmentRoundTrips) {
+  AssignmentMsg m;
+  m.worker = 3;
+  m.num_workers = 5;
+  m.num_params = 1234;
+  m.num_shards = 4;
+  m.steps_per_worker = 777;
+  m.batch_size = 48;
+  m.lr = 0.125;
+  m.momentum = 0.875;
+  m.seed = 424242;
+  m.arch = ModelArch::kResNet32Lite;
+  m.compression = CompressionSpec::topk(0.05);
+  m.data = SyntheticSpec::cifar100_like();
+  const Frame f = m.encode();
+  EXPECT_EQ(f.type, MsgType::kAssignment);
+  const AssignmentMsg b = AssignmentMsg::decode(f.payload);
+  EXPECT_EQ(b.worker, m.worker);
+  EXPECT_EQ(b.num_workers, m.num_workers);
+  EXPECT_EQ(b.num_params, m.num_params);
+  EXPECT_EQ(b.num_shards, m.num_shards);
+  EXPECT_EQ(b.steps_per_worker, m.steps_per_worker);
+  EXPECT_EQ(b.batch_size, m.batch_size);
+  EXPECT_DOUBLE_EQ(b.lr, m.lr);
+  EXPECT_DOUBLE_EQ(b.momentum, m.momentum);
+  EXPECT_EQ(b.seed, m.seed);
+  EXPECT_EQ(b.arch, m.arch);
+  EXPECT_EQ(b.compression.kind, CodecKind::kTopK);
+  EXPECT_DOUBLE_EQ(b.compression.topk_fraction, 0.05);
+  EXPECT_EQ(b.data.num_classes, m.data.num_classes);
+  EXPECT_EQ(b.data.feature_dim, m.data.feature_dim);
+  EXPECT_EQ(b.data.train_size, m.data.train_size);
+  EXPECT_EQ(b.data.test_size, m.data.test_size);
+  EXPECT_EQ(b.data.modes_per_class, m.data.modes_per_class);
+  EXPECT_DOUBLE_EQ(b.data.class_separation, m.data.class_separation);
+  EXPECT_DOUBLE_EQ(b.data.within_stddev, m.data.within_stddev);
+  EXPECT_DOUBLE_EQ(b.data.label_noise, m.data.label_noise);
+  EXPECT_EQ(b.data.seed, m.data.seed);
+}
+
+TEST(NetFrame, PullReplyRoundTrips) {
+  PullReplyMsg m;
+  m.versions = {5, 6, 7};
+  m.params = {1.5f, -2.5f, 0.0f, 99.0f};
+  const Frame f = m.encode();
+  EXPECT_EQ(f.type, MsgType::kPullReply);
+  const PullReplyMsg b = PullReplyMsg::decode(f.payload);
+  EXPECT_EQ(b.versions, m.versions);
+  EXPECT_EQ(b.params, m.params);
+}
+
+TEST(NetFrame, PushDenseRoundTrips) {
+  PushDenseMsg m;
+  m.lr = 0.03;
+  m.pull_versions = {9, 9};
+  m.grad = {0.25f, -0.5f, 1.0f};
+  const Frame f = m.encode();
+  EXPECT_EQ(f.type, MsgType::kPushDense);
+  const PushDenseMsg b = PushDenseMsg::decode(f.payload);
+  EXPECT_DOUBLE_EQ(b.lr, m.lr);
+  EXPECT_EQ(b.pull_versions, m.pull_versions);
+  EXPECT_EQ(b.grad, m.grad);
+}
+
+TEST(NetFrame, PushCompressedDenseRoundTrips) {
+  PushCompressedMsg m;
+  m.lr = 0.02;
+  m.pull_versions = {3};
+  m.push.format = CompressedPush::Format::kDense;
+  m.push.num_params = 4;
+  m.push.wire_size = 6;
+  m.push.values = {1.0f, 0.0f, -1.0f, 2.0f};
+  const Frame f = m.encode();
+  EXPECT_EQ(f.type, MsgType::kPushCompressed);
+  const PushCompressedMsg b = PushCompressedMsg::decode(f.payload);
+  EXPECT_DOUBLE_EQ(b.lr, m.lr);
+  EXPECT_EQ(b.pull_versions, m.pull_versions);
+  EXPECT_EQ(b.push.format, CompressedPush::Format::kDense);
+  EXPECT_EQ(b.push.num_params, 4u);
+  EXPECT_EQ(b.push.wire_size, 6u);
+  EXPECT_EQ(b.push.values, m.push.values);
+}
+
+TEST(NetFrame, PushCompressedSparseRoundTrips) {
+  PushCompressedMsg m;
+  m.lr = 0.01;
+  m.pull_versions = {1, 2};
+  m.push.format = CompressedPush::Format::kSparse;
+  m.push.num_params = 100;
+  m.push.wire_size = 16;
+  m.push.values = {0.5f, -0.5f};
+  m.push.indices = {7, 42};
+  const PushCompressedMsg b = PushCompressedMsg::decode(m.encode().payload);
+  EXPECT_EQ(b.push.format, CompressedPush::Format::kSparse);
+  EXPECT_EQ(b.push.indices, m.push.indices);
+  EXPECT_EQ(b.push.values, m.push.values);
+}
+
+TEST(NetFrame, SmallMessagesRoundTrip) {
+  PushReplyMsg pr;
+  pr.staleness = -3;
+  EXPECT_EQ(PushReplyMsg::decode(pr.encode().payload).staleness, -3);
+
+  DrainArriveMsg da;
+  da.local_steps = 512;
+  EXPECT_EQ(DrainArriveMsg::decode(da.encode().payload).local_steps, 512);
+
+  DrainReleaseMsg dr;
+  dr.done = false;
+  EXPECT_FALSE(DrainReleaseMsg::decode(dr.encode().payload).done);
+
+  CheckpointRequestMsg cr;
+  cr.logical_step = 4096;
+  EXPECT_EQ(CheckpointRequestMsg::decode(cr.encode().payload).logical_step, 4096);
+
+  VersionReplyMsg vr;
+  vr.version = 1 << 20;
+  EXPECT_EQ(VersionReplyMsg::decode(vr.encode().payload).version, 1 << 20);
+
+  ErrorMsg em;
+  em.message = "shard layout mismatch";
+  EXPECT_EQ(ErrorMsg::decode(em.encode().payload).message, em.message);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed frames: every corruption decodes to a typed NetError whose
+// message names the failure — never a crash, never a silently-wrong value.
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> valid_frame_bytes() {
+  PushReplyMsg m;
+  m.staleness = 1;
+  return encode_frame(m.encode());
+}
+
+struct MalformedCase {
+  const char* name;
+  std::vector<std::uint8_t> bytes;
+  const char* expect_substr;
+};
+
+std::vector<MalformedCase> malformed_cases() {
+  std::vector<MalformedCase> cases;
+
+  {
+    std::vector<std::uint8_t> b = valid_frame_bytes();
+    b.resize(kFrameHeaderBytes - 3);  // header cut short
+    cases.push_back({"truncated_header", std::move(b), "truncated header"});
+  }
+  {
+    std::vector<std::uint8_t> b = valid_frame_bytes();
+    b[0] ^= 0xFF;  // corrupt magic
+    cases.push_back({"bad_magic", std::move(b), "bad magic"});
+  }
+  {
+    std::vector<std::uint8_t> b = valid_frame_bytes();
+    b[4] = 0x2A;  // protocol version 42
+    cases.push_back({"bad_version", std::move(b), "unsupported protocol version"});
+  }
+  {
+    std::vector<std::uint8_t> b = valid_frame_bytes();
+    b[6] = 0xEE;  // type 0xEE: past kError
+    cases.push_back({"unknown_type", std::move(b), "unknown message type"});
+  }
+  {
+    std::vector<std::uint8_t> b = valid_frame_bytes();
+    b[6] = 0;  // type 0: below kHello
+    cases.push_back({"zero_type", std::move(b), "unknown message type"});
+  }
+  {
+    std::vector<std::uint8_t> b = valid_frame_bytes();
+    const std::uint64_t huge = kMaxFramePayload + 1;
+    std::memcpy(b.data() + 8, &huge, sizeof(huge));  // length past the cap
+    cases.push_back({"length_overflow", std::move(b), "exceeds"});
+  }
+  {
+    std::vector<std::uint8_t> b = valid_frame_bytes();
+    b.pop_back();  // payload shorter than the header claims
+    cases.push_back({"truncated_payload", std::move(b), "truncated payload"});
+  }
+  {
+    std::vector<std::uint8_t> b = valid_frame_bytes();
+    b.push_back(0xAB);  // payload longer than the header claims
+    cases.push_back({"overlong_payload", std::move(b), "trailing bytes"});
+  }
+  return cases;
+}
+
+TEST(NetFrame, MalformedFramesThrowTypedErrors) {
+  for (const MalformedCase& c : malformed_cases()) {
+    try {
+      (void)decode_frame(c.bytes);
+      FAIL() << c.name << ": decoded without error";
+    } catch (const NetError& e) {
+      EXPECT_NE(std::string(e.what()).find(c.expect_substr), std::string::npos)
+          << c.name << ": got '" << e.what() << "'";
+    }
+  }
+}
+
+struct MalformedPayloadCase {
+  const char* name;
+  Frame frame;
+  const char* expect_substr;
+};
+
+TEST(NetFrame, MalformedPayloadsThrowTypedErrors) {
+  std::vector<MalformedPayloadCase> cases;
+
+  {
+    // Vector count claims more elements than bytes present: must be caught
+    // before the resize, not by reading past the buffer.
+    PullReplyMsg m;
+    m.versions = {1};
+    m.params = {1.0f, 2.0f};
+    Frame f = m.encode();
+    const std::uint64_t lie = 1u << 20;
+    std::memcpy(f.payload.data() + 0, &lie, sizeof(lie));  // versions count
+    cases.push_back({"vector_count_lie", std::move(f), "truncated payload"});
+  }
+  {
+    PushDenseMsg m;
+    m.pull_versions = {1};
+    m.grad = {1.0f};
+    Frame f = m.encode();
+    f.payload.push_back(0);  // one byte of trailing junk after the last vec
+    cases.push_back({"payload_trailing_bytes", std::move(f), "trailing bytes"});
+  }
+  {
+    PushDenseMsg m;
+    m.pull_versions.clear();  // staleness accounting needs >= 1 shard version
+    m.grad = {1.0f};
+    cases.push_back({"empty_version_vector", m.encode(), "empty version vector"});
+  }
+  {
+    PushCompressedMsg m;
+    m.pull_versions = {1};
+    m.push.format = CompressedPush::Format::kSparse;
+    m.push.num_params = 10;
+    m.push.values = {1.0f, 2.0f};
+    m.push.indices = {3, 99};  // 99 out of range for 10 params
+    cases.push_back({"sparse_index_out_of_range", m.encode(), "PushCompressed"});
+  }
+  {
+    PushCompressedMsg m;
+    m.pull_versions = {1};
+    m.push.format = CompressedPush::Format::kSparse;
+    m.push.num_params = 10;
+    m.push.values = {1.0f, 2.0f};
+    m.push.indices = {5, 3};  // violates the strictly-ascending contract
+    cases.push_back({"sparse_indices_descending", m.encode(), "PushCompressed"});
+  }
+  {
+    PushCompressedMsg m;
+    m.pull_versions = {1};
+    m.push.format = CompressedPush::Format::kDense;
+    m.push.num_params = 8;
+    m.push.values = {1.0f, 2.0f};  // dense push must carry num_params values
+    cases.push_back({"dense_length_mismatch", m.encode(), "PushCompressed"});
+  }
+  {
+    Frame f = make_empty_frame(MsgType::kAssignment);
+    cases.push_back({"assignment_empty_payload", std::move(f), "truncated payload"});
+  }
+
+  for (const MalformedPayloadCase& c : cases) {
+    try {
+      switch (c.frame.type) {
+        case MsgType::kPullReply:
+          (void)PullReplyMsg::decode(c.frame.payload);
+          break;
+        case MsgType::kPushDense:
+          (void)PushDenseMsg::decode(c.frame.payload);
+          break;
+        case MsgType::kPushCompressed:
+          (void)PushCompressedMsg::decode(c.frame.payload);
+          break;
+        case MsgType::kAssignment:
+          (void)AssignmentMsg::decode(c.frame.payload);
+          break;
+        default:
+          FAIL() << c.name << ": case table covers no decoder for this type";
+      }
+      FAIL() << c.name << ": decoded without error";
+    } catch (const NetError& e) {
+      EXPECT_NE(std::string(e.what()).find(c.expect_substr), std::string::npos)
+          << c.name << ": got '" << e.what() << "'";
+    }
+  }
+}
+
+TEST(NetFrame, AssignmentRejectsOutOfRangeEnums) {
+  AssignmentMsg m;
+  m.worker = 0;
+  m.num_workers = 1;
+  Frame f = m.encode();
+  // arch byte sits right after worker(4) + five u64/i64 fields (40) + two
+  // doubles (16) + seed (8) = offset 68.
+  Frame bad_arch = f;
+  bad_arch.payload[68] = 0x7F;
+  EXPECT_THROW((void)AssignmentMsg::decode(bad_arch.payload), NetError);
+  Frame bad_codec = f;
+  bad_codec.payload[69] = 0x7F;
+  EXPECT_THROW((void)AssignmentMsg::decode(bad_codec.payload), NetError);
+}
+
+TEST(NetFrame, AssignmentRejectsWorkerSlotOutOfRange) {
+  AssignmentMsg m;
+  m.worker = 4;
+  m.num_workers = 4;  // valid slots are 0..3
+  EXPECT_THROW((void)AssignmentMsg::decode(m.encode().payload), NetError);
+}
+
+}  // namespace
+}  // namespace ss

@@ -185,6 +185,21 @@ TEST(ShardedParameterServer, CheckpointRoundTripsShardLayout) {
   EXPECT_EQ(std::vector<float>(other.params().begin(), other.params().end()), ckpt.params);
 }
 
+TEST(ShardedParameterServer, RestoreRejectsInconsistentShardVersionCount) {
+  // A checkpoint that declares N shards but carries a different number of
+  // shard versions is internally inconsistent (e.g. a corrupt or hand-edited
+  // blob): restore must refuse it up front even when the declared layout
+  // matches the server's, rather than restoring params and then indexing a
+  // short version vector.
+  ShardedParameterServer ps(random_vec(20, 5), 0.9, 4);
+  Checkpoint ckpt = ps.make_checkpoint(0);
+  ASSERT_EQ(ckpt.num_shards, 4u);
+  ckpt.shard_versions.pop_back();
+  EXPECT_THROW(ps.restore(ckpt), CheckpointError);
+  ckpt.shard_versions.assign(6, 0);
+  EXPECT_THROW(ps.restore(ckpt), CheckpointError);
+}
+
 TEST(ShardedParameterServer, LegacyV1CheckpointDeserializes) {
   // Hand-build a v1 blob (no shard fields) and check it reads back as flat.
   Checkpoint c;

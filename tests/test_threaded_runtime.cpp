@@ -4,6 +4,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <stdexcept>
 #include <thread>
 
 #include "common/error.h"
@@ -406,6 +407,121 @@ TEST(ThreadedRuntime, SspStillTrains) {
   Model trained = proto.clone();
   trained.set_params(result.final_params);
   EXPECT_GT(trained.evaluate_accuracy(split.test), before + 0.2);
+}
+
+// ---------------------------------------------------------------------------
+// Worker-thread exception safety.  An exception escaping a worker body used
+// to hit the top of the std::thread and call std::terminate, taking the
+// whole process down and leaving peers parked on barriers.  It must instead
+// abort the run cleanly: peers drain off their barriers, every thread joins,
+// and the first exception rethrows on the calling thread as a catchable
+// error.  gtest would report the old behavior as a crash, not a failure, so
+// these are genuine regression tests for the terminate path.
+// ---------------------------------------------------------------------------
+
+void expect_worker_throw_is_catchable(Protocol protocol) {
+  const DataSplit split = easy_data();
+  const Model proto = proto_model(split);
+  ThreadedTrainConfig cfg;
+  cfg.protocol = protocol;
+  cfg.num_workers = 4;
+  cfg.steps_per_worker = 40;
+  cfg.ssp_staleness_bound = 2;
+  // Worker 2 blows up mid-run; the others are mid-step or parked on the
+  // round/drain barrier when it happens.
+  cfg.pre_step_hook = [](std::size_t worker, std::int64_t step) {
+    if (worker == 2 && step == 7) throw std::runtime_error("injected worker fault");
+  };
+  try {
+    threaded_train(proto, split.train, cfg);
+    FAIL() << protocol_name(protocol) << ": worker exception was swallowed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "injected worker fault") << protocol_name(protocol);
+  }
+  // If any worker were still parked on a barrier, threaded_train could not
+  // have returned (it joins every thread before rethrowing) — reaching this
+  // line at all proves the abort drained the peers.
+}
+
+TEST(ThreadedRuntime, WorkerExceptionIsCatchableUnderBsp) {
+  expect_worker_throw_is_catchable(Protocol::kBsp);
+}
+
+TEST(ThreadedRuntime, WorkerExceptionIsCatchableUnderAsp) {
+  expect_worker_throw_is_catchable(Protocol::kAsp);
+}
+
+TEST(ThreadedRuntime, WorkerExceptionIsCatchableUnderSsp) {
+  expect_worker_throw_is_catchable(Protocol::kSsp);
+}
+
+TEST(ThreadedRuntime, FirstStepExceptionAbortsBeforeAnyUpdate) {
+  // Throwing on the very first step exercises the abort path while every
+  // peer is still at its first barrier arrival.
+  const DataSplit split = easy_data();
+  const Model proto = proto_model(split);
+  ThreadedTrainConfig cfg;
+  cfg.protocol = Protocol::kBsp;
+  cfg.num_workers = 4;
+  cfg.steps_per_worker = 10;
+  cfg.pre_step_hook = [](std::size_t worker, std::int64_t step) {
+    if (worker == 0 && step == 0) throw std::runtime_error("first-step fault");
+  };
+  EXPECT_THROW(threaded_train(proto, split.train, cfg), std::runtime_error);
+}
+
+TEST(ThreadedRuntime, RuntimeStaysUsableAfterAbortedRun) {
+  // An aborted run must not leak state that poisons the next one: the same
+  // config without the fault trains normally afterwards.
+  const DataSplit split = easy_data();
+  const Model proto = proto_model(split);
+  ThreadedTrainConfig cfg;
+  cfg.protocol = Protocol::kAsp;
+  cfg.num_workers = 4;
+  cfg.steps_per_worker = 20;
+  ThreadedTrainConfig faulty = cfg;
+  faulty.pre_step_hook = [](std::size_t worker, std::int64_t step) {
+    if (worker == 1 && step == 3) throw std::runtime_error("fault");
+  };
+  EXPECT_THROW(threaded_train(proto, split.train, faulty), std::runtime_error);
+  const auto result = threaded_train(proto, split.train, cfg);
+  EXPECT_EQ(result.total_updates, 80);
+  for (float p : result.final_params) EXPECT_TRUE(std::isfinite(p));
+}
+
+// ---------------------------------------------------------------------------
+// restore_checkpoint input validation: a checkpoint that declares N shards
+// but carries a different number of shard versions is internally
+// inconsistent and must be rejected up front, not half-applied.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadedRuntime, RestoreRejectsInconsistentShardVersions) {
+  SharedParameterServer ps(std::vector<float>(8, 0.0f), 0.0, 4);
+  Checkpoint ckpt = ps.snapshot_checkpoint(0);
+  ASSERT_EQ(ckpt.num_shards, 4u);
+  ASSERT_EQ(ckpt.shard_versions.size(), 4u);
+  ckpt.shard_versions.pop_back();  // now declares 4 shards, carries 3 versions
+  EXPECT_THROW(ps.restore_checkpoint(ckpt), CheckpointError);
+}
+
+TEST(ThreadedRuntime, RestoreAcceptsFlatCheckpointIntoShardedLayout) {
+  // The documented v1 compat path: a flat (single-shard) checkpoint restores
+  // into any shard layout, adopting its scalar version for every shard.
+  SharedParameterServer flat(std::vector<float>{1.0f, 2.0f, 3.0f, 4.0f}, 0.0);
+  const std::vector<float> grad(4, 1.0f);
+  flat.push(grad, 0.5, 0);
+  const Checkpoint ckpt = flat.snapshot_checkpoint(1);
+
+  SharedParameterServer sharded(std::vector<float>(4, 0.0f), 0.0, 2);
+  sharded.restore_checkpoint(ckpt);
+  std::vector<float> params(4);
+  sharded.pull(params);
+  std::vector<float> expect(4);
+  flat.pull(expect);
+  EXPECT_EQ(params, expect);
+  // Versions never roll back on restore (the recovery-semantics contract):
+  // the restored server keeps its own update count.
+  EXPECT_EQ(sharded.version(), 0);
 }
 
 }  // namespace

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Multi-process recovery smoke test (ctest label: multiprocess).
+#
+# Starts one PS-server process and two worker processes over a Unix-domain
+# socket, then SIGKILLs one worker mid-run — real process death, not a
+# simulated flag.  The server must detect the dead socket, evict the worker,
+# restore the latest asynchronous snapshot, and still complete the run with
+# the survivor.  Asserts on the server's exit code, the survivor's exit
+# code, and the eviction/restore lines in the server output.
+#
+# Usage: multiprocess_smoke.sh <path-to-sync_switch_cli>
+set -u
+
+CLI="${1:?usage: multiprocess_smoke.sh <path-to-sync_switch_cli>}"
+DIR="$(mktemp -d)"
+SOCK="$DIR/ps.sock"
+trap 'kill -9 "$SERVER" "$W0" "$W1" 2>/dev/null; rm -rf "$DIR"' EXIT
+
+fail() {
+  echo "FAIL: $1"
+  echo "--- server log ---"; cat "$DIR/server.log" 2>/dev/null
+  echo "--- worker 0 log ---"; cat "$DIR/worker0.log" 2>/dev/null
+  echo "--- worker 1 log ---"; cat "$DIR/worker1.log" 2>/dev/null
+  exit 1
+}
+
+# The step quota is sized so the run is still going when the kill lands
+# (~10k updates/s over a unix socket on one core => ~4s of run); the
+# survivor then finishes the remaining steps alone.
+"$CLI" serve --listen "unix:$SOCK" --workers 2 --steps 20000 --batch 16 \
+  --snapshot-interval 32 --verbose >"$DIR/server.log" 2>&1 &
+SERVER=$!
+W0=""
+W1=""
+
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  kill -0 "$SERVER" 2>/dev/null || fail "server exited before listening"
+  sleep 0.1
+done
+[ -S "$SOCK" ] || fail "server socket never appeared"
+
+"$CLI" worker --connect "unix:$SOCK" --verbose >"$DIR/worker0.log" 2>&1 &
+W0=$!
+"$CLI" worker --connect "unix:$SOCK" --verbose >"$DIR/worker1.log" 2>&1 &
+W1=$!
+
+# Only kill once both workers hold a slot and have had time to push a few
+# updates, so the eviction happens mid-run rather than mid-handshake.
+for _ in $(seq 1 100); do
+  grep -q "worker 1 joined" "$DIR/server.log" && break
+  sleep 0.1
+done
+grep -q "worker 1 joined" "$DIR/server.log" || fail "second worker never joined"
+sleep 0.3
+
+kill -9 "$W1" 2>/dev/null || fail "worker to kill had already exited (run too short)"
+wait "$W1" 2>/dev/null
+
+wait "$W0"
+W0_RC=$?
+wait "$SERVER"
+SERVER_RC=$?
+W1=""
+W0=""
+SERVER=""
+trap 'rm -rf "$DIR"' EXIT
+
+[ "$SERVER_RC" -eq 0 ] || fail "server exited with $SERVER_RC"
+[ "$W0_RC" -eq 0 ] || fail "surviving worker exited with $W0_RC"
+grep -q "evicted worker" "$DIR/server.log" || fail "server never evicted the killed worker"
+grep -q "1 evicted" "$DIR/server.log" || fail "summary does not report the eviction"
+grep -Eq "[1-9][0-9]* snapshot restores" "$DIR/server.log" \
+  || fail "summary does not report a snapshot restore"
+
+echo "PASS: killed worker evicted, snapshot restored, run completed"
+exit 0

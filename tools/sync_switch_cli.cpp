@@ -20,13 +20,23 @@
 //   sync_switch_cli scenario replay --seed=7 [--threaded]
 //   sync_switch_cli scenario replay --file spot.csv
 //   sync_switch_cli scenario fuzz --seeds=200 [--threaded-every=25]
+//
+// Multi-process deployment (src/net/): host the parameter server in one OS
+// process and connect real worker processes over Unix-domain or TCP sockets
+// (docs/EXPERIMENTS.md walks through killing a worker mid-run):
+//   sync_switch_cli serve --listen unix:/tmp/ps.sock --workers 2 --steps 200
+//   sync_switch_cli worker --connect unix:/tmp/ps.sock
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "common/error.h"
 #include "common/log.h"
+#include "common/parse.h"
 #include "core/session.h"
+#include "net/ps_server.h"
+#include "net/worker_process.h"
 #include "ps/trace.h"
 #include "scenario/generator.h"
 #include "scenario/invariants.h"
@@ -40,6 +50,7 @@ namespace {
   std::cerr
       << "usage: " << argv0 << " [options]\n"
       << "       " << argv0 << " scenario gen|replay|fuzz [options]\n"
+      << "       " << argv0 << " serve|worker [options]\n"
       << "  --workers N        cluster size (default 8)\n"
       << "  --steps S          minibatch-step budget (default 2048)\n"
       << "  --batch B          per-worker batch size (default 64)\n"
@@ -121,19 +132,20 @@ int scenario_main(int argc, char** argv) {
       return argv[++i];
     };
     try {
-      if (arg == "--seed") seed = std::stoull(value());
+      if (arg == "--seed") seed = parse_u64(arg, value());
       else if (arg == "--file") file = value();
       else if (arg == "--out") out = value();
       else if (arg == "--json") json = true;
       else if (arg == "--threaded") threaded = true;
-      else if (arg == "--seeds") seeds = std::stoull(value());
-      else if (arg == "--start") start = std::stoull(value());
-      else if (arg == "--threaded-every") threaded_every = std::stoull(value());
-      else if (arg == "--workers") gen_cfg.num_workers = std::stoul(value());
-      else if (arg == "--steps") gen_cfg.total_steps = std::stoll(value());
+      else if (arg == "--seeds") seeds = parse_u64(arg, value());
+      else if (arg == "--start") start = parse_u64(arg, value());
+      else if (arg == "--threaded-every") threaded_every = parse_u64(arg, value());
+      else if (arg == "--workers") gen_cfg.num_workers = parse_u64(arg, value());
+      else if (arg == "--steps") gen_cfg.total_steps = parse_i64(arg, value());
       else if (arg == "--verbose") set_log_level(LogLevel::kInfo);
       else scenario_usage(argv[0]);
-    } catch (const std::invalid_argument&) {
+    } catch (const ConfigError& e) {
+      std::cerr << "error: " << e.what() << "\n";
       scenario_usage(argv[0]);
     }
   }
@@ -195,10 +207,157 @@ int scenario_main(int argc, char** argv) {
   }
 }
 
+[[noreturn]] void net_usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " serve [options]   (host the parameter server)\n"
+      << "       " << argv0 << " worker [options]  (connect one training worker)\n"
+      << "serve options (flags take '--flag value' or '--flag=value'):\n"
+      << "  --listen EP            unix:<path> or tcp:<host>:<port>; tcp port 0 binds an\n"
+      << "                         ephemeral port (default unix:/tmp/sync_switch_ps.sock)\n"
+      << "  --workers N            worker processes to admit (default 2)\n"
+      << "  --steps S              steps per worker (default 100)\n"
+      << "  --batch B              per-worker batch size (default 32)\n"
+      << "  --lr ETA               learning rate (default 0.05)\n"
+      << "  --momentum MU          momentum (default 0.9)\n"
+      << "  --seed X               run seed, shipped to workers (default 99)\n"
+      << "  --shards K             PS shard count (default 1)\n"
+      << "  --snapshot-interval U  PS updates between async snapshots; 0 = run-start\n"
+      << "                         snapshot only (default 64)\n"
+      << "  --arch A               linear | resnet32_lite | resnet50_lite (default linear)\n"
+      << "  --classes C            10 or 100 (default 10)\n"
+      << "  --compress C           none | topk | terngrad | qsgd (default none)\n"
+      << "worker options:\n"
+      << "  --connect EP           server endpoint (default unix:/tmp/sync_switch_ps.sock)\n"
+      << "  --crash-after N        abruptly disconnect after N steps (recovery testing)\n"
+      << "both:\n"
+      << "  --verbose              info-level logging\n";
+  std::exit(2);
+}
+
+/// Shared '--flag value' / '--flag=value' splitter for the net subcommands.
+struct FlagCursor {
+  int argc;
+  char** argv;
+  int i;
+  std::string arg{};
+  std::string inline_value{};
+  bool has_inline = false;
+
+  bool next() {
+    if (i >= argc) return false;
+    arg = argv[i];
+    has_inline = false;
+    if (arg.rfind("--", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg = arg.substr(0, eq);
+        has_inline = true;
+      }
+    }
+    return true;
+  }
+
+  std::string value(const char* argv0) {
+    if (has_inline) return inline_value;
+    if (i + 1 >= argc) net_usage(argv0);
+    return argv[++i];
+  }
+};
+
+int serve_main(int argc, char** argv) {
+  PsServerConfig cfg;
+  cfg.snapshot_interval = 64;
+  for (FlagCursor c{argc, argv, 2}; c.next(); ++c.i) {
+    auto value = [&] { return c.value(argv[0]); };
+    try {
+      if (c.arg == "--listen") cfg.listen = value();
+      else if (c.arg == "--workers") cfg.num_workers = parse_u64(c.arg, value());
+      else if (c.arg == "--steps") cfg.steps_per_worker = parse_i64(c.arg, value());
+      else if (c.arg == "--batch") cfg.batch_size = parse_u64(c.arg, value());
+      else if (c.arg == "--lr") cfg.lr = parse_double(c.arg, value());
+      else if (c.arg == "--momentum") cfg.momentum = parse_double(c.arg, value());
+      else if (c.arg == "--seed") cfg.seed = parse_u64(c.arg, value());
+      else if (c.arg == "--shards") cfg.num_ps_shards = parse_u64(c.arg, value());
+      else if (c.arg == "--snapshot-interval") cfg.snapshot_interval = parse_i64(c.arg, value());
+      else if (c.arg == "--verbose") set_log_level(LogLevel::kInfo);
+      else if (c.arg == "--arch") {
+        const std::string a = value();
+        if (a == "linear") cfg.arch = ModelArch::kLinear;
+        else if (a == "resnet32_lite") cfg.arch = ModelArch::kResNet32Lite;
+        else if (a == "resnet50_lite") cfg.arch = ModelArch::kResNet50Lite;
+        else net_usage(argv[0]);
+      } else if (c.arg == "--classes") {
+        const int cls = parse_int(c.arg, value());
+        if (cls == 10) cfg.data = SyntheticSpec::cifar10_like();
+        else if (cls == 100) cfg.data = SyntheticSpec::cifar100_like();
+        else net_usage(argv[0]);
+      } else if (c.arg == "--compress") {
+        const std::string k = value();
+        if (k == "none") cfg.compression = CompressionSpec::none();
+        else if (k == "topk") cfg.compression = CompressionSpec::topk(0.01);
+        else if (k == "terngrad") cfg.compression = CompressionSpec::terngrad();
+        else if (k == "qsgd") cfg.compression = CompressionSpec::qsgd(15);
+        else net_usage(argv[0]);
+      } else {
+        net_usage(argv[0]);
+      }
+    } catch (const ConfigError& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      net_usage(argv[0]);
+    }
+  }
+  try {
+    const PsServerResult r = run_ps_server(cfg);
+    std::cout << "ps_server: " << r.total_updates << " updates from " << r.workers_joined
+              << " workers (" << r.workers_evicted << " evicted, " << r.snapshots_restored
+              << " snapshot restores, " << r.updates_lost << " updates lost)\n"
+              << "ps_server: final accuracy " << r.final_accuracy << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+int worker_main(int argc, char** argv) {
+  WorkerProcessConfig cfg;
+  cfg.endpoint = "unix:/tmp/sync_switch_ps.sock";
+  for (FlagCursor c{argc, argv, 2}; c.next(); ++c.i) {
+    auto value = [&] { return c.value(argv[0]); };
+    try {
+      if (c.arg == "--connect") cfg.endpoint = value();
+      else if (c.arg == "--crash-after") cfg.crash_after_steps = parse_i64(c.arg, value());
+      else if (c.arg == "--verbose") set_log_level(LogLevel::kInfo);
+      else net_usage(argv[0]);
+    } catch (const ConfigError& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      net_usage(argv[0]);
+    }
+  }
+  try {
+    const WorkerProcessResult r = run_worker_process(cfg);
+    if (!r.drained && cfg.crash_after_steps >= 0) {
+      std::cout << "worker " << r.worker << ": simulated crash after " << r.steps
+                << " steps\n";
+      return 0;
+    }
+    std::cout << "worker " << r.worker << ": " << r.steps << " steps, " << r.push_bytes
+              << " push bytes, mean staleness " << r.mean_staleness
+              << (r.drained ? ", drained" : "") << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc >= 2 && std::string(argv[1]) == "scenario") return scenario_main(argc, argv);
+  if (argc >= 2 && std::string(argv[1]) == "serve") return serve_main(argc, argv);
+  if (argc >= 2 && std::string(argv[1]) == "worker") return worker_main(argc, argv);
   RunRequest req;
   req.workload.arch = ModelArch::kResNet32Lite;
   req.workload.data = SyntheticSpec::cifar10_like();
@@ -228,17 +387,17 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     try {
-      if (arg == "--workers") req.cluster.num_workers = std::stoul(need_value(i));
-      else if (arg == "--steps") req.workload.total_steps = std::stoll(need_value(i));
-      else if (arg == "--batch") req.workload.hyper.batch_size = std::stoul(need_value(i));
-      else if (arg == "--lr") req.workload.hyper.learning_rate = std::stod(need_value(i));
-      else if (arg == "--momentum") req.workload.hyper.momentum = std::stod(need_value(i));
+      if (arg == "--workers") req.cluster.num_workers = parse_u64(arg, need_value(i));
+      else if (arg == "--steps") req.workload.total_steps = parse_i64(arg, need_value(i));
+      else if (arg == "--batch") req.workload.hyper.batch_size = parse_u64(arg, need_value(i));
+      else if (arg == "--lr") req.workload.hyper.learning_rate = parse_double(arg, need_value(i));
+      else if (arg == "--momentum") req.workload.hyper.momentum = parse_double(arg, need_value(i));
       else if (arg == "--policy") policy = need_value(i);
-      else if (arg == "--fraction") fraction = std::stod(need_value(i));
-      else if (arg == "--seed") req.seed = std::stoull(need_value(i));
+      else if (arg == "--fraction") fraction = parse_double(arg, need_value(i));
+      else if (arg == "--seed") req.seed = parse_u64(arg, need_value(i));
       else if (arg == "--trace") trace_path = need_value(i);
-      else if (arg == "--stragglers") stragglers = std::stoi(need_value(i));
-      else if (arg == "--latency") latency_ms = std::stod(need_value(i));
+      else if (arg == "--stragglers") stragglers = parse_int(arg, need_value(i));
+      else if (arg == "--latency") latency_ms = parse_double(arg, need_value(i));
       else if (arg == "--verbose") set_log_level(LogLevel::kInfo);
       else if (arg == "--arch") {
         const std::string a = need_value(i);
@@ -247,7 +406,7 @@ int main(int argc, char** argv) {
         else if (a == "linear") req.workload.arch = ModelArch::kLinear;
         else usage(argv[0]);
       } else if (arg == "--classes") {
-        const int c = std::stoi(need_value(i));
+        const int c = parse_int(arg, need_value(i));
         if (c == 10) req.workload.data = SyntheticSpec::cifar10_like();
         else if (c == 100) req.workload.data = SyntheticSpec::cifar100_like();
         else usage(argv[0]);
@@ -261,7 +420,8 @@ int main(int argc, char** argv) {
       } else {
         usage(argv[0]);
       }
-    } catch (const std::invalid_argument&) {
+    } catch (const ConfigError& e) {
+      std::cerr << "error: " << e.what() << "\n";
       usage(argv[0]);
     }
   }
