@@ -10,6 +10,7 @@
 
 #include "common/rng.h"
 #include "compress/qsgd.h"
+#include "core/sweep.h"
 #include "compress/terngrad.h"
 #include "compress/topk.h"
 #include "nn/batchnorm.h"
@@ -238,12 +239,69 @@ void BM_EventQueue(benchmark::State& state) {
   for (auto _ : state) {
     EventQueue q;
     for (int i = 0; i < 1024; ++i)
-      q.schedule(VTime::from_us(1000 - (i % 97)), i % 2, i % 16);
+      q.schedule(VTime::from_us(1000 - (i % 97)),
+                 (i % 2) ? SimEventKind::kPushArrive : SimEventKind::kPullDone, i % 16);
     while (!q.empty()) benchmark::DoNotOptimize(q.pop());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
 }
 BENCHMARK(BM_EventQueue);
+
+// A 32-entry grid of tiny full simulations (4 protocols x 8 seeds), the
+// SweepRunner's unit of work.  Serial vs. parallel pins the sweep executor's
+// scaling in BENCH_sim.json: on an N-core host the parallel variant should
+// approach N x the serial items/s (each sim is independent and allocation-
+// heavy, so it falls short of linear); on a 1-core box the two match.
+std::vector<RunRequest> sweep_bench_grid() {
+  std::vector<RunRequest> grid;
+  const Protocol protocols[] = {Protocol::kBsp, Protocol::kAsp, Protocol::kSsp,
+                                Protocol::kKAsync};
+  for (int i = 0; i < 32; ++i) {
+    RunRequest req;
+    req.workload.arch = ModelArch::kLinear;
+    req.workload.data = SyntheticSpec::cifar10_like();
+    req.workload.data.num_classes = 3;
+    req.workload.data.feature_dim = 16;
+    req.workload.data.train_size = 1024;
+    req.workload.data.test_size = 512;
+    req.workload.total_steps = 48;
+    req.workload.hyper.batch_size = 16;
+    req.workload.eval_interval = 32;
+    req.cluster.num_workers = 4;
+    req.cluster.compute_per_batch = VTime::from_ms(20.0);
+    req.cluster.reference_batch = 16;
+    req.policy = SyncSwitchPolicy::pure(protocols[i % 4]);
+    req.seed = 1 + static_cast<std::uint64_t>(i / 4);
+    grid.push_back(std::move(req));
+  }
+  return grid;
+}
+
+void BM_SimSweepSerial(benchmark::State& state) {
+  const std::vector<RunRequest> grid = sweep_bench_grid();
+  const SweepRunner runner({.jobs = 1});
+  for (auto _ : state) {
+    const auto outcomes = runner.run(grid);
+    benchmark::DoNotOptimize(outcomes.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid.size()));
+}
+BENCHMARK(BM_SimSweepSerial)->Unit(benchmark::kMillisecond);
+
+void BM_SimSweepParallel(benchmark::State& state) {
+  const std::vector<RunRequest> grid = sweep_bench_grid();
+  const SweepRunner runner({.jobs = 0});  // all hardware cores
+  for (auto _ : state) {
+    const auto outcomes = runner.run(grid);
+    benchmark::DoNotOptimize(outcomes.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid.size()));
+  state.counters["threads"] =
+      static_cast<double>(runner.effective_jobs(grid.size()));
+}
+BENCHMARK(BM_SimSweepParallel)->Unit(benchmark::kMillisecond);
 
 void BM_CodecTopK(benchmark::State& state) {
   const auto p = static_cast<std::size_t>(state.range(0));

@@ -1,5 +1,8 @@
 #include "core/run_cache.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cinttypes>
 #include <cstdio>
 #include <filesystem>
@@ -129,12 +132,34 @@ void RunCache::store(const RunRequest& request, const RunResult& result) const {
     return;
   }
   const std::string path = path_for(request);
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    log_warn("RunCache: cannot write ", path);
-    return;
+  // Write-to-tmp + atomic rename: concurrent sweep workers (threads or
+  // processes) storing the same key never expose a torn entry to a reader —
+  // a reader sees either the old complete file or the new complete file.
+  // The tmp name is uniquified per writer so racing writers don't clobber
+  // each other's half-written staging files; last rename wins, and since
+  // results are keyed by content hash, both writers carry identical bytes.
+  static std::atomic<std::uint64_t> tmp_counter{0};
+  std::ostringstream tmp_name;
+  tmp_name << path << ".tmp." << ::getpid() << "." << tmp_counter.fetch_add(1);
+  const std::string tmp_path = tmp_name.str();
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    if (!out) {
+      log_warn("RunCache: cannot write ", tmp_path);
+      return;
+    }
+    out << serialize_run_result(result);
+    if (!out.flush()) {
+      log_warn("RunCache: short write to ", tmp_path);
+      std::filesystem::remove(tmp_path, ec);
+      return;
+    }
   }
-  out << serialize_run_result(result);
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    log_warn("RunCache: cannot rename ", tmp_path, " -> ", path, ": ", ec.message());
+    std::filesystem::remove(tmp_path, ec);
+  }
 }
 
 RunResult RunCache::run_cached(const RunRequest& request) const {

@@ -1,0 +1,71 @@
+#include "core/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+namespace ss {
+
+namespace {
+
+SweepOutcome evaluate_one(const RunRequest& request, const RunCache* cache) {
+  SweepOutcome out;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    if (cache) {
+      if (auto cached = cache->load(request)) {
+        out.result = *cached;
+        out.from_cache = true;
+      } else {
+        out.result = TrainingSession(request).run();
+        cache->store(request, out.result);
+      }
+    } else {
+      out.result = TrainingSession(request).run();
+    }
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  out.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return out;
+}
+
+}  // namespace
+
+std::size_t SweepRunner::effective_jobs(std::size_t num_requests) const {
+  std::size_t jobs = options_.jobs;
+  if (jobs == 0) jobs = std::max(1u, std::thread::hardware_concurrency());
+  return std::clamp<std::size_t>(jobs, 1, std::max<std::size_t>(num_requests, 1));
+}
+
+std::vector<SweepOutcome> SweepRunner::run(const std::vector<RunRequest>& requests) const {
+  std::vector<SweepOutcome> outcomes(requests.size());
+  if (requests.empty()) return outcomes;
+
+  const std::size_t jobs = effective_jobs(requests.size());
+  if (jobs == 1) {
+    for (std::size_t i = 0; i < requests.size(); ++i)
+      outcomes[i] = evaluate_one(requests[i], options_.cache);
+    return outcomes;
+  }
+
+  // Work-stealing off a shared counter: each worker claims the next
+  // unclaimed request, so a few expensive configs don't idle the pool.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= requests.size()) return;
+      outcomes[i] = evaluate_one(requests[i], options_.cache);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (std::size_t t = 0; t < jobs; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  return outcomes;
+}
+
+}  // namespace ss

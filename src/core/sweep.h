@@ -1,0 +1,54 @@
+// Parallel sweep executor: evaluate N independent RunRequests across a
+// thread pool.
+//
+// Each simulation stays serial and bit-identical to a lone run — the
+// parallelism is purely across configs, which is where the repo's wall-clock
+// actually goes (figure grids, ablations, scenario-fuzz batches, and the
+// binary-search policy all evaluate many independent configurations).  The
+// run cache is shared safely across workers: `RunCache::store` writes via
+// tmp+atomic-rename, so concurrent writers never expose a torn entry.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/run_cache.h"
+#include "core/session.h"
+
+namespace ss {
+
+struct SweepOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  std::size_t jobs = 0;
+  /// Optional shared result cache (not owned; may be null).  Hits skip the
+  /// simulation; misses run and store.
+  const RunCache* cache = nullptr;
+};
+
+/// One sweep entry's outcome, in request order.
+struct SweepOutcome {
+  RunResult result;
+  bool from_cache = false;
+  double wall_seconds = 0.0;  ///< real time this entry took (hit or run)
+  std::string error;          ///< non-empty if the run threw; result is empty
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {}) : options_(options) {}
+
+  /// Evaluate every request; outcomes[i] corresponds to requests[i].
+  /// Requests are claimed off a shared counter, so workers stay busy even
+  /// when entry costs are skewed.  A throwing entry records its error and
+  /// does not abort the rest of the sweep.
+  [[nodiscard]] std::vector<SweepOutcome> run(const std::vector<RunRequest>& requests) const;
+
+  /// The worker-thread count `run` would use.
+  [[nodiscard]] std::size_t effective_jobs(std::size_t num_requests) const;
+
+ private:
+  SweepOptions options_;
+};
+
+}  // namespace ss

@@ -12,9 +12,6 @@ namespace ss {
 
 namespace {
 
-constexpr int kRoundDone = 0;
-constexpr int kBroadcastArrive = 1;
-
 constexpr float kSignificanceEps = 1e-8f;
 
 /// One group's replica + local optimizer + broadcast bookkeeping.
@@ -133,13 +130,13 @@ GroupPhaseResult GroupRuntime::run(TrainingState& state, const GroupConfig& cfg,
 
   // Kick off round 1 in every group.
   for (std::size_t g = 0; g < groups.size(); ++g)
-    queue.schedule(state.clock + round_time(groups[g], state.clock), kRoundDone,
+    queue.schedule(state.clock + round_time(groups[g], state.clock), SimEventKind::kRoundDone,
                    static_cast<int>(g));
 
   while (!queue.empty() && !done) {
     const SimEvent ev = queue.pop();
 
-    if (ev.kind == kBroadcastArrive) {
+    if (ev.kind == SimEventKind::kBroadcastArrive) {
       // Merge a remote delta into this group's replica (Gaia mirrors apply
       // remote updates without blocking local compute).
       auto it = in_flight.find(ev.seq);
@@ -159,7 +156,7 @@ GroupPhaseResult GroupRuntime::run(TrainingState& state, const GroupConfig& cfg,
       continue;
     }
 
-    // kRoundDone: one synchronous round inside group ev.worker.
+    // SimEventKind::kRoundDone: one synchronous round inside group ev.worker.
     auto& g = groups[static_cast<std::size_t>(ev.worker)];
     const auto k = static_cast<double>(g.workers.size());
     std::fill(grad_sum.begin(), grad_sum.end(), 0.0f);
@@ -236,7 +233,7 @@ GroupPhaseResult GroupRuntime::run(TrainingState& state, const GroupConfig& cfg,
           if (tgt == bc.from) continue;
           seqs.push_back(
               queue.schedule(ev.time + cluster_.link_transfer_time(1.0, sparse_bytes),
-                             kBroadcastArrive, static_cast<int>(tgt)));
+                             SimEventKind::kBroadcastArrive, static_cast<int>(tgt)));
         }
         for (const std::uint64_t s : seqs) in_flight.emplace(s, bc);
       }
@@ -261,7 +258,7 @@ GroupPhaseResult GroupRuntime::run(TrainingState& state, const GroupConfig& cfg,
     }
 
     // Next round for this group.
-    queue.schedule(ev.time + round_time(g, ev.time), kRoundDone, ev.worker);
+    queue.schedule(ev.time + round_time(g, ev.time), SimEventKind::kRoundDone, ev.worker);
   }
 
   // Fold the across-group average back into the logical PS so evaluation,

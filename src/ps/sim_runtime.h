@@ -34,6 +34,7 @@
 #include "ps/param_server.h"
 #include "ps/protocol.h"
 #include "sim/cluster.h"
+#include "sim/des_engine.h"
 #include "sim/straggler.h"
 
 namespace ss {
@@ -173,21 +174,19 @@ class SimRuntime {
                         const StragglerSchedule& stragglers, const StopPredicate& stop);
 
  private:
-  PhaseResult run_bsp(TrainingState& state, const PhaseConfig& cfg,
-                      const std::vector<int>& active, const StragglerSchedule& stragglers,
-                      const StopPredicate& stop);
-  PhaseResult run_async(TrainingState& state, const PhaseConfig& cfg,
-                        const std::vector<int>& active, const StragglerSchedule& stragglers,
-                        const StopPredicate& stop, bool bounded_staleness,
-                        bool dynamic_bound);
-  /// K-sync (batch_mode = false) and K-batch-sync (batch_mode = true).
-  PhaseResult run_ksync(TrainingState& state, const PhaseConfig& cfg,
-                        const std::vector<int>& active, const StragglerSchedule& stragglers,
-                        const StopPredicate& stop, bool batch_mode);
-  /// K-async (distinct_workers = true) and K-batch-async (false).
-  PhaseResult run_kasync(TrainingState& state, const PhaseConfig& cfg,
+  /// The synchronous family (BSP, K-sync, K-batch-sync): one `plan_round`
+  /// per aggregated update.  BSP is K-sync with K = n (bit-for-bit);
+  /// `pipelined` selects K-batch-sync's fast-workers-pipeline round shape.
+  PhaseResult run_rounds(TrainingState& state, const PhaseConfig& cfg,
                          const std::vector<int>& active, const StragglerSchedule& stragglers,
-                         const StopPredicate& stop, bool distinct_workers);
+                         const StopPredicate& stop, bool pipelined);
+  /// The event-driven family (ASP/SSP/DSSP apply each push under `rules`;
+  /// K-async/K-batch-async free-run and buffer K pushes per update, with
+  /// `distinct_workers` selecting K-async's distinct-source trigger).
+  PhaseResult run_event_driven(TrainingState& state, const PhaseConfig& cfg,
+                               const std::vector<int>& active,
+                               const StragglerSchedule& stragglers, const StopPredicate& stop,
+                               AdmissionRules rules, bool buffered, bool distinct_workers);
 
   /// Evaluate test accuracy if `global_step` crossed an eval boundary.
   void maybe_eval(TrainingState& state, const PhaseConfig& cfg);

@@ -1,0 +1,152 @@
+#include "sim/des_engine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+
+namespace ss {
+
+DesEngine::DesEngine(WorkerProcess& process, std::vector<int> active, AdmissionRules rules)
+    : process_(process), active_(std::move(active)), rules_(rules) {
+  if (active_.empty()) throw ConfigError("DesEngine: no active workers");
+  int max_id = 0;
+  for (int w : active_) {
+    if (w < 0) throw ConfigError("DesEngine: negative worker id");
+    max_id = std::max(max_id, w);
+  }
+  local_clock_.assign(static_cast<std::size_t>(max_id) + 1, 0);
+  parked_.assign(static_cast<std::size_t>(max_id) + 1, 0);
+  effective_bound_ = rules_.bound;
+}
+
+void DesEngine::schedule_pull(int worker, VTime at) {
+  queue_.schedule(at + process_.pull_latency(worker, at), SimEventKind::kPullDone, worker);
+}
+
+std::int64_t DesEngine::min_local_clock() const {
+  std::int64_t m = std::numeric_limits<std::int64_t>::max();
+  for (int w : active_) m = std::min(m, local_clock_[static_cast<std::size_t>(w)]);
+  return m;
+}
+
+void DesEngine::admit_or_park(int worker, VTime resume_at) {
+  // The worker just finished a step; may it start the next one, or does the
+  // staleness bound park it until the stragglers catch up?
+  const std::int64_t gap = local_clock_[static_cast<std::size_t>(worker)] - min_local_clock();
+  bool proceed = true;
+  if (rules_.bounded) {
+    if (gap > effective_bound_) {
+      if (rules_.dynamic && effective_bound_ < rules_.bound + rules_.credit) {
+        ++effective_bound_;  // DSSP: lend credit instead of blocking
+      } else {
+        proceed = false;
+      }
+    }
+  }
+  if (proceed) {
+    // The gap at a step start is the conformance metric SSP bounds.
+    max_clock_gap_ = std::max(max_clock_gap_, gap);
+    schedule_pull(worker, resume_at);
+  } else {
+    parked_[static_cast<std::size_t>(worker)] = 1;
+  }
+  // This push may have advanced the minimum clock: wake parked workers whose
+  // constraint now holds, and relax the DSSP credit once the cluster is back
+  // within the base bound.
+  if (rules_.bounded) {
+    const std::int64_t m = min_local_clock();
+    std::int64_t max_gap = 0;
+    for (int other : active_) {
+      const auto o = static_cast<std::size_t>(other);
+      max_gap = std::max(max_gap, local_clock_[o] - m);
+      if (parked_[o] && local_clock_[o] - m <= effective_bound_) {
+        parked_[o] = 0;
+        max_clock_gap_ = std::max(max_clock_gap_, local_clock_[o] - m);
+        schedule_pull(other, resume_at);
+      }
+    }
+    if (rules_.dynamic && max_gap <= rules_.bound) effective_bound_ = rules_.bound;
+  }
+}
+
+void DesEngine::run() {
+  while (!queue_.empty()) {
+    const SimEvent ev = queue_.pop();
+    if (ev.kind == SimEventKind::kPullDone) {
+      const VTime busy = process_.on_pull_done(ev.worker, ev.time);
+      queue_.schedule(ev.time + busy, SimEventKind::kPushArrive, ev.worker);
+      continue;
+    }
+    const PushOutcome out = process_.on_push_arrive(ev.worker, ev.time);
+    if (out.stop) {
+      queue_.clear();  // in-flight work is abandoned, as in a checkpoint-restart
+      break;
+    }
+    if (!rules_.track_clocks) {
+      // Free-running family: the worker immediately begins its next cycle
+      // (no cancellation, no parking).
+      schedule_pull(ev.worker, out.resume_at);
+      continue;
+    }
+    local_clock_[static_cast<std::size_t>(ev.worker)] += 1;
+    admit_or_park(ev.worker, out.resume_at);
+  }
+}
+
+RoundPlan plan_round(const std::vector<int>& active, std::size_t k, bool pipelined,
+                     const TaskDraw& draw) {
+  const std::size_t n = active.size();
+  if (k < 1 || k > n) throw ConfigError("plan_round: k out of range");
+  RoundPlan plan;
+  plan.winners.reserve(k);
+
+  if (!pipelined) {
+    // Draw one task per worker (in active order, to keep RNG consumption
+    // identical across K values); keep the K earliest completions.
+    std::vector<RoundArrival> tasks;
+    tasks.reserve(n);
+    for (int w : active) {
+      const VTime t = draw(w, VTime::zero());
+      tasks.push_back({t, t, w});
+    }
+    std::sort(tasks.begin(), tasks.end(), [](const RoundArrival& a, const RoundArrival& c) {
+      if (a.at != c.at) return a.at < c.at;
+      return a.worker < c.worker;
+    });
+    plan.winners.assign(tasks.begin(), tasks.begin() + static_cast<std::ptrdiff_t>(k));
+    plan.round_end = plan.winners.back().at;
+    plan.cancelled = static_cast<std::int64_t>(n - k);
+  } else {
+    // Fast workers pipeline batches until K total arrive: a time-ordered
+    // merge of each worker's completion sequence, re-drawing the winner's
+    // next task at each step.  The n in-flight tasks at the cutoff are
+    // abandoned part-way; they are not counted in cancelled (which counts
+    // *completed* waste).
+    std::vector<VTime> next(n);     // next completion, relative to round start
+    std::vector<VTime> started(n);  // when that task started
+    for (std::size_t i = 0; i < n; ++i) {
+      next[i] = draw(active[i], VTime::zero());
+      started[i] = VTime::zero();
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < n; ++i)
+        if (next[i] < next[best]) best = i;
+      plan.winners.push_back({next[best], next[best] - started[best], active[best]});
+      plan.round_end = next[best];
+      started[best] = next[best];
+      next[best] = next[best] + draw(active[best], next[best]);
+    }
+  }
+
+  // Deterministic compute order: worker index, then arrival.
+  std::sort(plan.winners.begin(), plan.winners.end(),
+            [](const RoundArrival& a, const RoundArrival& c) {
+              if (a.worker != c.worker) return a.worker < c.worker;
+              return a.at < c.at;
+            });
+  return plan;
+}
+
+}  // namespace ss

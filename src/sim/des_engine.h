@@ -1,0 +1,145 @@
+// Discrete-event core, layer 2 of the simulator: a generic scheduler that
+// runs worker pull→compute→push lifecycles against protocol admission rules.
+//
+// The engine owns *when*: the event queue, each worker's logical clock, the
+// parked set, and the (possibly dynamic) staleness bound.  The runtime layer
+// owns *what*: a WorkerProcess implementation supplies the latencies and
+// performs the actual pull/compute/apply work when its events fire.  This is
+// the adevs logical-process split — one scheduler, many protocols — and it
+// replaces the per-protocol event loops the sim runtime used to hand-roll.
+//
+// Two scheduling families cover the eight protocols:
+//   * event-driven (DesEngine): ASP/SSP/DSSP gate each worker's next cycle on
+//     the local-clock gap; K-async/K-batch-async free-run and buffer.
+//   * round-based (plan_round): BSP/K-sync/K-batch-sync plan one synchronous
+//     round at a time; no queue is needed because the round structure fully
+//     determines the order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/vtime.h"
+#include "sim/event_queue.h"
+
+namespace ss {
+
+/// Protocol admission rules: may a worker that just pushed start its next
+/// cycle, or must it wait for stragglers?
+struct AdmissionRules {
+  /// Maintain per-worker logical clocks and the max-gap metric (the
+  /// apply-each family).  When false the engine free-runs: every push is
+  /// followed by an immediate next pull (the buffered K-async family).
+  bool track_clocks = false;
+  bool bounded = false;      ///< enforce the staleness bound (SSP/DSSP)
+  bool dynamic = false;      ///< DSSP: the bound floats in [bound, bound+credit]
+  std::int64_t bound = 0;    ///< base staleness bound s
+  std::int64_t credit = 0;   ///< DSSP upper credit r
+
+  [[nodiscard]] static AdmissionRules free_running() { return {}; }
+  [[nodiscard]] static AdmissionRules track_only() {
+    AdmissionRules r;
+    r.track_clocks = true;
+    return r;
+  }
+  [[nodiscard]] static AdmissionRules bounded_by(std::int64_t bound) {
+    AdmissionRules r = track_only();
+    r.bounded = true;
+    r.bound = bound;
+    return r;
+  }
+  [[nodiscard]] static AdmissionRules dynamic_bound(std::int64_t bound, std::int64_t credit) {
+    AdmissionRules r = bounded_by(bound);
+    r.dynamic = true;
+    r.credit = credit;
+    return r;
+  }
+};
+
+/// What the runtime reports back after a push was absorbed.
+struct PushOutcome {
+  bool stop = false;  ///< end the phase: pending events are abandoned
+  VTime resume_at;    ///< earliest start for this worker's next pull
+};
+
+/// One worker's lifecycle, expressed as resumable steps the engine invokes as
+/// its events fire.  Implementations live in the runtime layer and do the
+/// real pull/compute/apply work; none of them schedule events directly.
+class WorkerProcess {
+ public:
+  virtual ~WorkerProcess() = default;
+
+  /// Network latency of a parameter pull started by `worker` at `now` (the
+  /// engine schedules kPullDone at now + pull_latency).
+  virtual VTime pull_latency(int worker, VTime now) = 0;
+
+  /// The pull completed: snapshot parameters, draw the minibatch, and return
+  /// the busy time (compute + push transfer); the engine schedules
+  /// kPushArrive at time + busy.
+  virtual VTime on_pull_done(int worker, VTime time) = 0;
+
+  /// The push reached the PS: do the math, apply or buffer the gradient, emit
+  /// telemetry, and decide whether the phase is over.
+  virtual PushOutcome on_push_arrive(int worker, VTime time) = 0;
+};
+
+/// Generic event-driven scheduler for the asynchronous protocol families.
+class DesEngine {
+ public:
+  DesEngine(WorkerProcess& process, std::vector<int> active, AdmissionRules rules);
+
+  /// Schedule `worker`'s next pull to start at `at` (also used for kickoff).
+  void schedule_pull(int worker, VTime at);
+
+  /// Drain events until the queue empties or a push handler stops the phase.
+  void run();
+
+  /// Largest local-clock gap observed at any admitted scheduling decision
+  /// (the invariant SSP/DSSP bound; 0 when clocks are not tracked).
+  [[nodiscard]] std::int64_t max_clock_gap() const noexcept { return max_clock_gap_; }
+
+ private:
+  [[nodiscard]] std::int64_t min_local_clock() const;
+  void admit_or_park(int worker, VTime resume_at);
+
+  WorkerProcess& process_;
+  std::vector<int> active_;
+  AdmissionRules rules_;
+  EventQueue queue_;
+  std::vector<std::int64_t> local_clock_;  // indexed by worker id
+  std::vector<char> parked_;
+  std::int64_t effective_bound_ = 0;
+  std::int64_t max_clock_gap_ = 0;
+};
+
+/// One contribution to a synchronous round.
+struct RoundArrival {
+  VTime at;        ///< completion time, relative to round start
+  VTime duration;  ///< how long the task ran
+  int worker;
+};
+
+/// One planned synchronous round: the K admitted contributions (sorted by
+/// worker id then arrival — the deterministic compute order) and the round's
+/// critical path.
+struct RoundPlan {
+  std::vector<RoundArrival> winners;
+  VTime round_end;              ///< arrival of the K-th contribution
+  std::int64_t cancelled = 0;   ///< completed-but-discarded tasks
+};
+
+/// Draws one task duration for `worker` starting `offset` into the round,
+/// consuming the worker's jitter RNG stream.
+using TaskDraw = std::function<VTime(int worker, VTime offset)>;
+
+/// Plan one round of the synchronous family.  Non-pipelined (BSP/K-sync):
+/// each worker contributes at most one task; the first K completions win and
+/// the other n-K finish but are cancelled.  Pipelined (K-batch-sync): fast
+/// workers start their next batch as soon as one completes, and the first K
+/// completions overall win.  Draw order is deterministic: non-pipelined draws
+/// once per worker in active order; pipelined re-draws in completion order.
+RoundPlan plan_round(const std::vector<int>& active, std::size_t k, bool pipelined,
+                     const TaskDraw& draw);
+
+}  // namespace ss

@@ -4,7 +4,7 @@
 
 namespace ss {
 
-std::uint64_t EventQueue::schedule(VTime time, int kind, int worker) {
+std::uint64_t EventQueue::schedule(VTime time, SimEventKind kind, int worker) {
   SimEvent ev;
   ev.time = time;
   ev.seq = next_seq_++;

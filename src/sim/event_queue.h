@@ -1,7 +1,10 @@
-// Discrete-event core: a time-ordered queue with deterministic tie-breaking.
+// Discrete-event core, layer 1 of the simulator: a time-ordered queue with
+// deterministic tie-breaking and the typed event vocabulary of the
+// simulation.
 //
-// Ties are broken by insertion sequence number so that two events scheduled
-// for the same virtual microsecond always fire in schedule order — this is
+// Ties are broken by worker id and then by insertion sequence number, so
+// that two events scheduled for the same virtual microsecond always fire in
+// the same order regardless of how the schedule calls interleaved — this is
 // what makes whole-cluster simulations reproducible bit-for-bit.
 #pragma once
 
@@ -13,20 +16,31 @@
 
 namespace ss {
 
+/// Every kind of event the simulator schedules.  The DES core owns the
+/// vocabulary; each runtime interprets the subset it schedules (the worker
+/// lifecycle kinds drive the DesEngine, the group kinds drive the
+/// Gaia-style group runtime).
+enum class SimEventKind : int {
+  kPullDone = 0,         ///< a worker's parameter pull completed
+  kPushArrive = 1,       ///< a worker's gradient push reached the PS
+  kRoundDone = 2,        ///< a worker group finished one synchronous round
+  kBroadcastArrive = 3,  ///< a cross-group delta broadcast reached its target
+};
+
 /// Event payload: the runtime interprets (kind, worker).  Keeping this a
 /// plain struct (no type-erased callbacks) keeps the queue allocation-free
 /// and the event order trivially auditable in tests.
 struct SimEvent {
   VTime time;
   std::uint64_t seq = 0;  ///< assigned by the queue
-  int kind = 0;           ///< runtime-defined discriminator
-  int worker = -1;        ///< worker index or -1
+  SimEventKind kind = SimEventKind::kPullDone;
+  int worker = -1;  ///< worker (or group) index, or -1
 };
 
 class EventQueue {
  public:
   /// Schedule an event; returns the assigned sequence number.
-  std::uint64_t schedule(VTime time, int kind, int worker);
+  std::uint64_t schedule(VTime time, SimEventKind kind, int worker);
 
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
@@ -44,6 +58,7 @@ class EventQueue {
   struct Later {
     bool operator()(const SimEvent& a, const SimEvent& b) const noexcept {
       if (a.time != b.time) return a.time > b.time;
+      if (a.worker != b.worker) return a.worker > b.worker;
       return a.seq > b.seq;
     }
   };

@@ -1,14 +1,21 @@
 // Bit-for-bit reproducibility of the simulator: two identical RunRequests
 // must produce identical RunResult curves.  This guards the event queue's
-// deterministic tie-breaking (same-time events fire in schedule order), the
-// forked-RNG stream discipline, and — since the PS became sharded — the
-// guarantee that neither the shard layout's per-shard accounting nor the
-// parallel apply pool perturbs a single float of the trajectory.
+// deterministic tie-breaking (same-time events fire in worker-id order,
+// then schedule order), the forked-RNG stream discipline, and — since the
+// PS became sharded — the guarantee that neither the shard layout's
+// per-shard accounting nor the parallel apply pool perturbs a single float
+// of the trajectory.  The PinnedCorpus test at the bottom additionally pins
+// the DES core's results against fingerprints recorded from the serial
+// (pre-DES-core) engine across all 8 protocols, shard counts, compression,
+// and a scenario-fuzz batch.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
 #include <vector>
 
 #include "core/session.h"
+#include "determinism_corpus.h"
 
 namespace ss {
 namespace {
@@ -229,6 +236,75 @@ TEST(Determinism, ShardCountChangesTimingButIsKeyedSeparately) {
   // cost) must price a pull differently from the flat one on this payload.
   const ClusterModel a(flat.cluster), b(sharded.cluster);
   EXPECT_NE(a.transfer_time(1.0), b.transfer_time(1.0));
+}
+
+// The full corpus (8 protocols x {1,8} shards x {none, topk} compression +
+// 6 fuzz scenarios), pinned bit-for-bit against the serial engine that
+// predates the DES core.  The hashes cover the complete max_digits10 result
+// serialization — every scalar and every curve point.
+//
+// Recorded on the pre-refactor engine, with one deliberate exception: the
+// six ASP/SSP/DSSP s8 entries moved when the event queue's tie-break became
+// (time, worker, seq) — under the sharded transfer model two pushes can land
+// on the same virtual microsecond, and those now apply in worker order
+// instead of schedule order.  Everything else is byte-identical to the
+// serial engine.  If a change moves any of these values *deliberately*, run
+// `tools/record_determinism_corpus` and paste its output here, and say why
+// in CHANGES.md; an unexplained mismatch is a regression.
+TEST(Determinism, PinnedCorpusMatchesPreRefactorEngine) {
+#if !defined(__x86_64__)
+  GTEST_SKIP() << "fingerprints are pinned for x86-64 (FP contraction differs elsewhere)";
+#endif
+  const std::map<std::string, std::string> kExpectedFingerprints = {
+      {"BSP/s1/none", "95cfa2356646a2a7"},
+      {"BSP/s1/topk", "d51eb6217c5dbd4c"},
+      {"BSP/s8/none", "b2bd9fa52730002f"},
+      {"BSP/s8/topk", "e4b73637ec913635"},
+      {"ASP/s1/none", "bac5726152e799a1"},
+      {"ASP/s1/topk", "65dd0daf25c043b9"},
+      {"ASP/s8/none", "f56f739ba9516e12"},
+      {"ASP/s8/topk", "34496bcda4042892"},
+      {"SSP/s1/none", "bac5726152e799a1"},
+      {"SSP/s1/topk", "65dd0daf25c043b9"},
+      {"SSP/s8/none", "f56f739ba9516e12"},
+      {"SSP/s8/topk", "34496bcda4042892"},
+      {"DSSP/s1/none", "bac5726152e799a1"},
+      {"DSSP/s1/topk", "65dd0daf25c043b9"},
+      {"DSSP/s8/none", "f56f739ba9516e12"},
+      {"DSSP/s8/topk", "34496bcda4042892"},
+      {"K-sync/s1/none", "b59417f112473a28"},
+      {"K-sync/s1/topk", "679d978c4e0dcd20"},
+      {"K-sync/s8/none", "251d7091bdd6490e"},
+      {"K-sync/s8/topk", "7d8ee54486cd6c20"},
+      {"K-batch-sync/s1/none", "ec66891359be4165"},
+      {"K-batch-sync/s1/topk", "af0f7ef27c4ec330"},
+      {"K-batch-sync/s8/none", "78310b2db53970f6"},
+      {"K-batch-sync/s8/topk", "09fe580805d80cc5"},
+      {"K-async/s1/none", "b33a27b2d5cff3b7"},
+      {"K-async/s1/topk", "6ac390ad8a1541c5"},
+      {"K-async/s8/none", "4f2d8da79f134c4f"},
+      {"K-async/s8/topk", "4863b74824d888b5"},
+      {"K-batch-async/s1/none", "b33a27b2d5cff3b7"},
+      {"K-batch-async/s1/topk", "6ac390ad8a1541c5"},
+      {"K-batch-async/s8/none", "edc73a9774ca3a8e"},
+      {"K-batch-async/s8/topk", "484999d19a58b7de"},
+      {"scenario/seed1", "8d21442a7f91dd62"},
+      {"scenario/seed2", "d05e7ea794ac53ee"},
+      {"scenario/seed3", "c137eb5f02289fde"},
+      {"scenario/seed4", "1e992067b0b201e7"},
+      {"scenario/seed5", "0e5d7cf848d718ea"},
+      {"scenario/seed6", "838f0dc25f6cfee0"},
+  };
+  const std::vector<CorpusCase> corpus = determinism_corpus();
+  ASSERT_EQ(corpus.size(), kExpectedFingerprints.size());
+  for (const CorpusCase& c : corpus) {
+    const auto it = kExpectedFingerprints.find(c.name);
+    ASSERT_NE(it, kExpectedFingerprints.end()) << "unpinned corpus case " << c.name;
+    const RunResult r = TrainingSession(c.request).run();
+    EXPECT_EQ(result_fingerprint(r), it->second)
+        << c.name << ": trajectory moved. If deliberate, re-record with "
+        << "tools/record_determinism_corpus and explain in CHANGES.md.";
+  }
 }
 
 }  // namespace

@@ -9,28 +9,51 @@ namespace {
 
 TEST(EventQueue, PopsInTimeOrder) {
   EventQueue q;
-  q.schedule(VTime::from_ms(30.0), 1, 0);
-  q.schedule(VTime::from_ms(10.0), 2, 1);
-  q.schedule(VTime::from_ms(20.0), 3, 2);
-  EXPECT_EQ(q.pop().kind, 2);
-  EXPECT_EQ(q.pop().kind, 3);
-  EXPECT_EQ(q.pop().kind, 1);
+  q.schedule(VTime::from_ms(30.0), SimEventKind::kPushArrive, 0);
+  q.schedule(VTime::from_ms(10.0), SimEventKind::kPullDone, 1);
+  q.schedule(VTime::from_ms(20.0), SimEventKind::kRoundDone, 2);
+  EXPECT_EQ(q.pop().kind, SimEventKind::kPullDone);
+  EXPECT_EQ(q.pop().kind, SimEventKind::kRoundDone);
+  EXPECT_EQ(q.pop().kind, SimEventKind::kPushArrive);
   EXPECT_TRUE(q.empty());
 }
 
-TEST(EventQueue, TiesBreakBySequence) {
+TEST(EventQueue, TiesBreakByWorkerId) {
+  // Same-time events fire in worker order regardless of schedule order.
   EventQueue q;
   const VTime t = VTime::from_ms(5.0);
-  for (int i = 0; i < 10; ++i) q.schedule(t, i, i);
+  for (int i = 9; i >= 0; --i) q.schedule(t, SimEventKind::kPullDone, i);
   for (int i = 0; i < 10; ++i) {
     const SimEvent ev = q.pop();
-    EXPECT_EQ(ev.kind, i) << "same-time events must fire in schedule order";
+    EXPECT_EQ(ev.worker, i) << "same-time events must fire in worker order";
   }
+}
+
+TEST(EventQueue, TiesBreakBySequenceWithinWorker) {
+  // Same time, same worker: schedule order decides.
+  EventQueue q;
+  const VTime t = VTime::from_ms(5.0);
+  const std::uint64_t first = q.schedule(t, SimEventKind::kPushArrive, 3);
+  const std::uint64_t second = q.schedule(t, SimEventKind::kPullDone, 3);
+  EXPECT_LT(first, second);
+  EXPECT_EQ(q.pop().seq, first);
+  EXPECT_EQ(q.pop().seq, second);
+}
+
+TEST(EventQueue, WorkerOrderBeatsScheduleOrder) {
+  // The full tie-break is (time, worker, seq): a later-scheduled event for a
+  // lower worker id overtakes an earlier-scheduled one at the same time.
+  EventQueue q;
+  const VTime t = VTime::from_ms(2.0);
+  q.schedule(t, SimEventKind::kPushArrive, 5);
+  q.schedule(t, SimEventKind::kPushArrive, 1);
+  EXPECT_EQ(q.pop().worker, 1);
+  EXPECT_EQ(q.pop().worker, 5);
 }
 
 TEST(EventQueue, PeekDoesNotPop) {
   EventQueue q;
-  q.schedule(VTime::from_ms(7.0), 0, 0);
+  q.schedule(VTime::from_ms(7.0), SimEventKind::kPullDone, 0);
   EXPECT_EQ(q.peek_time(), VTime::from_ms(7.0));
   EXPECT_EQ(q.size(), 1u);
 }
@@ -43,16 +66,16 @@ TEST(EventQueue, EmptyAccessThrows) {
 
 TEST(EventQueue, ClearDropsEverything) {
   EventQueue q;
-  for (int i = 0; i < 5; ++i) q.schedule(VTime::from_ms(i), i, i);
+  for (int i = 0; i < 5; ++i) q.schedule(VTime::from_ms(i), SimEventKind::kPullDone, i);
   q.clear();
   EXPECT_TRUE(q.empty());
 }
 
 TEST(EventQueue, CarriesWorkerPayload) {
   EventQueue q;
-  q.schedule(VTime::from_ms(1.0), 42, 7);
+  q.schedule(VTime::from_ms(1.0), SimEventKind::kBroadcastArrive, 7);
   const SimEvent ev = q.pop();
-  EXPECT_EQ(ev.kind, 42);
+  EXPECT_EQ(ev.kind, SimEventKind::kBroadcastArrive);
   EXPECT_EQ(ev.worker, 7);
 }
 

@@ -1,0 +1,26 @@
+// Prints the full run-result serialization of one determinism-corpus case
+// (see tests/determinism_corpus.h).  Companion to record_determinism_corpus:
+// when a corpus fingerprint moves, diffing this dump between two builds shows
+// exactly which scalar or curve point changed.
+//
+// Usage: dump_determinism_case <case-name>   (e.g. "ASP/s8/none")
+#include <iostream>
+#include <string>
+
+#include "../tests/determinism_corpus.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: dump_determinism_case <case-name>\n";
+    return 2;
+  }
+  const std::string name = argv[1];
+  for (const ss::CorpusCase& c : ss::determinism_corpus()) {
+    if (c.name != name) continue;
+    const ss::RunResult r = ss::TrainingSession(c.request).run();
+    std::cout << ss::serialize_run_result(r);
+    return 0;
+  }
+  std::cerr << "unknown case: " << name << "\n";
+  return 2;
+}

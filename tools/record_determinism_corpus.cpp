@@ -1,0 +1,18 @@
+// Prints the determinism-corpus fingerprint table (see
+// tests/determinism_corpus.h) in the exact form test_determinism.cpp pins.
+//
+// Run after any *deliberate* semantic change to the simulator, and paste the
+// output over the kExpectedFingerprints table — the accompanying CHANGES.md
+// entry should say why the trajectories moved.
+#include <iostream>
+
+#include "../tests/determinism_corpus.h"
+
+int main() {
+  for (const ss::CorpusCase& c : ss::determinism_corpus()) {
+    const ss::RunResult r = ss::TrainingSession(c.request).run();
+    std::cout << "    {\"" << c.name << "\", \"" << ss::result_fingerprint(r)
+              << "\"},\n";
+  }
+  return 0;
+}

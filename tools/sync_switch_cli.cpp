@@ -26,15 +26,26 @@
 // (docs/EXPERIMENTS.md walks through killing a worker mid-run):
 //   sync_switch_cli serve --listen unix:/tmp/ps.sock --workers 2 --steps 200
 //   sync_switch_cli worker --connect unix:/tmp/ps.sock
+//
+// Parallel sweeps (src/core/sweep.h): evaluate a grid of independent configs
+// across a thread pool — each simulation stays serial and bit-identical to a
+// lone run, the parallelism is purely across configs:
+//   sync_switch_cli sweep --policies bsp,asp,ssp,dssp --seeds 8 --jobs 4
+//   sync_switch_cli sweep --scenario --start 1 --seeds 64 --cache /tmp/ss_cache
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "common/error.h"
 #include "common/log.h"
 #include "common/parse.h"
+#include "core/run_cache.h"
 #include "core/session.h"
+#include "core/sweep.h"
 #include "net/ps_server.h"
 #include "net/worker_process.h"
 #include "ps/trace.h"
@@ -50,6 +61,7 @@ namespace {
   std::cerr
       << "usage: " << argv0 << " [options]\n"
       << "       " << argv0 << " scenario gen|replay|fuzz [options]\n"
+      << "       " << argv0 << " sweep [options]\n"
       << "       " << argv0 << " serve|worker [options]\n"
       << "  --workers N        cluster size (default 8)\n"
       << "  --steps S          minibatch-step budget (default 2048)\n"
@@ -207,6 +219,171 @@ int scenario_main(int argc, char** argv) {
   }
 }
 
+[[noreturn]] void sweep_usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " sweep [options]\n"
+      << "Evaluate a grid of independent configurations across a thread pool.\n"
+      << "Each simulation is serial and bit-identical to a lone run; only the\n"
+      << "scheduling across configs is parallel, so results never depend on\n"
+      << "--jobs.\n"
+      << "grid mode (default): policies x repetition seeds\n"
+      << "  --policies LIST    comma list of bsp|asp|ssp|dssp|switch\n"
+      << "                     (default bsp,asp,ssp,dssp)\n"
+      << "  --seeds N          repetition seeds per policy (default 8)\n"
+      << "  --start K          first seed (default 1)\n"
+      << "  --fraction F       'switch' policy's BSP fraction (default 0.0625)\n"
+      << "  --workers N        cluster size (default 8)\n"
+      << "  --steps S          step budget per run (default 512)\n"
+      << "  --batch B          per-worker batch size (default 64)\n"
+      << "  --arch A           resnet32_lite | resnet50_lite | linear\n"
+      << "scenario mode:\n"
+      << "  --scenario         sweep generated fuzz scenarios for the seed\n"
+      << "                     range [start, start + seeds) instead of a grid\n"
+      << "shared:\n"
+      << "  --jobs J           pool threads (default 0 = all hardware cores)\n"
+      << "  --cache DIR        shared run-cache directory; hits skip the run\n"
+      << "                     (concurrent writers are safe: tmp + rename)\n"
+      << "  --verbose          info-level logging\n";
+  std::exit(2);
+}
+
+int sweep_main(int argc, char** argv) {
+  std::string policies = "bsp,asp,ssp,dssp";
+  std::uint64_t seeds = 8, start = 1, jobs = 0;
+  std::string cache_dir, arch;
+  double fraction = 0.0625;
+  bool scenario_mode = false;
+
+  RunRequest base;  // mirrors the single-run defaults, with a smaller budget
+  base.workload.arch = ModelArch::kResNet32Lite;
+  base.workload.data = SyntheticSpec::cifar10_like();
+  base.workload.total_steps = 512;
+  base.workload.hyper.batch_size = 64;
+  base.workload.hyper.learning_rate = 0.05;
+  base.workload.hyper.momentum = 0.9;
+  base.workload.eval_interval = 64;
+  base.cluster.num_workers = 8;
+  base.cluster.compute_per_batch = VTime::from_ms(120.0);
+  base.cluster.sync_base = VTime::from_ms(287.0);
+  base.cluster.sync_quad = VTime::from_ms(6.4);
+
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.rfind("--", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg = arg.substr(0, eq);
+        has_inline = true;
+      }
+    }
+    auto value = [&]() -> std::string {
+      if (has_inline) return inline_value;
+      if (i + 1 >= argc) sweep_usage(argv[0]);
+      return argv[++i];
+    };
+    try {
+      if (arg == "--policies") policies = value();
+      else if (arg == "--seeds") seeds = parse_u64(arg, value());
+      else if (arg == "--start") start = parse_u64(arg, value());
+      else if (arg == "--fraction") fraction = parse_double(arg, value());
+      else if (arg == "--workers") base.cluster.num_workers = parse_u64(arg, value());
+      else if (arg == "--steps") base.workload.total_steps = parse_i64(arg, value());
+      else if (arg == "--batch") base.workload.hyper.batch_size = parse_u64(arg, value());
+      else if (arg == "--arch") arch = value();
+      else if (arg == "--scenario") scenario_mode = true;
+      else if (arg == "--jobs") jobs = parse_u64(arg, value());
+      else if (arg == "--cache") cache_dir = value();
+      else if (arg == "--verbose") set_log_level(LogLevel::kInfo);
+      else sweep_usage(argv[0]);
+    } catch (const ConfigError& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      sweep_usage(argv[0]);
+    }
+  }
+  if (arch == "linear") base.workload.arch = ModelArch::kLinear;
+  else if (arch == "resnet50_lite") base.workload.arch = ModelArch::kResNet50Lite;
+  else if (!arch.empty() && arch != "resnet32_lite") sweep_usage(argv[0]);
+  base.actuator_time_scale = static_cast<double>(base.workload.total_steps) / 65536.0;
+
+  std::vector<RunRequest> grid;
+  std::vector<std::string> labels;
+  if (scenario_mode) {
+    for (std::uint64_t k = 0; k < seeds; ++k) {
+      const std::uint64_t sd = start + k;
+      grid.push_back(generate_scenario(sd).to_run_request());
+      labels.push_back("scenario seed " + std::to_string(sd));
+    }
+  } else {
+    std::vector<std::string> names;
+    for (std::size_t pos = 0; pos < policies.size();) {
+      const std::size_t comma = policies.find(',', pos);
+      const std::size_t end = comma == std::string::npos ? policies.size() : comma;
+      if (end > pos) names.push_back(policies.substr(pos, end - pos));
+      pos = end + 1;
+    }
+    if (names.empty()) sweep_usage(argv[0]);
+    for (const std::string& name : names) {
+      SyncSwitchPolicy policy;
+      if (name == "bsp") policy = SyncSwitchPolicy::pure(Protocol::kBsp);
+      else if (name == "asp") policy = SyncSwitchPolicy::pure(Protocol::kAsp);
+      else if (name == "ssp") policy = SyncSwitchPolicy::pure(Protocol::kSsp);
+      else if (name == "dssp") policy = SyncSwitchPolicy::pure(Protocol::kDssp);
+      else if (name == "switch") policy = SyncSwitchPolicy::bsp_to_asp(fraction);
+      else sweep_usage(argv[0]);
+      for (std::uint64_t s = 0; s < seeds; ++s) {
+        RunRequest req = base;
+        req.policy = policy;
+        req.seed = start + s;
+        grid.push_back(std::move(req));
+        labels.push_back(name + " seed " + std::to_string(start + s));
+      }
+    }
+  }
+
+  std::optional<RunCache> cache;
+  if (!cache_dir.empty()) cache.emplace(cache_dir);
+  SweepOptions opts;
+  opts.jobs = jobs;
+  opts.cache = cache ? &*cache : nullptr;
+  const SweepRunner runner(opts);
+
+  std::cout << "sweep: " << grid.size() << " configs across "
+            << runner.effective_jobs(grid.size()) << " threads";
+  if (cache) std::cout << ", cache " << cache_dir;
+  std::cout << "\n";
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<SweepOutcome> outcomes = runner.run(grid);
+  const double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  std::size_t failures = 0, hits = 0;
+  double serial_seconds = 0.0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const SweepOutcome& o = outcomes[i];
+    serial_seconds += o.wall_seconds;
+    if (!o.error.empty()) {
+      ++failures;
+      std::cout << "  " << labels[i] << ": ERROR " << o.error << "\n";
+      continue;
+    }
+    if (o.from_cache) ++hits;
+    std::cout << "  " << labels[i] << ": accuracy " << o.result.final_accuracy
+              << ", virtual time " << o.result.train_time_seconds / 60.0
+              << " min, staleness " << o.result.mean_staleness
+              << (o.from_cache ? " (cached)" : "") << "\n";
+  }
+  std::cout << "sweep: " << outcomes.size() << " configs in " << wall
+            << " s wall (entries sum " << serial_seconds << " s, speedup "
+            << (wall > 0 ? serial_seconds / wall : 0.0) << "x)";
+  if (cache) std::cout << ", " << hits << " cache hits";
+  if (failures) std::cout << ", " << failures << " FAILED";
+  std::cout << "\n";
+  return failures == 0 ? 0 : 1;
+}
+
 [[noreturn]] void net_usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " serve [options]   (host the parameter server)\n"
@@ -356,6 +533,7 @@ int worker_main(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc >= 2 && std::string(argv[1]) == "scenario") return scenario_main(argc, argv);
+  if (argc >= 2 && std::string(argv[1]) == "sweep") return sweep_main(argc, argv);
   if (argc >= 2 && std::string(argv[1]) == "serve") return serve_main(argc, argv);
   if (argc >= 2 && std::string(argv[1]) == "worker") return worker_main(argc, argv);
   RunRequest req;
