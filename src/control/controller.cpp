@@ -1,0 +1,222 @@
+#include "control/controller.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "core/twin.h"
+
+namespace ss {
+namespace {
+
+bool same_config(const ControllerCandidate& a, const ControllerCandidate& b) {
+  if (a.protocol != b.protocol || a.compress != b.compress ||
+      a.evict_straggler != b.evict_straggler) {
+    return false;
+  }
+  // The staleness bound only distinguishes SSP configurations.
+  return a.protocol != Protocol::kSsp || a.ssp_staleness_bound == b.ssp_staleness_bound;
+}
+
+}  // namespace
+
+std::string ControllerCandidate::label() const {
+  std::string s = protocol_name(protocol);
+  if (protocol == Protocol::kSsp) {
+    s += "(b=" + std::to_string(ssp_staleness_bound) + ")";
+  }
+  if (compress) s += "+comp";
+  if (evict_straggler) s += "+evict";
+  return s;
+}
+
+ClusterSpec ControllerConfig::default_twin_base_cluster() {
+  // The determinism corpus's tiny cluster, with the barrier:compute ratio
+  // turned down to match the in-process runtime the controller actually
+  // measures (a std::barrier costs a fraction of a step, not a multiple —
+  // the paper's 280 ms incast barriers belong to its 16-node testbed).
+  // Every ratio here survives calibration, which only rescales to the
+  // measured step time.  The ratios are load-bearing for hysteresis: on a
+  // healthy cluster they keep the twin's predicted BSP->ASP gain near the
+  // default min_predicted_gain, so the controller holds until something
+  // real (a straggler) widens the gap.
+  ClusterSpec base;
+  base.num_workers = 4;
+  base.num_ps_shards = 1;
+  base.compute_per_batch = VTime::from_ms(20.0);
+  base.reference_batch = 16;
+  base.compute_jitter_sigma = 0.05;
+  base.net_latency = VTime::from_ms(0.2);
+  base.payload_bytes = 1000.0;
+  base.bandwidth_bps = 1e8;
+  base.sync_base = VTime::from_ms(3.0);
+  base.sync_quad = VTime::from_ms(0.1);
+  return base;
+}
+
+OnlineController::OnlineController(ControllerConfig config, CompressionSpec run_compression)
+    : cfg_(std::move(config)), run_compression_(run_compression) {
+  if (!cfg_.cache_dir.empty()) cache_.emplace(cfg_.cache_dir);
+  SweepOptions options;
+  options.jobs = cfg_.twin_jobs;
+  options.cache = cache_ ? &*cache_ : nullptr;
+  runner_ = SweepRunner(options);
+}
+
+std::vector<ControllerCandidate> OnlineController::build_grid(
+    Protocol current_protocol, int current_ssp_bound, bool compression_active,
+    const MeasuredPhaseCosts& measured) const {
+  std::vector<ControllerCandidate> grid;
+  auto push_unique = [&grid](ControllerCandidate cand) {
+    for (const ControllerCandidate& existing : grid) {
+      if (same_config(existing, cand)) return;
+    }
+    grid.push_back(cand);
+  };
+
+  // Grid order is part of the decision function: the hold candidate comes
+  // first and ties break toward earlier entries.
+  ControllerCandidate hold;
+  hold.protocol = current_protocol;
+  hold.ssp_staleness_bound = current_ssp_bound;
+  hold.compress = compression_active;
+  push_unique(hold);
+
+  const bool offer_compression = cfg_.consider_compression && run_compression_.enabled();
+  for (Protocol proto : cfg_.protocols) {
+    if (!threaded_supported(proto)) continue;
+    std::vector<int> bounds =
+        proto == Protocol::kSsp ? cfg_.ssp_bounds : std::vector<int>{current_ssp_bound};
+    for (int bound : bounds) {
+      ControllerCandidate cand;
+      cand.protocol = proto;
+      cand.ssp_staleness_bound = bound;
+      cand.compress = compression_active;
+      push_unique(cand);
+      if (offer_compression) {
+        cand.compress = !compression_active;
+        push_unique(cand);
+      }
+    }
+  }
+
+  if (cfg_.consider_eviction && measured.straggler_worker >= 0 &&
+      measured.num_workers > cfg_.min_workers) {
+    ControllerCandidate evict = hold;
+    evict.evict_straggler = true;
+    push_unique(evict);
+  }
+  return grid;
+}
+
+ControllerDecision OnlineController::decide(std::int64_t at_step, Protocol current_protocol,
+                                            int current_ssp_bound, bool compression_active,
+                                            const MeasuredPhaseCosts& measured,
+                                            std::int64_t steps_since_move,
+                                            std::int64_t remaining_steps) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  ControllerDecision decision;
+  decision.at_step = at_step;
+  decision.protocol_before = current_protocol;
+  decision.measured = quantize(measured);
+
+  const ClusterSpec calibrated =
+      calibrate_cluster_spec(cfg_.twin_base_cluster, decision.measured);
+
+  const std::vector<ControllerCandidate> grid =
+      build_grid(current_protocol, current_ssp_bound, compression_active, decision.measured);
+
+  std::vector<RunRequest> requests;
+  requests.reserve(grid.size());
+  for (const ControllerCandidate& cand : grid) {
+    TwinQuery query;
+    query.protocol = cand.protocol;
+    query.ssp_staleness_bound = cand.ssp_staleness_bound;
+    query.compression = cand.compress ? run_compression_ : CompressionSpec{};
+    query.cluster = calibrated;
+    if (cand.evict_straggler) {
+      // The twin for the membership move: one slot fewer, uniform cluster.
+      query.cluster.num_workers -= 1;
+    } else {
+      query.straggler_worker = decision.measured.straggler_worker;
+      query.straggler_factor = decision.measured.straggler_factor;
+    }
+    query.horizon_steps = cfg_.twin_horizon_steps;
+    query.seed = cfg_.twin_seed;
+    requests.push_back(query.to_run_request());
+  }
+
+  std::vector<std::string> keys;
+  keys.reserve(requests.size());
+  for (const RunRequest& req : requests) keys.push_back(req.cache_key());
+
+  std::vector<SweepOutcome> outcomes(requests.size());
+  std::vector<std::size_t> miss_index;
+  std::vector<RunRequest> miss_requests;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    auto it = memo_.find(keys[i]);
+    if (it != memo_.end()) {
+      outcomes[i].result = it->second;
+      outcomes[i].from_cache = true;
+    } else {
+      miss_index.push_back(i);
+      miss_requests.push_back(requests[i]);
+    }
+  }
+  if (!miss_requests.empty()) {
+    std::vector<SweepOutcome> fresh = runner_.run(miss_requests);
+    for (std::size_t j = 0; j < miss_index.size(); ++j) {
+      const std::size_t i = miss_index[j];
+      outcomes[i] = std::move(fresh[j]);
+      if (outcomes[i].error.empty()) memo_.emplace(keys[i], outcomes[i].result);
+    }
+  }
+
+  std::size_t best = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  double hold_score = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    CandidateOutcome out;
+    out.candidate = grid[i];
+    out.from_cache = outcomes[i].from_cache;
+    out.error = outcomes[i].error;
+    if (out.error.empty()) {
+      out.predicted_seconds = twin_score(outcomes[i].result, cfg_.target_accuracy);
+      if (out.predicted_seconds < best_score) {
+        best_score = out.predicted_seconds;
+        best = i;
+      }
+      if (i == 0) hold_score = out.predicted_seconds;
+    }
+    if (out.from_cache) ++decision.cache_hits;
+    decision.candidates.push_back(std::move(out));
+  }
+
+  decision.chosen = grid[best];
+  if (std::isfinite(hold_score) && std::isfinite(best_score) && hold_score > 0.0) {
+    decision.predicted_gain = (hold_score - best_score) / hold_score;
+  }
+
+  if (!std::isfinite(best_score)) {
+    decision.chosen = grid[0];
+    decision.reason = "hold:error " + decision.candidates[0].error;
+  } else if (best == 0) {
+    decision.reason = "hold:best";
+  } else if (remaining_steps < cfg_.min_steps_between_moves) {
+    decision.reason = "hold:tail";
+  } else if (steps_since_move < cfg_.min_steps_between_moves) {
+    decision.reason = "hold:hysteresis";
+  } else if (decision.predicted_gain < cfg_.min_predicted_gain) {
+    decision.reason = "hold:gain<min";
+  } else {
+    decision.enacted = true;
+    decision.reason = "enacted";
+  }
+
+  decision.decide_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  return decision;
+}
+
+}  // namespace ss

@@ -1,0 +1,54 @@
+#include "core/twin.h"
+
+#include <algorithm>
+
+namespace ss {
+
+RunRequest TwinQuery::to_run_request() const {
+  RunRequest req;
+  // The determinism corpus's tiny linear workload: a few tens of
+  // milliseconds per query, with enough signal to separate the protocols'
+  // statistical efficiency at this scale.
+  req.workload.arch = ModelArch::kLinear;
+  req.workload.data = SyntheticSpec::cifar10_like();
+  req.workload.data.num_classes = 3;
+  req.workload.data.feature_dim = 16;
+  req.workload.data.train_size = 1024;
+  req.workload.data.test_size = 512;
+  req.workload.data.class_separation = 1.2;
+  req.workload.total_steps = horizon_steps;
+  // Proxy batch == calibrated reference batch, so one twin step costs
+  // exactly the measured step time (compute scales batch/reference_batch).
+  req.workload.hyper.batch_size = cluster.reference_batch;
+  req.workload.hyper.learning_rate = 0.05;
+  req.workload.hyper.momentum = 0.9;
+  req.workload.eval_interval = std::max<std::int64_t>(8, horizon_steps / 8);
+
+  req.cluster = cluster;
+  req.policy = SyncSwitchPolicy::pure(protocol);
+  req.policy.ssp_staleness_bound = ssp_staleness_bound;
+  req.compression = compression;
+  if (straggler_worker >= 0 && straggler_factor > 1.0) {
+    req.straggler_schedule =
+        StragglerSchedule::permanent(straggler_worker, straggler_factor);
+  }
+  // Steady-state continuation, not a job bring-up: keep actuator overheads
+  // out of the ranking (same scale the determinism corpus uses).
+  req.actuator_time_scale = 0.01;
+  req.seed = seed;
+  return req;
+}
+
+double twin_score(const RunResult& result, double target_accuracy) {
+  if (const std::optional<double> t = result.time_to_accuracy(target_accuracy)) {
+    return *t;
+  }
+  const double horizon_time = std::max(result.train_time_seconds, 1e-9);
+  const double shortfall =
+      std::max(0.0, target_accuracy - std::max(result.best_accuracy, 0.0));
+  double penalty = 1.0 + 10.0 * shortfall;
+  if (result.diverged) penalty += 100.0;
+  return horizon_time * penalty;
+}
+
+}  // namespace ss

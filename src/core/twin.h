@@ -1,0 +1,59 @@
+// Digital-twin queries: "how would this configuration fare on the cluster
+// we just measured?" expressed as ordinary RunRequests.
+//
+// A twin query is not a new execution path — it is a plain simulator run on
+// a tiny proxy workload over a calibrated ClusterSpec (sim/calibration.h),
+// which means it flows through TrainingSession, SweepRunner and the RunCache
+// unchanged, and every knob that affects its result is already covered by
+// RunRequest::cache_key().  The controller config deliberately adds *no* new
+// cache-key fields: the horizon and seed land in existing key fields
+// (`steps=`, `seed=`), and scoring inputs that do not change the simulated
+// result (the target accuracy) stay out of the key by construction.
+//
+// The proxy workload is the determinism corpus's tiny linear model, not the
+// real job: the twin ranks candidates on *cluster-time* behavior (barrier
+// stalls, straggler exposure, wire costs) and on the protocols' relative
+// statistical efficiency at the proxy scale, trading absolute fidelity for
+// queries cheap enough to fan a whole candidate grid at every drain barrier.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "compress/spec.h"
+#include "core/session.h"
+#include "ps/protocol.h"
+#include "sim/cluster.h"
+#include "sim/straggler.h"
+
+namespace ss {
+
+/// One candidate configuration to price on the twin.
+struct TwinQuery {
+  Protocol protocol = Protocol::kBsp;
+  int ssp_staleness_bound = 3;
+  CompressionSpec compression;
+  /// Calibrated cluster (pass the output of calibrate_cluster_spec over
+  /// *quantized* measurements, or cache keys churn on noise).
+  ClusterSpec cluster;
+  /// Measured straggler, extrapolated as permanent for the horizon (the
+  /// controller re-decides long before a transient would matter).  Worker
+  /// < 0 or factor <= 1 models a uniform cluster.
+  int straggler_worker = -1;
+  double straggler_factor = 1.0;
+  /// Global minibatch steps to simulate.
+  std::int64_t horizon_steps = 192;
+  std::uint64_t seed = 1;
+
+  /// Lower the query onto the proxy workload as a cacheable RunRequest.
+  [[nodiscard]] RunRequest to_run_request() const;
+};
+
+/// Predicted cost of a candidate, in virtual seconds — lower is better.
+/// Reaching `target_accuracy` scores as the time it took; falling short
+/// scores as the full horizon time inflated by the accuracy shortfall, so
+/// near-misses still rank above divergence and stalls.  Deterministic in the
+/// RunResult (ties in a candidate grid break on grid order).
+[[nodiscard]] double twin_score(const RunResult& result, double target_accuracy);
+
+}  // namespace ss

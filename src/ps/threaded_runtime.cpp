@@ -15,6 +15,7 @@
 #include "elastic/async_snapshotter.h"
 #include "elastic/recovery_coordinator.h"
 #include "net/inproc_transport.h"
+#include "sim/calibration.h"
 #include "tensor/ops.h"
 
 namespace ss {
@@ -40,6 +41,11 @@ struct WorkerContext {
   // Per-phase accumulators, reset by the drain-barrier transition.
   std::int64_t phase_staleness_sum = 0;
   std::int64_t phase_push_bytes = 0;
+  // Compute-side step spans (excluding barrier/SSP waits): the controller's
+  // measurement source — a straggler's injected delay lands in its own slot
+  // instead of being smeared over everyone by barrier waits.
+  double phase_step_seconds = 0.0;
+  std::int64_t phase_step_count = 0;
 };
 
 /// Resolve the run's phase plan: an explicit schedule, or one phase covering
@@ -71,9 +77,23 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
   if (cfg.num_workers == 0) throw ConfigError("threaded_train: num_workers must be > 0");
   if (cfg.steps_per_worker <= 0) throw ConfigError("threaded_train: steps must be > 0");
 
-  const std::vector<SwitchPhase> plan = resolve_plan(cfg);
+  // In controller mode the plan is grown dynamically: one SwitchPhase per
+  // decision interval, appended at each drain barrier with whatever the
+  // controller enacted.
+  std::vector<SwitchPhase> plan = resolve_plan(cfg);
   const bool elastic_mode = !cfg.elastic.empty();
   const bool reactive_membership = elastic_mode && cfg.elastic.plan.reactive();
+  const bool controller_mode = cfg.controller.enabled;
+  if (controller_mode) {
+    if (!cfg.schedule.empty())
+      throw ConfigError("threaded_train: the controller picks phases itself; an explicit "
+                        "switch schedule cannot compose with controller mode");
+    if (elastic_mode)
+      throw ConfigError("threaded_train: the controller owns the worker set; elastic "
+                        "membership plans cannot compose with controller mode");
+    if (cfg.controller.decision_interval <= 0)
+      throw ConfigError("threaded_train: controller decision_interval must be > 0");
+  }
   if (reactive_membership && cfg.schedule.has_reactive_trigger())
     throw ConfigError("threaded_train: reactive membership and reactive switch triggers "
                       "cannot share one straggler detector; pick one policy");
@@ -86,7 +106,11 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
 
   // Membership bookkeeping: slot ids are stable; joins claim ids past the
   // initial cluster, so every per-slot structure is pre-sized to max_slots.
-  RecoveryCoordinator coord(cfg.elastic, cfg.num_workers);
+  // Controller evictions reuse the coordinator with an empty plan, so its
+  // floor comes from the controller config.
+  ElasticConfig coord_cfg = cfg.elastic;
+  if (controller_mode) coord_cfg.min_workers = std::max<std::size_t>(1, cfg.controller.min_workers);
+  RecoveryCoordinator coord(coord_cfg, cfg.num_workers);
   const std::size_t max_slots = coord.max_slots();
   const std::size_t n0 = cfg.num_workers;
 
@@ -103,7 +127,11 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
   };
   auto lr_for_phase = [&](std::size_t i, std::size_t n) -> double {
     if (!cfg.derive_phase_lr) return cfg.lr;
-    if (!cfg.schedule.empty()) return cfg.lr * lr_multiplier(plan[i].protocol, n);
+    // Controller mode derives like schedule mode: the controller may enact
+    // any protocol at any barrier, and each gets the configuration policy's
+    // lr (synchronous phases linear-scaled, async phases base lr).
+    if (!cfg.schedule.empty() || controller_mode)
+      return cfg.lr * lr_multiplier(plan[i].protocol, n);
     // n == n0 makes the ratio exactly 1.0, so non-elastic fixed-protocol
     // runs use cfg.lr bit for bit.
     return cfg.lr * (lr_multiplier(plan[i].protocol, n) / lr_multiplier(plan[i].protocol, n0));
@@ -124,6 +152,18 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
   std::optional<CompressorBank> bank = cfg.compression.make_bank(max_slots);
   const std::int64_t dense_bytes = static_cast<std::int64_t>(p * sizeof(float));
   const bool inject_stragglers = !cfg.stragglers.events().empty();
+
+  // Online controller state.  `compress_on` is the controller's live
+  // compression toggle (always true for plain codec runs): it is only
+  // mutated inside the drain-barrier completion, so workers read it with
+  // the barrier's happens-before edge and a phase never mixes regimes.
+  std::optional<OnlineController> controller;
+  if (controller_mode) controller.emplace(cfg.controller, cfg.compression);
+  std::vector<ControllerDecision> decisions;
+  bool compress_on = bank.has_value();
+  std::int64_t last_move_step = 0;          ///< local step of the last enacted move
+  std::vector<int> controller_evict;        ///< slots a decision evicts at the epoch break
+  double prev_interval_sec_per_step = 0.0;  ///< previous interval's wall/step
 
   Rng root(cfg.seed);
   const auto shards = make_shards(train.size(), cfg.num_workers);
@@ -189,6 +229,7 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
 
   std::vector<float> agg(p);              // BSP aggregation buffer (leader)
   std::vector<float> shared_snapshot(p);  // BSP round snapshot
+  std::vector<float> eval_params(cfg.eval_hook ? p : 0);  // eval_hook scratch
   std::int64_t rounds_done = 0;           // BSP rounds completed in current phase
   bool bsp_phase_over = false;
 
@@ -270,6 +311,9 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
     const bool last = idx + 1 == plan.size();
     const std::int64_t remaining = cfg.steps_per_worker - done;
     phase_quota = SwitchSchedule::phase_budget(ph, last, remaining);
+    // Controller mode: every interval ends at a drain barrier so the
+    // controller gets its decision point; the run tail may be shorter.
+    if (controller_mode) phase_quota = std::min(phase_quota, cfg.controller.decision_interval);
     phase_steps_done = 0;
     quota = phase_quota;
     if (elastic_mode) {
@@ -311,6 +355,97 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
     ps.pull(std::span<float>(shared_snapshot));
   };
 
+  /// Controller decision point: runs inside the drain completion with every
+  /// worker parked.  Settles the previous decision's realized gain from the
+  /// finished interval's throughput, harvests the per-worker compute-span
+  /// accumulators into MeasuredPhaseCosts, asks the controller for the next
+  /// move, and arms the next interval by appending it to the dynamic plan.
+  /// A protocol/bound/compression move applies in place (the same live
+  /// transition a schedule phase gets); an eviction move quiesces the epoch
+  /// and resolves through apply_recovery like a reactive eviction.
+  auto controller_step = [&](const ThreadedPhaseStats& s) {
+    const double sec_per_step =
+        s.steps > 0 && s.wall_seconds > 0.0 ? s.wall_seconds / static_cast<double>(s.steps)
+                                            : 0.0;
+    if (!decisions.empty() && prev_interval_sec_per_step > 0.0 && sec_per_step > 0.0)
+      decisions.back().realized_gain = 1.0 - sec_per_step / prev_interval_sec_per_step;
+    prev_interval_sec_per_step = sec_per_step;
+
+    MeasuredPhaseCosts measured;
+    measured.num_workers = n_alive;
+    measured.batch_size = cfg.batch_size;
+    measured.push_bytes = static_cast<double>(dense_bytes);
+    std::vector<double> means;
+    means.reserve(n_alive);
+    double max_mean = 0.0;
+    int max_slot = -1;
+    for (std::size_t w = 0; w < max_slots; ++w) {
+      WorkerContext& c = ctx[w];
+      if (alive[w] && c.phase_step_count > 0) {
+        const double mean = c.phase_step_seconds / static_cast<double>(c.phase_step_count);
+        means.push_back(mean);
+        if (mean > max_mean) {
+          max_mean = mean;
+          max_slot = static_cast<int>(w);
+        }
+      }
+      c.phase_step_seconds = 0.0;
+      c.phase_step_count = 0;
+    }
+    if (!means.empty()) {
+      std::sort(means.begin(), means.end());
+      // Lower median: robust to the straggler itself for any cluster >= 2.
+      const double median = means[(means.size() - 1) / 2];
+      measured.step_seconds = median;
+      measured.straggler_factor = median > 0.0 ? max_mean / median : 1.0;
+      measured.straggler_worker = max_slot;
+    }
+    if (run_over) return;  // realized gain settled; nothing left to decide
+
+    ControllerDecision d;
+    try {
+      d = controller->decide(done, proto, static_cast<int>(ssp_bound), compress_on, measured,
+                             done - last_move_step, cfg.steps_per_worker - done);
+    } catch (const std::exception& e) {
+      // decide() must not take down the run from a noexcept completion:
+      // fall back to holding the current configuration.
+      d = ControllerDecision{};
+      d.at_step = done;
+      d.protocol_before = proto;
+      d.reason = std::string("hold:error ") + e.what();
+    } catch (...) {
+      d = ControllerDecision{};
+      d.at_step = done;
+      d.protocol_before = proto;
+      d.reason = "hold:error unknown";
+    }
+
+    Protocol next_proto = proto;
+    int next_bound = static_cast<int>(ssp_bound);
+    const bool evict = d.enacted && d.chosen.evict_straggler;
+    if (d.enacted) {
+      last_move_step = done;
+      if (evict) {
+        controller_evict.assign(1, d.measured.straggler_worker);
+        membership_fired = true;
+      } else {
+        next_proto = d.chosen.protocol;
+        next_bound = d.chosen.ssp_staleness_bound;
+        compress_on = d.chosen.compress && bank.has_value();
+      }
+    }
+    decisions.push_back(std::move(d));
+    plan.push_back(SwitchPhase{next_proto, SwitchTrigger::kStepCount, 0, next_bound});
+    phase_lr.push_back(lr_for_phase(plan.size() - 1, n_alive));
+    if (evict) {
+      // Quiesce the epoch; apply_recovery retires the slot and enters the
+      // appended interval with the shrunk cluster.
+      epoch_over = true;
+      return;
+    }
+    enter_phase(plan.size() - 1);
+  };
+
   /// The drain-barrier transition.  Runs on exactly one thread while every
   /// worker is parked at the barrier.  Three outcomes: the phase completed
   /// (record it, then arm the next phase live or hand off to the epoch loop
@@ -345,6 +480,11 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
       s.push_bytes += c.phase_push_bytes;
       c.phase_staleness_sum = 0;
       c.phase_push_bytes = 0;
+      if (!controller_mode) {
+        // Controller mode harvests (and resets) these in controller_step.
+        c.phase_step_seconds = 0.0;
+        c.phase_step_count = 0;
+      }
     }
     if (proto != Protocol::kBsp && s.updates > 0) {
       s.mean_staleness = static_cast<double>(staleness_sum) / static_cast<double>(s.updates);
@@ -359,6 +499,18 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
     done += s.steps;
     phase_steps_done = 0;
     run_over = done >= cfg.steps_per_worker;
+    if (cfg.eval_hook) {
+      // Consistent parameter snapshot: every worker is parked, all pushes
+      // are applied.  Hook time is charged to the run clock (honest: the
+      // controller's decision time is charged the same way), not to any
+      // worker's step measurements.
+      ps.pull(std::span<float>(eval_params));
+      cfg.eval_hook(done, seconds_between(run_start, now), eval_params);
+    }
+    if (controller_mode) {
+      controller_step(s);
+      return;
+    }
     if (run_over) return;
     if (elastic_mode && (membership_fired || coord.events_due(done))) {
       // Membership change due exactly at the phase boundary: the epoch loop
@@ -432,9 +584,14 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
     const std::int64_t progress = done + phase_steps_done;
     std::vector<AppliedMembershipEvent> applied;
     if (membership_fired) {
-      // Reactive eviction: detector-flagged workers leave (floor-clamped).
+      // Reactive eviction: the controller names its slot explicitly;
+      // the reactive membership plan evicts detector-flagged workers
+      // (floor-clamped either way).
       std::vector<int> flagged;
-      {
+      if (controller_mode) {
+        flagged = controller_evict;
+        controller_evict.clear();
+      } else {
         const std::lock_guard<std::mutex> lock(det_mu);
         flagged = detector.stragglers();
       }
@@ -533,7 +690,7 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
         c.sampler.next_batch(indices);
         train.gather(indices, c.batch_x, c.batch_y);
         c.model.gradient_at(shared_snapshot, c.batch_x, c.batch_y, c.grad);
-        if (bank) {
+        if (bank && compress_on) {
           // Each worker compresses its own push through its bank slot; the
           // aggregator decodes, so the PS math sees the lossy values exactly
           // as the simulator's BSP path does.
@@ -543,13 +700,17 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
           c.phase_push_bytes += dense_bytes;
         }
         inject_delay(w, step_start);
+        // Compute-side span (pre-barrier): the controller's per-worker cost
+        // sample — injected delays land in the slow worker's own mean.
+        c.phase_step_seconds += seconds_between(step_start, SteadyClock::now());
+        ++c.phase_step_count;
         feed_detector(w, step_start);  // the leader evaluates the condition below
         round_barrier.arrive_and_wait();  // all gradients ready
         if (w == leader) {
           std::fill(agg.begin(), agg.end(), 0.0f);
           for (std::size_t s = 0; s < max_slots; ++s) {
             if (!alive[s]) continue;
-            if (bank)
+            if (bank && compress_on)
               ctx[s].push.add_into(agg);
             else
               ops::add_inplace(std::span<float>(agg), std::span<const float>(ctx[s].grad));
@@ -623,7 +784,7 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
         train.gather(indices, c.batch_x, c.batch_y);
         c.model.gradient_at(c.snapshot, c.batch_x, c.batch_y, c.grad);
         inject_delay(w, step_start);
-        if (bank) {
+        if (bank && compress_on) {
           // Sparse (top-k) pushes lock only the shards holding kept
           // coordinates; dense quantized pushes sweep all shards like an
           // uncompressed push.
@@ -635,6 +796,10 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
           c.phase_staleness_sum += ps.push(c.grad, lr, c.pull_versions);
         }
         total_updates.fetch_add(1, std::memory_order_relaxed);
+        // Compute-side span (excludes the SSP park above): the controller's
+        // per-worker cost sample.
+        c.phase_step_seconds += seconds_between(step_start, SteadyClock::now());
+        ++c.phase_step_count;
         if (feed_detector(w, step_start))
           latch(reactive_membership ? membership_fired : trigger_fired);
         {
@@ -717,6 +882,7 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
   result.phases = std::move(stats);
   result.membership = std::move(membership_stats);
   result.snapshots_taken = elastic_mode ? store.count() : 0;
+  result.decisions = std::move(decisions);
   for (const auto& s : result.phases) {
     result.max_clock_gap = std::max(result.max_clock_gap, s.max_clock_gap);
     result.push_bytes += s.push_bytes;

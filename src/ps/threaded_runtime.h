@@ -66,6 +66,7 @@
 #include "common/error.h"
 #include "compress/compressed_push.h"
 #include "compress/spec.h"
+#include "control/controller.h"
 #include "core/straggler_detector.h"
 #include "elastic/membership_plan.h"
 #include "nn/checkpoint.h"
@@ -325,9 +326,32 @@ struct ThreadedTrainConfig {
   /// the configuration policy's linear scaling; async phases keep lr) — in
   /// fixed-protocol mode too, relative to the configured `lr`.
   ElasticConfig elastic;
+  /// Online policy controller (src/control/): when enabled, the run is cut
+  /// into `controller.decision_interval`-step segments and every segment
+  /// boundary is a drain barrier where the controller measures the segment,
+  /// prices a candidate grid on the simulator twin, and enacts the winner
+  /// live — protocol/bound/compression in place, straggler eviction through
+  /// the recovery machinery.  Mutually exclusive with `schedule` and
+  /// `elastic` (the controller owns both the plan and the worker set);
+  /// `derive_phase_lr` applies the configuration policy per enacted
+  /// protocol exactly as in schedule mode.  Decision records land in
+  /// ThreadedTrainResult::decisions.  Disabled (the default) leaves every
+  /// code path bit-identical to a config without this field.
+  ControllerConfig controller;
   /// Test hook: called by each worker before every local step (e.g. to make
   /// one worker artificially slow).  Must be thread-safe; may be null.
   std::function<void(std::size_t worker, std::int64_t step)> pre_step_hook;
+  /// Observer hook: called inside every drain-barrier completion that
+  /// completes a phase (including the run-ending one) with the per-worker
+  /// local step count, wall seconds since run start, and a fresh parameter
+  /// snapshot — every worker is parked, so the pull is consistent and the
+  /// evaluation time is not charged to any worker's step.  Lets examples
+  /// trace accuracy-versus-wall-clock without perturbing the workers.  May
+  /// be null.  Fixed-protocol runs without a controller drain only at run
+  /// end; schedule/controller runs also fire at every phase/interval
+  /// boundary.
+  std::function<void(std::int64_t step, double wall_seconds, std::span<const float> params)>
+      eval_hook;
 };
 
 /// Metrics for one executed schedule phase (exactly one entry for a
@@ -381,6 +405,11 @@ struct ThreadedTrainResult {
   /// Snapshots the AsyncSnapshotter stored (incl. the run-start one); 0 for
   /// non-elastic runs.
   std::int64_t snapshots_taken = 0;
+  /// One entry per controller decision point (empty unless
+  /// ThreadedTrainConfig::controller.enabled): the quantized measurements
+  /// the decision saw, every candidate's predicted cost and cache
+  /// provenance, the chosen move, and predicted vs. realized gain.
+  std::vector<ControllerDecision> decisions;
   std::vector<float> final_params;
 };
 

@@ -1,0 +1,52 @@
+#include "sim/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ss {
+namespace {
+
+/// Round to `digits` significant decimal digits (0 stays 0).
+double round_sig(double v, int digits) {
+  if (v <= 0.0) return 0.0;
+  const double mag = std::pow(10.0, std::floor(std::log10(v)) - (digits - 1));
+  return std::round(v / mag) * mag;
+}
+
+}  // namespace
+
+MeasuredPhaseCosts quantize(const MeasuredPhaseCosts& measured) {
+  MeasuredPhaseCosts q = measured;
+  q.step_seconds = round_sig(measured.step_seconds, 2);
+  q.push_bytes = round_sig(measured.push_bytes, 2);
+  const double factor =
+      std::min(kStragglerFactorCap, std::max(1.0, measured.straggler_factor));
+  q.straggler_factor =
+      factor <= 4.0 ? std::round(factor * 2.0) / 2.0 : std::round(factor / 2.0) * 2.0;
+  if (q.straggler_factor < kStragglerNoiseFloor) {
+    q.straggler_factor = 1.0;
+    q.straggler_worker = -1;
+  }
+  return q;
+}
+
+ClusterSpec calibrate_cluster_spec(const ClusterSpec& base,
+                                   const MeasuredPhaseCosts& measured) {
+  ClusterSpec spec = base;
+  spec.num_workers = measured.num_workers;
+  if (measured.batch_size > 0) spec.reference_batch = measured.batch_size;
+  if (measured.step_seconds > 0.0) {
+    const double base_compute = base.compute_per_batch.seconds();
+    const double sync_base_ratio =
+        base_compute > 0.0 ? base.sync_base.seconds() / base_compute : 0.0;
+    const double sync_quad_ratio =
+        base_compute > 0.0 ? base.sync_quad.seconds() / base_compute : 0.0;
+    spec.compute_per_batch = VTime::from_seconds(measured.step_seconds);
+    spec.sync_base = VTime::from_seconds(measured.step_seconds * sync_base_ratio);
+    spec.sync_quad = VTime::from_seconds(measured.step_seconds * sync_quad_ratio);
+  }
+  if (measured.push_bytes > 0.0) spec.payload_bytes = measured.push_bytes;
+  return spec;
+}
+
+}  // namespace ss

@@ -1,0 +1,82 @@
+// Calibration seam: measured threaded-runtime costs -> ClusterSpec.
+//
+// The online controller (src/control/) treats the simulator as a digital
+// twin: at each drain barrier it snapshots what the run actually cost —
+// per-worker step wall times, wire bytes per push, the slowdown of the
+// slowest worker — and asks the twin how candidate configurations would
+// fare on a cluster with exactly those costs.  This header is the seam
+// between the two worlds.
+//
+// Quantization is the load-bearing part.  Raw wall-clock measurements
+// differ in every run and every interval, so a ClusterSpec built from them
+// verbatim would change the twin's RunRequest::cache_key() at every
+// decision point, defeating the run cache *and* making decisions depend on
+// measurement noise.  `quantize()` therefore buckets every measured value
+// (2 significant digits on times and bytes, 0.5-steps on the straggler
+// factor) before it touches the spec: two decision epochs that measured
+// "about the same" cluster produce bit-identical twin queries — warm cache
+// hits, and deterministic decisions given (seed, quantized stats).
+#pragma once
+
+#include <cstddef>
+
+#include "sim/cluster.h"
+
+namespace ss {
+
+/// What one decision interval of the threaded runtime actually cost.
+/// Step seconds are *compute-side* spans (pull + compute + injected delay +
+/// push for async protocols; up-to-the-round-barrier for BSP), so a
+/// straggler's slowdown shows up in its own mean rather than being smeared
+/// over everyone by barrier waits.
+struct MeasuredPhaseCosts {
+  std::size_t num_workers = 0;
+  std::size_t batch_size = 0;
+  /// Median of the per-worker mean step seconds — the healthy-worker cost.
+  double step_seconds = 0.0;
+  /// Uncompressed model payload on the wire, bytes (the twin's compression
+  /// codec re-derives compressed sizes from this, so reporting measured
+  /// *compressed* bytes here would double-count the codec).
+  double push_bytes = 0.0;
+  /// max(per-worker mean) / median: 1.0 = uniform cluster.
+  double straggler_factor = 1.0;
+  /// Slot index of the slowest worker (-1 when straggler_factor ~ 1).
+  int straggler_worker = -1;
+};
+
+/// Bucket every measured value so near-identical measurements collapse onto
+/// identical specs (see file comment).  Times/bytes round to 2 significant
+/// digits.  The straggler factor gets progressively coarser buckets —
+/// nearest 0.5 up to 4x, nearest 2 up to the 16x cap — because wall-clock
+/// factor measurements get noisier the slower the straggler, while the
+/// decision they drive stops changing well before 16x.  Factors below
+/// `kStragglerNoiseFloor` snap to 1.0 (the worker index is dropped too).
+[[nodiscard]] MeasuredPhaseCosts quantize(const MeasuredPhaseCosts& measured);
+
+/// Factors below this are measurement noise, not stragglers: the quantized
+/// factor snaps to 1.0 and the twin models a uniform cluster.
+inline constexpr double kStragglerNoiseFloor = 1.5;
+
+/// Factors above this quantize to exactly this: past 16x the ranking of
+/// candidate moves is insensitive to the exact slowdown, and capping turns
+/// wildly noisy measurements of a very slow worker into one cache bucket.
+inline constexpr double kStragglerFactorCap = 16.0;
+
+/// Build the twin's cluster from quantized measurements.  `base` supplies
+/// everything the threaded runtime cannot observe (network latency,
+/// bandwidth, membership pricing); measured values overwrite the cost
+/// fields the decision actually hinges on:
+///
+///   compute_per_batch  <- measured healthy step seconds
+///   reference_batch    <- the run's batch size
+///   payload_bytes      <- uncompressed model payload (the twin's
+///                         compression codec re-derives compressed sizes)
+///   sync_base/quad     <- scaled to the measured step cost, preserving the
+///                         base spec's barrier:compute ratio
+///
+/// Callers pass `quantize(measured)`; passing raw measurements compiles but
+/// forfeits cache hits and decision determinism.
+[[nodiscard]] ClusterSpec calibrate_cluster_spec(const ClusterSpec& base,
+                                                 const MeasuredPhaseCosts& measured);
+
+}  // namespace ss

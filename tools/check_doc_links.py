@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the project's markdown docs.
+
+Scans README.md and docs/*.md for markdown links and images
+(`[text](target)` / `![alt](target)`) whose target is a *relative* path —
+external URLs (`http:`, `https:`, `mailto:`, ...) and pure in-page anchors
+(`#...`) are out of scope — resolves each against the containing file's
+directory, strips any `#fragment`, and verifies the target exists in the
+working tree. Docs in this repo link to each other and to source files
+(`docs/CONTROLLER.md` -> `src/control/controller.h`), so a rename that
+orphans a link fails CI instead of shipping a dead reference.
+
+Usage:
+  tools/check_doc_links.py [--root REPO_ROOT] [FILE...]
+
+With no FILE arguments, checks README.md plus every docs/*.md under the
+root (default: the repository the script lives in). Exit codes: 0 = all
+links resolve, 1 = dead links (each printed as `file:line: target`),
+2 = bad invocation.
+"""
+
+import argparse
+import glob
+import os
+import re
+import sys
+
+# Inline links/images. Targets with spaces or nested parens are not used in
+# this repo's docs; the simple form keeps false positives at zero.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://", "data:")
+
+
+def iter_links(path):
+    """Yield (line_number, target) for every markdown link in `path`."""
+    with open(path, encoding="utf-8") as f:
+        in_fence = False
+        for lineno, line in enumerate(f, start=1):
+            # Links inside fenced code blocks are sample output, not links.
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                yield lineno, match.group(1)
+
+
+def check_file(path):
+    """Return a list of (lineno, target) dead links in one markdown file."""
+    dead = []
+    base = os.path.dirname(os.path.abspath(path))
+    for lineno, target in iter_links(path):
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        resolved = os.path.normpath(os.path.join(base, target.split("#", 1)[0]))
+        if not os.path.exists(resolved):
+            dead.append((lineno, target))
+    return dead
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: parent of this script's dir)")
+    parser.add_argument("files", nargs="*",
+                        help="markdown files to check (default: README.md + docs/*.md)")
+    args = parser.parse_args()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    files = args.files or (
+        [os.path.join(root, "README.md")]
+        + sorted(glob.glob(os.path.join(root, "docs", "*.md"))))
+
+    missing_inputs = [f for f in files if not os.path.isfile(f)]
+    if missing_inputs:
+        for f in missing_inputs:
+            print(f"check_doc_links: no such file: {f}", file=sys.stderr)
+        return 2
+
+    total_links = 0
+    failures = 0
+    for path in files:
+        dead = check_file(path)
+        total_links += sum(1 for _ in iter_links(path))
+        for lineno, target in dead:
+            rel = os.path.relpath(path, root)
+            print(f"{rel}:{lineno}: dead link: {target}", file=sys.stderr)
+            failures += 1
+
+    checked = ", ".join(os.path.relpath(f, root) for f in files)
+    if failures:
+        print(f"check_doc_links: {failures} dead link(s) across {checked}",
+              file=sys.stderr)
+        return 1
+    print(f"check_doc_links: OK — {total_links} link(s) in {checked} all resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

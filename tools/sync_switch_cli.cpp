@@ -32,6 +32,14 @@
 // lone run, the parallelism is purely across configs:
 //   sync_switch_cli sweep --policies bsp,asp,ssp,dssp --seeds 8 --jobs 4
 //   sync_switch_cli sweep --scenario --start 1 --seeds 64 --cache /tmp/ss_cache
+//
+// Threaded training with the online controller (src/control/, docs/
+// CONTROLLER.md): real worker threads, with the simulator in the loop as a
+// digital twin pricing protocol/compression/membership moves at every drain
+// barrier:
+//   sync_switch_cli train --workers 4 --steps 240 --straggler 2 --factor 8
+//   sync_switch_cli train --controller --interval 24 --straggler 2 --factor 8
+//   sync_switch_cli train --controller --cache /tmp/ss_twin_cache --evict
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -46,8 +54,11 @@
 #include "core/run_cache.h"
 #include "core/session.h"
 #include "core/sweep.h"
+#include "data/synthetic.h"
 #include "net/ps_server.h"
 #include "net/worker_process.h"
+#include "nn/zoo.h"
+#include "ps/threaded_runtime.h"
 #include "ps/trace.h"
 #include "scenario/generator.h"
 #include "scenario/invariants.h"
@@ -62,6 +73,7 @@ namespace {
       << "usage: " << argv0 << " [options]\n"
       << "       " << argv0 << " scenario gen|replay|fuzz [options]\n"
       << "       " << argv0 << " sweep [options]\n"
+      << "       " << argv0 << " train [options]   (threaded runtime + online controller)\n"
       << "       " << argv0 << " serve|worker [options]\n"
       << "  --workers N        cluster size (default 8)\n"
       << "  --steps S          minibatch-step budget (default 2048)\n"
@@ -384,6 +396,194 @@ int sweep_main(int argc, char** argv) {
   return failures == 0 ? 0 : 1;
 }
 
+[[noreturn]] void train_usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " train [options]\n"
+      << "Train on the real threaded parameter-server runtime (OS threads, one\n"
+      << "shared PS).  With --controller, the online policy controller runs the\n"
+      << "simulator as a digital twin at every decision barrier and switches\n"
+      << "protocol / compression / membership live (docs/CONTROLLER.md).\n"
+      << "run options (flags take '--flag value' or '--flag=value'):\n"
+      << "  --workers N        worker threads (default 4)\n"
+      << "  --steps S          local steps per worker (default 240)\n"
+      << "  --batch B          per-worker batch size (default 32)\n"
+      << "  --lr ETA           learning rate (default 0.05)\n"
+      << "  --momentum MU      momentum (default 0.9)\n"
+      << "  --protocol P       bsp | asp | ssp starting protocol (default bsp)\n"
+      << "  --ssp-bound K      SSP staleness bound (default 3)\n"
+      << "  --shards K         PS shard count (default 1)\n"
+      << "  --arch A           linear | resnet32_lite | resnet50_lite (default linear)\n"
+      << "  --classes C        10 or 100 (default 10)\n"
+      << "  --compress C       none | topk | terngrad | qsgd (default none)\n"
+      << "  --straggler W      inject a wall-clock straggler on worker slot W\n"
+      << "  --factor F         straggler slowdown factor (default 8)\n"
+      << "  --seed X           run seed (default 99)\n"
+      << "controller options:\n"
+      << "  --controller       enable the online controller\n"
+      << "  --interval I       local steps between decision barriers (default 32)\n"
+      << "  --min-gain G       min predicted relative gain to move (default 0.10)\n"
+      << "  --move-gap M       min local steps between enacted moves (default 64)\n"
+      << "  --target-acc A     twin time-to-accuracy target (default 0.60)\n"
+      << "  --horizon H        twin simulation horizon in steps (default 192)\n"
+      << "  --cache DIR        twin run-cache directory (persists across runs)\n"
+      << "  --evict            let the controller evict the measured straggler\n"
+      << "  --verbose          info-level logging\n";
+  std::exit(2);
+}
+
+void print_threaded_phases(const ThreadedTrainResult& result) {
+  std::printf("  %-5s %-9s %7s %8s %10s %10s %8s\n", "phase", "protocol", "steps", "updates",
+              "staleness", "upd/s", "wall s");
+  for (std::size_t i = 0; i < result.phases.size(); ++i) {
+    const ThreadedPhaseStats& s = result.phases[i];
+    std::printf("  %-5zu %-9s %7lld %8lld %10.2f %10.1f %8.3f\n", i,
+                protocol_name(s.protocol).c_str(), static_cast<long long>(s.steps),
+                static_cast<long long>(s.updates), s.mean_staleness, s.updates_per_sec,
+                s.wall_seconds);
+  }
+}
+
+void print_decisions(const std::vector<ControllerDecision>& decisions) {
+  if (decisions.empty()) return;
+  std::printf("  %-6s %-9s %-16s %-15s %6s %6s %7s %5s %8s\n", "step", "from", "chosen",
+              "reason", "pred%", "real%", "factor", "hits", "decide s");
+  for (const ControllerDecision& d : decisions) {
+    std::printf("  %-6lld %-9s %-16s %-15s %6.1f %6.1f %7.1f %5zu %8.3f\n",
+                static_cast<long long>(d.at_step), protocol_name(d.protocol_before).c_str(),
+                d.chosen.label().c_str(), d.reason.c_str(), d.predicted_gain * 100.0,
+                d.realized_gain * 100.0, d.measured.straggler_factor, d.cache_hits,
+                d.decide_wall_seconds);
+  }
+}
+
+int train_main(int argc, char** argv) {
+  ThreadedTrainConfig cfg;
+  cfg.num_workers = 4;
+  cfg.steps_per_worker = 240;
+  cfg.batch_size = 32;
+  std::string protocol = "bsp", arch = "linear", compress = "none";
+  int classes = 10;
+  int straggler = -1;
+  double factor = 8.0;
+
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.rfind("--", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg = arg.substr(0, eq);
+        has_inline = true;
+      }
+    }
+    auto value = [&]() -> std::string {
+      if (has_inline) return inline_value;
+      if (i + 1 >= argc) train_usage(argv[0]);
+      return argv[++i];
+    };
+    try {
+      if (arg == "--workers") cfg.num_workers = parse_u64(arg, value());
+      else if (arg == "--steps") cfg.steps_per_worker = parse_i64(arg, value());
+      else if (arg == "--batch") cfg.batch_size = parse_u64(arg, value());
+      else if (arg == "--lr") cfg.lr = parse_double(arg, value());
+      else if (arg == "--momentum") cfg.momentum = parse_double(arg, value());
+      else if (arg == "--protocol") protocol = value();
+      else if (arg == "--ssp-bound") cfg.ssp_staleness_bound = parse_int(arg, value());
+      else if (arg == "--shards") cfg.num_ps_shards = parse_u64(arg, value());
+      else if (arg == "--arch") arch = value();
+      else if (arg == "--classes") classes = parse_int(arg, value());
+      else if (arg == "--compress") compress = value();
+      else if (arg == "--straggler") straggler = parse_int(arg, value());
+      else if (arg == "--factor") factor = parse_double(arg, value());
+      else if (arg == "--seed") cfg.seed = parse_u64(arg, value());
+      else if (arg == "--controller") cfg.controller.enabled = true;
+      else if (arg == "--interval") cfg.controller.decision_interval = parse_i64(arg, value());
+      else if (arg == "--min-gain") cfg.controller.min_predicted_gain = parse_double(arg, value());
+      else if (arg == "--move-gap")
+        cfg.controller.min_steps_between_moves = parse_i64(arg, value());
+      else if (arg == "--target-acc") cfg.controller.target_accuracy = parse_double(arg, value());
+      else if (arg == "--horizon") cfg.controller.twin_horizon_steps = parse_i64(arg, value());
+      else if (arg == "--cache") cfg.controller.cache_dir = value();
+      else if (arg == "--evict") cfg.controller.consider_eviction = true;
+      else if (arg == "--verbose") set_log_level(LogLevel::kInfo);
+      else train_usage(argv[0]);
+    } catch (const ConfigError& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      train_usage(argv[0]);
+    }
+  }
+
+  if (protocol == "bsp") cfg.protocol = Protocol::kBsp;
+  else if (protocol == "asp") cfg.protocol = Protocol::kAsp;
+  else if (protocol == "ssp") cfg.protocol = Protocol::kSsp;
+  else train_usage(argv[0]);
+
+  if (compress == "topk") cfg.compression = CompressionSpec::topk(0.01);
+  else if (compress == "terngrad") cfg.compression = CompressionSpec::terngrad();
+  else if (compress == "qsgd") cfg.compression = CompressionSpec::qsgd(15);
+  else if (compress != "none") train_usage(argv[0]);
+
+  ModelArch model_arch;
+  if (arch == "linear") model_arch = ModelArch::kLinear;
+  else if (arch == "resnet32_lite") model_arch = ModelArch::kResNet32Lite;
+  else if (arch == "resnet50_lite") model_arch = ModelArch::kResNet50Lite;
+  else train_usage(argv[0]);
+
+  if (straggler >= 0) {
+    if (static_cast<std::size_t>(straggler) >= cfg.num_workers) {
+      std::cerr << "error: --straggler slot " << straggler << " out of range for "
+                << cfg.num_workers << " workers\n";
+      return 2;
+    }
+    cfg.stragglers = StragglerSchedule::transient(straggler, VTime::from_seconds(0.0),
+                                                  VTime::from_seconds(1e9), factor);
+  }
+
+  SyntheticSpec spec = classes == 100 ? SyntheticSpec::cifar100_like()
+                                      : SyntheticSpec::cifar10_like();
+  if (classes != 10 && classes != 100) train_usage(argv[0]);
+  spec.train_size = 2048;
+  spec.test_size = 512;
+  const DataSplit data = make_synthetic(spec);
+
+  Rng rng(21);
+  Model model = make_model(model_arch, spec.feature_dim, spec.num_classes, rng);
+
+  std::cout << "threaded training: " << arch_name(model_arch) << ", " << cfg.num_workers
+            << " worker threads, " << cfg.steps_per_worker << " steps/worker, start protocol "
+            << protocol;
+  if (cfg.controller.enabled)
+    std::cout << ", controller on (interval " << cfg.controller.decision_interval << ")";
+  if (straggler >= 0)
+    std::cout << ", straggler on worker " << straggler << " (x" << factor << ")";
+  std::cout << "\n";
+
+  try {
+    const auto t0 = std::chrono::steady_clock::now();
+    const ThreadedTrainResult result = threaded_train(model, data.train, cfg);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+    Model trained = model.clone();
+    trained.set_params(result.final_params);
+    std::cout << "result: " << result.total_updates << " PS updates in " << wall
+              << " s wall, mean staleness " << result.mean_staleness << ", test accuracy "
+              << trained.evaluate_accuracy(data.test) << "\n";
+    std::cout << "phases:\n";
+    print_threaded_phases(result);
+    if (!result.decisions.empty()) {
+      std::cout << "controller decisions:\n";
+      print_decisions(result.decisions);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 [[noreturn]] void net_usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " serve [options]   (host the parameter server)\n"
@@ -534,6 +734,7 @@ int worker_main(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc >= 2 && std::string(argv[1]) == "scenario") return scenario_main(argc, argv);
   if (argc >= 2 && std::string(argv[1]) == "sweep") return sweep_main(argc, argv);
+  if (argc >= 2 && std::string(argv[1]) == "train") return train_main(argc, argv);
   if (argc >= 2 && std::string(argv[1]) == "serve") return serve_main(argc, argv);
   if (argc >= 2 && std::string(argv[1]) == "worker") return worker_main(argc, argv);
   RunRequest req;
