@@ -16,6 +16,7 @@
 #include "nn/batchnorm.h"
 #include "data/synthetic.h"
 #include "nn/zoo.h"
+#include "obs/obs.h"
 #include "ps/param_server.h"
 #include "ps/threaded_runtime.h"
 #include "sim/event_queue.h"
@@ -234,6 +235,45 @@ void BM_ThreadedCrashRecovery(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * (24 + 12));
 }
 BENCHMARK(BM_ThreadedCrashRecovery)->Unit(benchmark::kMillisecond);
+
+// Observability cost on the threaded runtime: the same tiny BSP -> ASP
+// switch run as BM_ThreadedProtocolSwitch, with obs off (/0, the default
+// every other benchmark runs under) vs metrics + tracing armed (/1).  The
+// /0:/1 ratio is the overhead claim in docs/ARCHITECTURE.md; /0 regressing
+// against BM_ThreadedProtocolSwitch would mean the disabled-path guard
+// itself got expensive.
+void BM_ThreadedObsOverhead(benchmark::State& state) {
+  SyntheticSpec spec = SyntheticSpec::cifar10_like();
+  spec.train_size = 256;
+  spec.test_size = 64;
+  spec.num_classes = 4;
+  spec.feature_dim = 16;
+  const DataSplit split = make_synthetic(spec);
+  Rng rng(7);
+  const Model proto = make_model(ModelArch::kLinear, 16, 4, rng);
+  ThreadedTrainConfig cfg;
+  cfg.schedule = SwitchSchedule::bsp_to_asp(8);
+  cfg.num_workers = 2;
+  cfg.batch_size = 8;
+  cfg.steps_per_worker = 24;
+  cfg.num_ps_shards = 4;
+  const bool obs_on = state.range(0) != 0;
+  for (auto _ : state) {
+    if (obs_on) {
+      state.PauseTiming();
+      obs::enable_tracing();  // fresh buffer every iteration: no cap drops
+      obs::enable_metrics();
+      state.ResumeTiming();
+    }
+    const ThreadedTrainResult r = threaded_train(proto, split.train, cfg);
+    benchmark::DoNotOptimize(r.total_updates);
+  }
+  obs::disable_all();
+  obs::tracer().clear();
+  obs::metrics().reset();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 24 * 2);
+}
+BENCHMARK(BM_ThreadedObsOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_EventQueue(benchmark::State& state) {
   for (auto _ : state) {

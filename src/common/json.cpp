@@ -1,0 +1,120 @@
+#include "common/json.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace ss {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+ChromeTraceWriter::ChromeTraceWriter(std::ostream& os) : os_(os) { os_ << "[\n"; }
+
+ChromeTraceWriter::~ChromeTraceWriter() {
+  if (!closed_) close();
+}
+
+void ChromeTraceWriter::end_pending() {
+  if (in_args_) {
+    os_ << '}';
+    in_args_ = false;
+  }
+  if (in_event_) {
+    os_ << '}';
+    in_event_ = false;
+  }
+}
+
+ChromeTraceWriter& ChromeTraceWriter::event() {
+  end_pending();
+  if (!first_event_) os_ << ",\n";
+  first_event_ = false;
+  os_ << '{';
+  in_event_ = true;
+  first_field_ = true;
+  return *this;
+}
+
+void ChromeTraceWriter::key(const char* k) {
+  if (!first_field_) os_ << ',';
+  first_field_ = false;
+  os_ << '"' << k << "\":";
+}
+
+ChromeTraceWriter& ChromeTraceWriter::field(const char* k, std::int64_t v) {
+  key(k);
+  os_ << v;
+  return *this;
+}
+
+ChromeTraceWriter& ChromeTraceWriter::field(const char* k, int v) {
+  return field(k, static_cast<std::int64_t>(v));
+}
+
+ChromeTraceWriter& ChromeTraceWriter::field(const char* k, double v) {
+  key(k);
+  os_ << v;
+  return *this;
+}
+
+ChromeTraceWriter& ChromeTraceWriter::field(const char* k, const std::string& v) {
+  key(k);
+  os_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+ChromeTraceWriter& ChromeTraceWriter::field(const char* k, const char* v) {
+  return field(k, std::string(v));
+}
+
+ChromeTraceWriter& ChromeTraceWriter::raw(const char* k, const std::string& json) {
+  key(k);
+  os_ << json;
+  return *this;
+}
+
+ChromeTraceWriter& ChromeTraceWriter::args() {
+  key("args");
+  os_ << '{';
+  in_args_ = true;
+  first_field_ = true;
+  return *this;
+}
+
+void ChromeTraceWriter::close() {
+  end_pending();
+  os_ << "\n]\n";
+  closed_ = true;
+}
+
+}  // namespace ss

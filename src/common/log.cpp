@@ -1,13 +1,25 @@
 #include "common/log.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
 
 namespace ss {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+LogLevel initial_level() noexcept {
+  const char* env = std::getenv("SS_LOG_LEVEL");
+  if (env != nullptr) {
+    if (const auto parsed = parse_log_level(env)) return *parsed;
+  }
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
 std::mutex g_mutex;
 
 const char* level_tag(LogLevel level) noexcept {
@@ -25,15 +37,43 @@ const char* level_tag(LogLevel level) noexcept {
   }
   return "?????";
 }
+
+/// Monotonic seconds since the first log call (≈ process start).
+double uptime_seconds() noexcept {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch).count();
+}
+
+/// Small stable per-thread id (1, 2, 3, ... in first-log order) — readable
+/// in interleaved multi-thread output where the native id is noise.
+int thread_tag() noexcept {
+  static std::atomic<int> next{1};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
 
 LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
 
+std::optional<LogLevel> parse_log_level(const std::string& name) noexcept {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
 void log_line(LogLevel level, const std::string& msg) {
+  char stamp[32];
+  std::snprintf(stamp, sizeof(stamp), "%10.3f", uptime_seconds());
   const std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << "[" << level_tag(level) << "] " << msg << "\n";
+  std::cerr << "[" << level_tag(level) << " " << stamp << " t" << thread_tag() << "] " << msg
+            << "\n";
 }
 
 }  // namespace ss

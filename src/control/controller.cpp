@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "core/twin.h"
+#include "obs/obs.h"
 
 namespace ss {
 namespace {
@@ -216,6 +217,29 @@ ControllerDecision OnlineController::decide(std::int64_t at_step, Protocol curre
 
   decision.decide_wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  if (obs::enabled()) {
+    auto& reg = obs::metrics();
+    reg.counter("ss_controller_decisions_total", "Controller decision points").add();
+    if (decision.enacted)
+      reg.counter("ss_controller_moves_total", "Decisions that enacted a move").add();
+    reg.histogram("ss_controller_decide_seconds",
+                  {1e-4, 1e-3, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0},
+                  "Wall time of one measure->twin->score->enact decision (seconds)")
+        .observe(decision.decide_wall_seconds);
+    if (obs::tracing()) {
+      auto& tr = obs::tracer();
+      const std::int64_t end_us = tr.to_us(std::chrono::steady_clock::now());
+      const std::int64_t dur_us =
+          static_cast<std::int64_t>(decision.decide_wall_seconds * 1e6);
+      tr.complete(0, "decision", end_us - dur_us, dur_us,
+                  {obs::arg("at_step", decision.at_step),
+                   obs::arg("reason", decision.reason),
+                   obs::arg("chosen", decision.chosen.label()),
+                   obs::arg("predicted_gain", decision.predicted_gain),
+                   obs::arg("candidates", static_cast<std::int64_t>(decision.candidates.size())),
+                   obs::arg("cache_hits", static_cast<std::int64_t>(decision.cache_hits))});
+    }
+  }
   return decision;
 }
 

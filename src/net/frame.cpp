@@ -126,6 +126,29 @@ Frame decode_frame(std::span<const std::uint8_t> bytes) {
 
 Frame make_empty_frame(MsgType type) { return Frame{type, {}}; }
 
+const char* msg_type_name(MsgType type) noexcept {
+  switch (type) {
+    case MsgType::kHello: return "Hello";
+    case MsgType::kAssignment: return "Assignment";
+    case MsgType::kPull: return "Pull";
+    case MsgType::kPullReply: return "PullReply";
+    case MsgType::kPushDense: return "PushDense";
+    case MsgType::kPushCompressed: return "PushCompressed";
+    case MsgType::kPushReply: return "PushReply";
+    case MsgType::kDrainArrive: return "DrainArrive";
+    case MsgType::kDrainRelease: return "DrainRelease";
+    case MsgType::kCheckpointRequest: return "CheckpointRequest";
+    case MsgType::kCheckpointReply: return "CheckpointReply";
+    case MsgType::kRestoreRequest: return "RestoreRequest";
+    case MsgType::kVersionRequest: return "VersionRequest";
+    case MsgType::kVersionReply: return "VersionReply";
+    case MsgType::kOk: return "Ok";
+    case MsgType::kBye: return "Bye";
+    case MsgType::kError: return "Error";
+  }
+  return "Unknown";
+}
+
 // ------------------------------------------------------------------ Hello
 
 Frame HelloMsg::encode() const {

@@ -58,6 +58,10 @@ enum class MsgType : std::uint16_t {
   kError = 17,       ///< ps -> worker: request failed; payload = message
 };
 
+/// Human-readable message-type name ("PushDense", "DrainArrive", ...);
+/// "Unknown" for values outside the enum.  For logs and trace span labels.
+[[nodiscard]] const char* msg_type_name(MsgType type) noexcept;
+
 /// One decoded frame: the type tag plus its raw payload bytes.
 struct Frame {
   MsgType type = MsgType::kError;

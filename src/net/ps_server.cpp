@@ -1,6 +1,7 @@
 #include "net/ps_server.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <optional>
@@ -14,6 +15,7 @@
 #include "net/frame.h"
 #include "net/inproc_transport.h"
 #include "net/socket.h"
+#include "obs/obs.h"
 #include "ps/threaded_runtime.h"
 
 namespace ss {
@@ -89,6 +91,14 @@ void evict_worker(ServerState& state, std::uint32_t worker, const std::string& w
 /// connection dies (eviction), or the run completes.
 void serve_session(ServerState& state, Socket sock, std::uint32_t worker,
                    const AssignmentMsg& assignment) {
+  if (obs::enabled()) {
+    // The session thread serves exactly one worker slot: pin its wire spans
+    // to that worker's trace row instead of an auto-assigned one.
+    obs::set_thread_track(static_cast<int>(worker) + 1);
+    if (obs::tracing())
+      obs::tracer().set_track_name(static_cast<int>(worker) + 1,
+                                   "session worker " + std::to_string(worker));
+  }
   InProcTransport tx(state.ps);
   bool drained = false;
   try {
@@ -199,6 +209,8 @@ PsServerResult run_ps_server(const PsServerConfig& cfg) {
   if (cfg.steps_per_worker <= 0) throw ConfigError("run_ps_server: steps must be > 0");
   if (cfg.snapshot_interval < 0)
     throw ConfigError("run_ps_server: snapshot_interval must be >= 0");
+  if (cfg.metrics_period_seconds < 0.0)
+    throw ConfigError("run_ps_server: metrics_period_seconds must be >= 0");
 
   // The server builds the model only for its initial parameters and the
   // final evaluation; all gradient math happens in the worker processes.
@@ -246,6 +258,35 @@ PsServerResult run_ps_server(const PsServerConfig& cfg) {
            " shards)");
   if (cfg.on_listening) cfg.on_listening(listener.endpoint());
 
+  // Observability: a compact metrics line on a wall-clock cadence while the
+  // run is live (off unless the CLI armed metrics and set a period), plus
+  // one final line at exit.  Counters come from the wire layer's registry
+  // entries; registering here (create-if-absent) keeps the reads safe even
+  // before the first frame lands.
+  const bool metrics_on = obs::enabled() && cfg.metrics_period_seconds > 0.0;
+  auto log_metrics_line = [&state](const char* tag) {
+    auto& reg = obs::metrics();
+    log_info("ps_server: metrics", tag,
+             " updates=", state.total_updates.load(std::memory_order_relaxed),
+             " frames_rx=", reg.counter("ss_net_frames_received_total").value(),
+             " bytes_rx=", reg.counter("ss_net_bytes_received_total").value(),
+             " frames_tx=", reg.counter("ss_net_frames_sent_total").value(),
+             " bytes_tx=", reg.counter("ss_net_bytes_sent_total").value());
+  };
+  std::mutex metrics_mu;
+  std::condition_variable metrics_cv;
+  bool metrics_stop = false;
+  std::thread metrics_thread;
+  if (metrics_on) {
+    metrics_thread = std::thread([&] {
+      std::unique_lock<std::mutex> lock(metrics_mu);
+      while (!metrics_cv.wait_for(lock,
+                                  std::chrono::duration<double>(cfg.metrics_period_seconds),
+                                  [&] { return metrics_stop; }))
+        log_metrics_line("");
+    });
+  }
+
   // Admission: the first num_workers connections that complete the Hello
   // handshake get slots 0..n-1.  Sessions start serving immediately — ASP
   // workers train while later slots are still joining.
@@ -281,6 +322,15 @@ PsServerResult run_ps_server(const PsServerConfig& cfg) {
 
   for (auto& t : sessions) t.join();
   if (snapshotter) snapshotter->stop();
+  if (metrics_thread.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(metrics_mu);
+      metrics_stop = true;
+    }
+    metrics_cv.notify_all();
+    metrics_thread.join();
+  }
+  if (obs::enabled()) log_metrics_line(" final");  // dump-on-exit
 
   PsServerResult result;
   result.total_updates = state.total_updates.load();

@@ -48,6 +48,10 @@ struct PsServerConfig {
   ModelArch arch = ModelArch::kLinear;
   SyntheticSpec data;           ///< workers regenerate the same split
   CompressionSpec compression;  ///< encoded worker-side; wire carries CompressedPush
+  /// Observability: when > 0 (and obs::enabled()), the server logs a compact
+  /// metrics line every this-many seconds while the run is live, plus one
+  /// final line at exit.  0 = off.
+  double metrics_period_seconds = 0.0;
   /// Invoked with the concrete endpoint once the server is listening (tcp
   /// port 0 resolved) — tests and scripts use it to know when to connect.
   std::function<void(const std::string&)> on_listening;

@@ -7,10 +7,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
 #include "common/error.h"
+#include "obs/obs.h"
 
 namespace ss {
 
@@ -18,6 +20,47 @@ namespace {
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw NetError(what + ": " + std::strerror(errno));
+}
+
+// Wire-layer instrumentation handles, registered lazily on the first frame
+// sent/received with observability enabled (send_frame/recv_frame guard on
+// obs::enabled(), so an obs-off process never touches the registry).  Byte
+// histograms count the full frame (header + payload) — the quantity the
+// simulator's transfer_time pricing charges — so real wire-cost
+// distributions diff directly against simulated ones.
+struct WireMetrics {
+  obs::Counter& frames_sent;
+  obs::Counter& frames_received;
+  obs::Counter& bytes_sent;
+  obs::Counter& bytes_received;
+  obs::Histogram& sent_frame_bytes;
+  obs::Histogram& recv_frame_bytes;
+  obs::Histogram& send_seconds;
+  obs::Histogram& recv_seconds;
+};
+
+WireMetrics& wire_metrics() {
+  static WireMetrics* m = [] {
+    auto& reg = obs::metrics();
+    const std::vector<double> byte_buckets{64,      256,     1024,     4096,    16384,
+                                           65536,   262144,  1048576,  4194304, 16777216};
+    const std::vector<double> time_buckets{1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.1, 1.0};
+    return new WireMetrics{
+        reg.counter("ss_net_frames_sent_total", "Frames written to a socket"),
+        reg.counter("ss_net_frames_received_total", "Frames read from a socket"),
+        reg.counter("ss_net_bytes_sent_total", "Frame bytes written (header + payload)"),
+        reg.counter("ss_net_bytes_received_total", "Frame bytes read (header + payload)"),
+        reg.histogram("ss_net_sent_frame_bytes", byte_buckets,
+                      "Per-frame wire cost, send side (bytes)"),
+        reg.histogram("ss_net_recv_frame_bytes", byte_buckets,
+                      "Per-frame wire cost, receive side (bytes)"),
+        reg.histogram("ss_net_send_frame_seconds", time_buckets,
+                      "Blocking send time per frame (seconds)"),
+        reg.histogram("ss_net_recv_frame_seconds", time_buckets,
+                      "Payload receive time per frame (seconds; header wait excluded)"),
+    };
+  }();
+  return *m;
 }
 
 /// Split "unix:<path>" / "tcp:<host>:<port>".  A bare path (contains '/')
@@ -118,7 +161,24 @@ bool Socket::recv_all(void* data, std::size_t n, bool eof_ok) {
 
 void send_frame(Socket& sock, const Frame& frame) {
   const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  if (!obs::enabled()) {
+    sock.send_all(bytes.data(), bytes.size());
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
   sock.send_all(bytes.data(), bytes.size());
+  const auto t1 = std::chrono::steady_clock::now();
+  WireMetrics& m = wire_metrics();
+  const auto n = static_cast<std::int64_t>(bytes.size());
+  m.frames_sent.add();
+  m.bytes_sent.add(n);
+  m.sent_frame_bytes.observe(static_cast<double>(n));
+  m.send_seconds.observe(std::chrono::duration<double>(t1 - t0).count());
+  if (obs::tracing()) {
+    auto& tr = obs::tracer();
+    tr.complete(obs::thread_track(), std::string("send ") + msg_type_name(frame.type),
+                tr.to_us(t0), tr.to_us(t1) - tr.to_us(t0), {obs::arg("bytes", n)});
+  }
 }
 
 bool recv_frame(Socket& sock, Frame& frame) {
@@ -127,7 +187,27 @@ bool recv_frame(Socket& sock, Frame& frame) {
   const std::uint64_t payload_size =
       decode_frame_header(std::span<const std::uint8_t>(header, sizeof(header)), frame.type);
   frame.payload.resize(payload_size);
+  if (!obs::enabled()) {
+    if (payload_size > 0)
+      (void)sock.recv_all(frame.payload.data(), payload_size, /*eof_ok=*/false);
+    return true;
+  }
+  // The span clock starts after the header: header blocking time is mostly
+  // idle wait for the peer to speak, not transfer cost.
+  const auto t0 = std::chrono::steady_clock::now();
   if (payload_size > 0) (void)sock.recv_all(frame.payload.data(), payload_size, /*eof_ok=*/false);
+  const auto t1 = std::chrono::steady_clock::now();
+  WireMetrics& m = wire_metrics();
+  const auto n = static_cast<std::int64_t>(kFrameHeaderBytes + payload_size);
+  m.frames_received.add();
+  m.bytes_received.add(n);
+  m.recv_frame_bytes.observe(static_cast<double>(n));
+  m.recv_seconds.observe(std::chrono::duration<double>(t1 - t0).count());
+  if (obs::tracing()) {
+    auto& tr = obs::tracer();
+    tr.complete(obs::thread_track(), std::string("recv ") + msg_type_name(frame.type),
+                tr.to_us(t0), tr.to_us(t1) - tr.to_us(t0), {obs::arg("bytes", n)});
+  }
   return true;
 }
 

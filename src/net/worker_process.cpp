@@ -1,5 +1,6 @@
 #include "net/worker_process.h"
 
+#include <chrono>
 #include <optional>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "data/synthetic.h"
 #include "net/socket_transport.h"
 #include "nn/zoo.h"
+#include "obs/obs.h"
 
 namespace ss {
 
@@ -18,6 +20,16 @@ WorkerProcessResult run_worker_process(const WorkerProcessConfig& cfg) {
   AssignmentMsg a;
   SocketTransport tx(cfg.endpoint, a);
   const auto w = static_cast<std::size_t>(a.worker);
+  const bool obs_on = obs::enabled();
+  obs::Counter* m_steps = nullptr;
+  if (obs_on) {
+    m_steps = &obs::metrics().counter("ss_worker_steps_total",
+                                      "Pull->gradient->push cycles completed");
+    if (obs::tracing())
+      obs::tracer().set_track_name(static_cast<int>(w) + 1,
+                                   "worker " + std::to_string(w));
+    obs::set_thread_track(static_cast<int>(w) + 1);
+  }
   log_info("worker ", a.worker, ": joined ", cfg.endpoint, " (", a.num_params,
            " params, quota ", a.steps_per_worker, " steps)");
 
@@ -54,6 +66,8 @@ WorkerProcessResult run_worker_process(const WorkerProcessConfig& cfg) {
       log_warn("worker ", a.worker, ": simulated crash after ", step, " steps");
       return result;  // transport destructor closes the socket abruptly
     }
+    const auto step_start = obs_on ? std::chrono::steady_clock::now()
+                                   : std::chrono::steady_clock::time_point{};
     tx.pull_with_versions(snapshot, pull_versions);
     sampler.next_batch(indices);
     split.train.gather(indices, batch_x, batch_y);
@@ -67,6 +81,15 @@ WorkerProcessResult run_worker_process(const WorkerProcessConfig& cfg) {
       staleness_sum += tx.push(grad, a.lr, pull_versions);
     }
     ++result.steps;
+    if (obs_on) {
+      m_steps->add();
+      if (obs::tracing()) {
+        auto& tr = obs::tracer();
+        const auto t1 = std::chrono::steady_clock::now();
+        tr.complete(static_cast<int>(w) + 1, "step", tr.to_us(step_start),
+                    tr.to_us(t1) - tr.to_us(step_start), {obs::arg("step", step)});
+      }
+    }
   }
   if (result.steps > 0)
     result.mean_staleness = static_cast<double>(staleness_sum) / static_cast<double>(result.steps);

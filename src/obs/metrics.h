@@ -1,0 +1,125 @@
+// Low-overhead metrics registry: named counters, gauges, and fixed-bucket
+// histograms with lock-free recording and Prometheus-style text exposition.
+//
+// Recording is a handful of relaxed atomics — cheap enough for per-frame and
+// per-step sites on the real runtimes.  Registration (name -> instrument) is
+// mutex-protected and returns references that stay valid for the registry's
+// lifetime (instruments are never removed; reset() only zeroes values), so
+// hot paths register once and record through the reference.
+//
+// The process-global registry lives behind obs::metrics() (obs/obs.h); tests
+// construct standalone registries.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ss::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) noexcept { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) noexcept;
+  [[nodiscard]] double value() const noexcept;
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};  ///< IEEE-754 bit pattern of the value
+};
+
+/// Fixed-bucket histogram: `bounds` are strictly increasing upper bounds, a
+/// +Inf overflow bucket is implicit.  observe() is a linear scan over the
+/// bounds plus three relaxed atomics.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size() == bounds().size() + 1.
+  [[nodiscard]] std::vector<std::int64_t> bucket_counts() const;
+  [[nodiscard]] std::int64_t count() const noexcept;
+  [[nodiscard]] double sum() const noexcept;
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::int64_t>> buckets_;  ///< bounds_.size() + 1
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};  ///< IEEE-754 bit pattern of the sum
+};
+
+/// Point-in-time copy of every registered instrument.
+struct MetricsSnapshot {
+  struct CounterSample {
+    std::string name;
+    std::string help;
+    std::int64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    std::string help;
+    double value = 0.0;
+  };
+  struct HistogramSample {
+    std::string name;
+    std::string help;
+    std::vector<double> bounds;
+    std::vector<std::int64_t> buckets;  ///< non-cumulative; bounds.size() + 1
+    std::int64_t count = 0;
+    double sum = 0.0;
+  };
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+/// Named instrument registry.  Thread-safe; name collisions across kinds
+/// (or a histogram re-registered with different bounds) throw ConfigError.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const std::string& help = "");
+
+  /// Sorted by name within each kind, so exposition output is stable.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Prometheus text exposition (# HELP / # TYPE headers, cumulative
+  /// histogram buckets with le labels, _sum/_count).
+  [[nodiscard]] std::string expose_text() const;
+
+  /// Zero every instrument (registrations survive; references stay valid).
+  void reset();
+
+ private:
+  struct Entry {
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace ss::obs

@@ -1,0 +1,103 @@
+// Wall-clock span tracer: records real-time spans, instants, and counter
+// samples on named tracks and exports them as the same Chrome trace-event
+// JSON the simulator's TraceRecorder writes (one emission path —
+// common/json.h's ChromeTraceWriter) so simulated and real timelines open
+// side by side in the same Perfetto view.
+//
+// Recording is disabled by default: enabled() is one relaxed atomic load,
+// and every instrumentation site checks it before reading a clock or
+// touching the buffer, so a traced-off run does no extra work.  When
+// enabled, events land in a bounded, mutex-protected buffer; overflow is
+// counted and exported as trace metadata (truncated traces self-describe).
+//
+// Timestamps are microseconds of steady-clock time since the tracer's
+// epoch (reset by enable(), so every capture starts near t=0).  Tracks map
+// to Chrome "tid"s under pid 1, mirroring TraceRecorder's convention:
+// track 0 is the control/PS row, track w+1 is worker slot w.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ss::obs {
+
+/// One "args" entry: a key plus a pre-encoded JSON value.  Build with the
+/// arg() helpers, which quote/escape strings and format numbers.
+struct TraceArg {
+  const char* key;
+  std::string json;
+};
+
+[[nodiscard]] TraceArg arg(const char* key, std::int64_t v);
+[[nodiscard]] TraceArg arg(const char* key, int v);
+[[nodiscard]] TraceArg arg(const char* key, double v);
+[[nodiscard]] TraceArg arg(const char* key, const std::string& v);
+[[nodiscard]] TraceArg arg(const char* key, const char* v);
+
+class WallTracer {
+ public:
+  WallTracer();
+
+  /// Arm recording with a fresh epoch and an event cap.  Clears any
+  /// previously recorded events.
+  void enable(std::size_t max_events = 1 << 20);
+  void disable() noexcept;
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Microseconds since the epoch, for building span timestamps.
+  [[nodiscard]] std::int64_t now_us() const noexcept;
+  [[nodiscard]] std::int64_t to_us(std::chrono::steady_clock::time_point tp) const noexcept;
+
+  /// Label a track's Perfetto row ("worker 3", "ps server", ...).
+  void set_track_name(int track, const std::string& name);
+
+  /// Complete span ("X"): a closed interval on `track`.
+  void complete(int track, std::string name, std::int64_t start_us, std::int64_t dur_us,
+                std::vector<TraceArg> args = {});
+  /// Thread-scoped instant ("i") at now().
+  void instant(int track, std::string name, std::vector<TraceArg> args = {});
+  /// Counter sample ("C") at now().
+  void counter(std::string name, double value);
+
+  [[nodiscard]] std::size_t recorded() const;
+  [[nodiscard]] std::size_t dropped() const;
+  void clear();
+
+  /// Export everything recorded so far as a Chrome trace-event JSON array
+  /// (track-name metadata first, then events in record order; the buffer's
+  /// dropped count rides along as a trace_metadata event).
+  void write_chrome_trace(std::ostream& os) const;
+  /// Convenience: write_chrome_trace to a file.  Throws IoError on failure.
+  void save_chrome_trace(const std::string& path) const;
+
+ private:
+  struct Event {
+    char ph;  ///< 'X', 'i', or 'C'
+    int track;
+    std::int64_t ts;
+    std::int64_t dur;  ///< 'X' only
+    std::string name;
+    std::vector<TraceArg> args;
+    double value;  ///< 'C' only
+  };
+
+  void record(Event e);
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::size_t max_events_ = 1 << 20;
+  std::size_t dropped_ = 0;
+  std::vector<Event> events_;
+  std::map<int, std::string> track_names_;
+};
+
+}  // namespace ss::obs

@@ -15,6 +15,7 @@
 #include "elastic/async_snapshotter.h"
 #include "elastic/recovery_coordinator.h"
 #include "net/inproc_transport.h"
+#include "obs/obs.h"
 #include "sim/calibration.h"
 #include "tensor/ops.h"
 
@@ -257,12 +258,66 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
   std::int64_t run_async_staleness = 0;  // run totals over async-phase pushes
   std::int64_t run_async_updates = 0;
 
+  // ------------------------------------------------------------------
+  // Observability (off by default).  `obs_on` is sampled once per run so a
+  // mid-run toggle cannot split a run across regimes; when false, every
+  // instrumentation site below reduces to one branch on a stack bool and
+  // the run is bit-identical to an uninstrumented build.  Recording never
+  // feeds back into the computation.
+  // ------------------------------------------------------------------
+  const bool obs_on = obs::enabled();
+  obs::Counter* m_steps = nullptr;
+  obs::Counter* m_switches = nullptr;
+  obs::Counter* m_snapshots = nullptr;
+  obs::Counter* m_recoveries = nullptr;
+  obs::Counter* m_straggler_delays = nullptr;
+  obs::Histogram* h_step_seconds = nullptr;
+  obs::Histogram* h_drain_wait = nullptr;
+  if (obs_on) {
+    auto& reg = obs::metrics();
+    const std::vector<double> time_buckets{1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3,
+                                           0.01, 0.03, 0.1,  0.3,  1.0,  3.0};
+    m_steps = &reg.counter("ss_threaded_steps_total", "Worker minibatch steps completed");
+    m_switches =
+        &reg.counter("ss_threaded_switches_total", "Protocol switches enacted at drain barriers");
+    m_snapshots = &reg.counter("ss_threaded_snapshots_total", "Parameter snapshots captured");
+    m_recoveries =
+        &reg.counter("ss_threaded_recoveries_total", "Membership recovery passes applied");
+    m_straggler_delays =
+        &reg.counter("ss_threaded_straggler_delays_total", "Injected straggler delays");
+    h_step_seconds = &reg.histogram("ss_threaded_step_seconds", time_buckets,
+                                    "Compute-side step time per worker (seconds)");
+    h_drain_wait = &reg.histogram("ss_threaded_drain_wait_seconds", time_buckets,
+                                  "Time parked at the drain barrier (seconds)");
+    if (obs::tracing()) {
+      obs::tracer().set_track_name(0, "ps/control");
+      for (std::size_t w = 0; w < max_slots; ++w)
+        obs::tracer().set_track_name(static_cast<int>(w) + 1,
+                                     "worker " + std::to_string(w));
+    }
+  }
+  /// Span helper: records the [t0, t1) interval on `track` plus any metrics
+  /// the caller already updated.  Only called under `obs_on`.
+  auto obs_span = [](int track, const char* name, SteadyClock::time_point t0,
+                     SteadyClock::time_point t1, std::vector<obs::TraceArg> args = {}) {
+    if (!obs::tracing()) return;
+    auto& tr = obs::tracer();
+    tr.complete(track, name, tr.to_us(t0), tr.to_us(t1) - tr.to_us(t0), std::move(args));
+  };
+
   // Asynchronous snapshots for crash recovery: a run-start snapshot gives
   // recovery a floor, the background cadence bounds the loss window.
   SnapshotStore store;
   std::optional<AsyncSnapshotter> snapshotter;
-  auto capture_snapshot = [&ps, &total_updates] {
-    return ps.snapshot_checkpoint(total_updates.load(std::memory_order_relaxed));
+  auto capture_snapshot = [&] {
+    const SteadyClock::time_point t0 = obs_on ? SteadyClock::now() : SteadyClock::time_point{};
+    auto snap = ps.snapshot_checkpoint(total_updates.load(std::memory_order_relaxed));
+    if (obs_on) {
+      m_snapshots->add();
+      obs_span(0, "snapshot", t0, SteadyClock::now(),
+               {obs::arg("global_step", snap.global_step)});
+    }
+    return snap;
   };
   auto snapshot_progress = [&total_updates] {
     return total_updates.load(std::memory_order_relaxed);
@@ -303,6 +358,7 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
   /// inside the drain barrier's completion, or between epochs — never
   /// concurrently with a worker step.
   auto enter_phase = [&](std::size_t idx) {
+    const Protocol prev_proto = proto;
     phase_idx = idx;
     const SwitchPhase& ph = plan[idx];
     proto = ph.protocol;
@@ -334,6 +390,19 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
     // parked at the drain barrier), so this is the reconciled parameter
     // state the next phase starts from.
     ps.pull(std::span<float>(shared_snapshot));
+    if (obs_on) {
+      if (proto != prev_proto) m_switches->add();
+      if (obs::tracing()) {
+        if (proto != prev_proto)
+          obs::tracer().instant(0, "protocol_switch",
+                                {obs::arg("from", protocol_name(prev_proto)),
+                                 obs::arg("to", protocol_name(proto))});
+        obs::tracer().instant(0, "phase_start",
+                              {obs::arg("phase", static_cast<std::int64_t>(idx)),
+                               obs::arg("protocol", protocol_name(proto)),
+                               obs::arg("quota", quota)});
+      }
+    }
   };
   enter_phase(0);
 
@@ -531,8 +600,14 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
         cfg.stragglers.slow_factor(static_cast<int>(w), VTime::from_seconds(elapsed));
     if (factor <= 1.0) return;
     const double step_seconds = seconds_between(step_start, SteadyClock::now());
+    const SteadyClock::time_point t0 = obs_on ? SteadyClock::now() : SteadyClock::time_point{};
     std::this_thread::sleep_for(
         std::chrono::duration<double>(step_seconds * (factor - 1.0)));
+    if (obs_on) {
+      m_straggler_delays->add();
+      obs_span(static_cast<int>(w) + 1, "straggler_delay", t0, SteadyClock::now(),
+               {obs::arg("factor", factor)});
+    }
   };
 
   /// Feed one step observation to the shared detector.  Returns true when a
@@ -638,6 +713,12 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
     else
       rearm_phase();
     const double rec_seconds = seconds_between(rec_start, SteadyClock::now());
+    if (obs_on) {
+      m_recoveries->add();
+      obs_span(0, "recovery", rec_start, SteadyClock::now(),
+               {obs::arg("events", static_cast<std::int64_t>(applied.size())),
+                obs::arg("updates_lost", updates_lost)});
+    }
     bool loss_attributed = false;  // one restore per pass -> charge it once
     for (const auto& a : applied) {
       ThreadedMembershipStats ms;
@@ -702,8 +783,14 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
         inject_delay(w, step_start);
         // Compute-side span (pre-barrier): the controller's per-worker cost
         // sample — injected delays land in the slow worker's own mean.
-        c.phase_step_seconds += seconds_between(step_start, SteadyClock::now());
+        const SteadyClock::time_point step_end = SteadyClock::now();
+        c.phase_step_seconds += seconds_between(step_start, step_end);
         ++c.phase_step_count;
+        if (obs_on) {
+          m_steps->add();
+          h_step_seconds->observe(seconds_between(step_start, step_end));
+          obs_span(static_cast<int>(w) + 1, "step", step_start, step_end);
+        }
         feed_detector(w, step_start);  // the leader evaluates the condition below
         round_barrier.arrive_and_wait();  // all gradients ready
         if (w == leader) {
@@ -798,8 +885,14 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
         total_updates.fetch_add(1, std::memory_order_relaxed);
         // Compute-side span (excludes the SSP park above): the controller's
         // per-worker cost sample.
-        c.phase_step_seconds += seconds_between(step_start, SteadyClock::now());
+        const SteadyClock::time_point step_end = SteadyClock::now();
+        c.phase_step_seconds += seconds_between(step_start, step_end);
         ++c.phase_step_count;
+        if (obs_on) {
+          m_steps->add();
+          h_step_seconds->observe(seconds_between(step_start, step_end));
+          obs_span(static_cast<int>(w) + 1, "step", step_start, step_end);
+        }
         if (feed_detector(w, step_start))
           latch(reactive_membership ? membership_fired : trigger_fired);
         {
@@ -822,7 +915,14 @@ ThreadedTrainResult threaded_train(const Model& prototype, const Dataset& train,
             run_bsp_phase(w);
           else
             run_async_phase(w);
+          const SteadyClock::time_point drain_start =
+              obs_on ? SteadyClock::now() : SteadyClock::time_point{};
           drain_barrier.arrive_and_wait();
+          if (obs_on) {
+            const SteadyClock::time_point drain_end = SteadyClock::now();
+            h_drain_wait->observe(seconds_between(drain_start, drain_end));
+            obs_span(static_cast<int>(w) + 1, "drain_wait", drain_start, drain_end);
+          }
           if (run_over || epoch_over) break;
         }
       } catch (...) {

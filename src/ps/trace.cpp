@@ -1,11 +1,11 @@
 #include "ps/trace.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <fstream>
 #include <ostream>
 
 #include "common/error.h"
+#include "common/json.h"
 
 namespace ss {
 
@@ -55,83 +55,50 @@ void TraceRecorder::clear() {
   dropped_ = 0;
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c) & 0xff);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 void TraceRecorder::write_chrome_trace(std::ostream& os) const {
-  // Chrome trace-event "JSON array" format: one event object per line.
-  // pid 1 = the simulated cluster; tid = worker index (+1 so 0 stays free
-  // for the PS row).  Timestamps are microseconds, which VTime stores
-  // natively.
-  os << "[\n";
-  bool first = true;
-  auto sep = [&] {
-    if (!first) os << ",\n";
-    first = false;
-  };
+  // Chrome trace-event "JSON array" format: one event object per line,
+  // emitted through the shared ChromeTraceWriter (same path the obs wall
+  // tracer uses, so sim and real traces stay format-identical).  pid 1 =
+  // the simulated cluster; tid = worker index (+1 so 0 stays free for the
+  // PS row).  Timestamps are microseconds, which VTime stores natively.
+  ChromeTraceWriter w(os);
 
   // Thread-name metadata rows.
-  sep();
-  os << R"({"ph":"M","pid":1,"tid":0,"name":"thread_name","args":{"name":"parameter server"}})";
+  w.event().field("ph", "M").field("pid", 1).field("tid", 0)
+      .field("name", "thread_name").args().field("name", "parameter server");
   std::int64_t max_worker = -1;
   for (const auto& t : tasks_) max_worker = std::max<std::int64_t>(max_worker, t.worker);
-  for (std::int64_t w = 0; w <= max_worker; ++w) {
-    sep();
-    os << R"({"ph":"M","pid":1,"tid":)" << (w + 1)
-       << R"(,"name":"thread_name","args":{"name":")" << json_escape("worker " + std::to_string(w))
-       << R"("}})";
+  for (std::int64_t w_id = 0; w_id <= max_worker; ++w_id) {
+    w.event().field("ph", "M").field("pid", 1).field("tid", w_id + 1)
+        .field("name", "thread_name").args()
+        .field("name", "worker " + std::to_string(w_id));
   }
+  // Recorder accounting rides along as metadata so truncated traces
+  // self-describe.
+  w.event().field("ph", "M").field("pid", 1).field("tid", 0)
+      .field("name", "trace_metadata").args()
+      .field("clock", "virtual")
+      .field("recorded_events", static_cast<std::int64_t>(total_recorded()))
+      .field("dropped_events", static_cast<std::int64_t>(dropped_));
 
   for (const auto& t : tasks_) {
     const std::int64_t start_us = (t.completed_at - t.task_duration).us();
-    sep();
-    os << R"({"ph":"X","pid":1,"tid":)" << (t.worker + 1) << R"(,"ts":)" << start_us
-       << R"(,"dur":)" << t.task_duration.us() << R"(,"name":"task","args":{"images":)"
-       << t.images << "}}";
+    w.event().field("ph", "X").field("pid", 1).field("tid", t.worker + 1)
+        .field("ts", start_us).field("dur", t.task_duration.us()).field("name", "task")
+        .args().field("images", static_cast<std::int64_t>(t.images));
   }
   for (const auto& u : updates_) {
-    sep();
-    os << R"({"ph":"i","pid":1,"tid":0,"s":"t","ts":)" << u.time.us() << R"(,"name":")"
-       << json_escape(protocol_name(u.protocol)) << R"( update","args":{"step":)"
-       << u.global_step << R"(,"loss":)" << u.train_loss << R"(,"staleness":)" << u.staleness
-       << "}}";
+    w.event().field("ph", "i").field("pid", 1).field("tid", 0).field("s", "t")
+        .field("ts", u.time.us())
+        .field("name", std::string(protocol_name(u.protocol)) + " update")
+        .args().field("step", u.global_step).field("loss", u.train_loss)
+        .field("staleness", u.staleness);
   }
   for (const auto& e : evals_) {
-    sep();
-    os << R"({"ph":"C","pid":1,"ts":)" << e.time.us()
-       << R"(,"name":"test accuracy","args":{"accuracy":)" << e.accuracy << "}}";
+    w.event().field("ph", "C").field("pid", 1).field("ts", e.time.us())
+        .field("name", "test accuracy").args().field("accuracy", e.accuracy);
   }
-  os << "\n]\n";
+  w.close();
 }
 
 void TraceRecorder::save_chrome_trace(const std::string& path) const {

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"  // json_escape: shared with the obs wall tracer
 #include "ps/sim_runtime.h"
 
 namespace ss {
@@ -77,8 +78,5 @@ class TraceRecorder final : public MetricsSink {
   std::vector<UpdateObservation> updates_;
   std::vector<EvalEvent> evals_;
 };
-
-/// JSON string escaping (quotes, backslashes, control characters).
-std::string json_escape(const std::string& s);
 
 }  // namespace ss

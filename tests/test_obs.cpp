@@ -1,0 +1,504 @@
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "data/synthetic.h"
+#include "nn/zoo.h"
+#include "ps/switch_schedule.h"
+#include "ps/threaded_runtime.h"
+
+namespace ss {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal strict JSON parser — enough to prove a trace file is well-formed
+// and to pull out event fields.  Throws std::runtime_error on any syntax
+// error, which is the point: the trace must parse, not merely look plausible.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("json parse error at byte " + std::to_string(pos_) + ": " + why);
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string_value();
+      case 't':
+      case 'f':
+        return bool_value();
+      case 'n':
+        return null_value();
+      default:
+        return number_value();
+    }
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue key = string_value();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(key.str, value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    expect('"');
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return v;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        v.str += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': v.str += '"'; break;
+        case '\\': v.str += '\\'; break;
+        case '/': v.str += '/'; break;
+        case 'b': v.str += '\b'; break;
+        case 'f': v.str += '\f'; break;
+        case 'n': v.str += '\n'; break;
+        case 'r': v.str += '\r'; break;
+        case 't': v.str += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          for (int i = 0; i < 4; ++i)
+            if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + i])))
+              fail("bad \\u escape");
+          // Escaped control characters decode losslessly below 0x80; the
+          // writer only emits \u00XX, which is all this parser needs.
+          v.str += static_cast<char>(std::stoi(s_.substr(pos_, 4), nullptr, 16));
+          pos_ += 4;
+          break;
+        }
+        default:
+          fail("bad escape");
+      }
+    }
+  }
+
+  JsonValue bool_value() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (s_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      fail("bad literal");
+    }
+    return v;
+  }
+
+  JsonValue null_value() {
+    if (s_.compare(pos_, 4, "null") != 0) fail("bad literal");
+    pos_ += 4;
+    return {};
+  }
+
+  JsonValue number_value() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::stod(s_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+/// Every test owns the process-global obs state; leave it pristine.
+class ObsGlobalTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset_obs(); }
+  void TearDown() override { reset_obs(); }
+  static void reset_obs() {
+    obs::disable_all();
+    obs::metrics().reset();
+    obs::tracer().clear();
+  }
+};
+
+DataSplit easy_data() {
+  SyntheticSpec spec = SyntheticSpec::cifar10_like();
+  spec.train_size = 256;
+  spec.test_size = 64;
+  spec.num_classes = 4;
+  spec.feature_dim = 16;
+  return make_synthetic(spec);
+}
+
+// ---------------------------------------------------------------------------
+// Registry semantics.
+
+TEST(ObsMetrics, CounterGaugeHistogramBasics) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("events_total", "help text");
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5);
+  EXPECT_EQ(&reg.counter("events_total"), &c);  // re-registration returns the same instrument
+
+  obs::Gauge& g = reg.gauge("queue_depth");
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+
+  obs::Histogram& h = reg.histogram("latency_seconds", {0.1, 1.0, 10.0});
+  h.observe(0.05);   // bucket 0
+  h.observe(0.5);    // bucket 1
+  h.observe(0.1);    // le is inclusive: bucket 0
+  h.observe(100.0);  // overflow bucket
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_NEAR(h.sum(), 100.65, 1e-9);
+  EXPECT_EQ(h.bucket_counts(), (std::vector<std::int64_t>{2, 1, 0, 1}));
+
+  reg.reset();
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.bucket_counts(), (std::vector<std::int64_t>{0, 0, 0, 0}));
+}
+
+TEST(ObsMetrics, RegistrationCollisionsThrow) {
+  obs::MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), ConfigError);
+  EXPECT_THROW(reg.histogram("x", {1.0}), ConfigError);
+  reg.histogram("h", {1.0, 2.0});
+  EXPECT_THROW(reg.histogram("h", {1.0, 3.0}), ConfigError);  // bounds mismatch
+  EXPECT_NO_THROW(reg.histogram("h", {1.0, 2.0}));
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}), ConfigError);  // not increasing
+  EXPECT_THROW(obs::Histogram({}), ConfigError);
+}
+
+TEST(ObsMetrics, ConcurrentWritersLoseNoUpdates) {
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  obs::Counter& c = reg.counter("contended_total");
+  obs::Histogram& h = reg.histogram("contended_seconds", {0.5, 1.5, 2.5});
+  obs::Gauge& g = reg.gauge("contended_gauge");
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        h.observe(static_cast<double>(i % 4));  // buckets 0..2 and overflow, evenly
+        g.set(static_cast<double>(t));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(c.value(), static_cast<std::int64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<std::int64_t>(kThreads) * kPerThread);
+  constexpr std::int64_t kQuarter = static_cast<std::int64_t>(kThreads) * kPerThread / 4;
+  EXPECT_EQ(h.bucket_counts(), (std::vector<std::int64_t>{kQuarter, kQuarter, kQuarter, kQuarter}));
+  // i%4 sums to 6 per group of four observations.
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(kQuarter) * 6.0);
+  const double gv = g.value();
+  EXPECT_GE(gv, 0.0);
+  EXPECT_LT(gv, kThreads);  // last write wins: some thread's id, untorn
+  EXPECT_DOUBLE_EQ(gv, static_cast<double>(static_cast<int>(gv)));
+}
+
+TEST(ObsMetrics, ExpositionRoundTrips) {
+  obs::MetricsRegistry reg;
+  reg.counter("b_total", "second").add(7);
+  reg.counter("a_total", "first").add(3);
+  reg.gauge("depth", "a gauge").set(0.125);
+  obs::Histogram& h = reg.histogram("lat_seconds", {0.01, 0.1}, "a histogram");
+  h.observe(0.005);
+  h.observe(0.05);
+  h.observe(5.0);
+
+  const std::string text = reg.expose_text();
+  // Counters: HELP/TYPE headers and integer samples, sorted by name.
+  EXPECT_NE(text.find("# HELP a_total first\n# TYPE a_total counter\na_total 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("a_total 3"), std::string::npos);
+  EXPECT_NE(text.find("b_total 7"), std::string::npos);
+  EXPECT_LT(text.find("a_total 3"), text.find("b_total 7"));
+  EXPECT_NE(text.find("# TYPE depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("depth 0.125"), std::string::npos);
+  // Histogram: cumulative buckets, +Inf, then _sum/_count.
+  EXPECT_NE(text.find("# TYPE lat_seconds histogram"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"0.01\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"0.1\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count 3"), std::string::npos);
+
+  // The exposed _sum parses back to the exact recorded sum (precision(17)
+  // round-trips doubles).
+  const std::string key = "lat_seconds_sum ";
+  const std::size_t at = text.find(key);
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_DOUBLE_EQ(std::stod(text.substr(at + key.size())), h.sum());
+
+  // Snapshot agrees with the instruments.
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a_total");
+  EXPECT_EQ(snap.counters[0].value, 3);
+  EXPECT_EQ(snap.counters[1].name, "b_total");
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].buckets, (std::vector<std::int64_t>{1, 1, 1}));
+}
+
+// ---------------------------------------------------------------------------
+// Tracer semantics.
+
+TEST(ObsTracer, RecordsSpansAndDropsBeyondCap) {
+  obs::WallTracer tr;
+  EXPECT_FALSE(tr.enabled());
+  tr.complete(0, "ignored", 0, 1);  // disabled: recording is a no-op
+  EXPECT_EQ(tr.recorded(), 0u);
+
+  tr.enable(/*max_events=*/3);
+  for (int i = 0; i < 5; ++i) tr.complete(1, "span", i * 10, 5);
+  EXPECT_EQ(tr.recorded(), 3u);
+  EXPECT_EQ(tr.dropped(), 2u);
+
+  std::ostringstream os;
+  tr.write_chrome_trace(os);
+  const JsonValue doc = JsonParser(os.str()).parse();
+  ASSERT_EQ(doc.kind, JsonValue::Kind::kArray);
+  const JsonValue* meta = nullptr;
+  for (const JsonValue& ev : doc.array) {
+    const JsonValue* name = ev.find("name");
+    if (name != nullptr && name->str == "trace_metadata") meta = &ev;
+  }
+  ASSERT_NE(meta, nullptr) << "dropped count must ride along as trace metadata";
+  const JsonValue* args = meta->find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->find("clock")->str, "wall");
+  EXPECT_DOUBLE_EQ(args->find("recorded_events")->number, 3.0);
+  EXPECT_DOUBLE_EQ(args->find("dropped_events")->number, 2.0);
+
+  tr.enable(8);  // re-arming starts a fresh epoch and clears the buffer
+  EXPECT_EQ(tr.recorded(), 0u);
+  EXPECT_EQ(tr.dropped(), 0u);
+  EXPECT_THROW(tr.enable(0), ConfigError);
+}
+
+TEST(ObsTracer, EscapesArgStringsIntoValidJson) {
+  obs::WallTracer tr;
+  tr.enable();
+  tr.set_track_name(2, "worker \"2\"");
+  tr.complete(2, "step", 10, 20,
+              {obs::arg("why", std::string("quote \" slash \\ newline \n tab \t")),
+               obs::arg("n", std::int64_t{42}), obs::arg("x", 0.5)});
+  tr.instant(0, "marker");
+  tr.counter("accuracy", 0.875);
+
+  std::ostringstream os;
+  tr.write_chrome_trace(os);
+  const JsonValue doc = JsonParser(os.str()).parse();  // throws if escaping is broken
+  ASSERT_EQ(doc.kind, JsonValue::Kind::kArray);
+
+  bool saw_span = false;
+  for (const JsonValue& ev : doc.array) {
+    const JsonValue* name = ev.find("name");
+    if (name == nullptr || name->str != "step") continue;
+    saw_span = true;
+    EXPECT_DOUBLE_EQ(ev.find("ts")->number, 10.0);
+    EXPECT_DOUBLE_EQ(ev.find("dur")->number, 20.0);
+    EXPECT_DOUBLE_EQ(ev.find("tid")->number, 2.0);
+    const JsonValue* args = ev.find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(args->find("why")->str, "quote \" slash \\ newline \n tab \t");
+    EXPECT_DOUBLE_EQ(args->find("n")->number, 42.0);
+    EXPECT_DOUBLE_EQ(args->find("x")->number, 0.5);
+  }
+  EXPECT_TRUE(saw_span);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: a traced threaded run exports the spans the docs promise, and
+// observability is provably inert when off.
+
+TEST_F(ObsGlobalTest, ThreadedRunExportsExpectedSpans) {
+  obs::enable_tracing();
+  obs::enable_metrics();
+
+  const DataSplit split = easy_data();
+  Rng rng(11);
+  const Model proto = make_model(ModelArch::kLinear, split.train.feature_dim(), 4, rng);
+  ThreadedTrainConfig cfg;
+  cfg.schedule = SwitchSchedule::bsp_to_asp(6);  // BSP -> ASP: one live switch
+  cfg.num_workers = 2;
+  cfg.steps_per_worker = 12;
+  const auto result = threaded_train(proto, split.train, cfg);
+  ASSERT_GT(result.total_updates, 0);
+
+  std::ostringstream os;
+  obs::tracer().write_chrome_trace(os);
+  const JsonValue doc = JsonParser(os.str()).parse();
+  ASSERT_EQ(doc.kind, JsonValue::Kind::kArray);
+
+  std::set<std::string> names;
+  std::set<std::string> thread_names;
+  for (const JsonValue& ev : doc.array) {
+    const JsonValue* name = ev.find("name");
+    if (name == nullptr) continue;
+    if (name->str == "thread_name") {
+      thread_names.insert(ev.find("args")->find("name")->str);
+      continue;
+    }
+    names.insert(name->str);
+  }
+  EXPECT_TRUE(names.count("step")) << os.str().substr(0, 2000);
+  EXPECT_TRUE(names.count("drain_wait"));
+  EXPECT_TRUE(names.count("protocol_switch"));
+  EXPECT_TRUE(names.count("phase_start"));
+  EXPECT_TRUE(thread_names.count("ps/control"));
+  EXPECT_TRUE(thread_names.count("worker 0"));
+  EXPECT_TRUE(thread_names.count("worker 1"));
+
+  // The metrics side of the same run.
+  const std::string text = obs::metrics().expose_text();
+  EXPECT_NE(text.find("ss_threaded_steps_total 24"), std::string::npos) << text;
+  EXPECT_NE(text.find("ss_threaded_switches_total 1"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ss_threaded_step_seconds histogram"), std::string::npos);
+}
+
+TEST_F(ObsGlobalTest, OffByDefaultAndBitIdenticalOffVsOn) {
+  ASSERT_FALSE(obs::enabled());
+
+  const DataSplit split = easy_data();
+  Rng rng(11);
+  const Model proto = make_model(ModelArch::kLinear, split.train.feature_dim(), 4, rng);
+  ThreadedTrainConfig cfg;
+  cfg.protocol = Protocol::kBsp;  // leader-aggregated: bit-deterministic
+  cfg.num_workers = 4;
+  cfg.steps_per_worker = 10;
+
+  const auto off = threaded_train(proto, split.train, cfg);
+  EXPECT_EQ(obs::tracer().recorded(), 0u);  // no stray recording while off
+  // The global registry may hold zeroed registrations from earlier tests
+  // (instruments are never removed); an off run must not move any of them.
+  for (const auto& c : obs::metrics().snapshot().counters)
+    EXPECT_EQ(c.value, 0) << c.name;
+
+  obs::enable_tracing();
+  obs::enable_metrics();
+  const auto on = threaded_train(proto, split.train, cfg);
+  EXPECT_GT(obs::tracer().recorded(), 0u);
+
+  // Recording never alters computation: same seed, byte-identical model.
+  ASSERT_EQ(off.final_params.size(), on.final_params.size());
+  EXPECT_EQ(std::memcmp(off.final_params.data(), on.final_params.data(),
+                        off.final_params.size() * sizeof(float)),
+            0);
+  EXPECT_EQ(off.total_updates, on.total_updates);
+}
+
+}  // namespace
+}  // namespace ss

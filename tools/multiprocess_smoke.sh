@@ -28,7 +28,8 @@ fail() {
 # (~10k updates/s over a unix socket on one core => ~4s of run); the
 # survivor then finishes the remaining steps alone.
 "$CLI" serve --listen "unix:$SOCK" --workers 2 --steps 20000 --batch 16 \
-  --snapshot-interval 32 --verbose >"$DIR/server.log" 2>&1 &
+  --snapshot-interval 32 --verbose --metrics-out "$DIR/metrics.txt" \
+  >"$DIR/server.log" 2>&1 &
 SERVER=$!
 W0=""
 W1=""
@@ -72,6 +73,13 @@ grep -q "evicted worker" "$DIR/server.log" || fail "server never evicted the kil
 grep -q "1 evicted" "$DIR/server.log" || fail "summary does not report the eviction"
 grep -Eq "[1-9][0-9]* snapshot restores" "$DIR/server.log" \
   || fail "summary does not report a snapshot restore"
+# The server ran with --metrics-out, so its exposition dump must exist and
+# show real wire traffic (nonzero received-frame counter).
+[ -f "$DIR/metrics.txt" ] || fail "server did not write metrics.txt"
+grep -Eq "^ss_net_frames_received_total [1-9][0-9]*$" "$DIR/metrics.txt" \
+  || fail "metrics dump has no nonzero ss_net_frames_received_total"
+grep -q "metrics final" "$DIR/server.log" \
+  || fail "server log has no dump-on-exit metrics line"
 
-echo "PASS: killed worker evicted, snapshot restored, run completed"
+echo "PASS: killed worker evicted, snapshot restored, metrics dumped, run completed"
 exit 0

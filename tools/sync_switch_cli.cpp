@@ -58,6 +58,7 @@
 #include "net/ps_server.h"
 #include "net/worker_process.h"
 #include "nn/zoo.h"
+#include "obs/obs.h"
 #include "ps/threaded_runtime.h"
 #include "ps/trace.h"
 #include "scenario/generator.h"
@@ -396,6 +397,61 @@ int sweep_main(int argc, char** argv) {
   return failures == 0 ? 0 : 1;
 }
 
+/// Observability flags shared by the real runtimes (train/serve/worker):
+/// --trace-out / --metrics-out arm the process-global tracer/registry before
+/// the run and export after it; --log-level sets the logger floor.
+struct ObsFlags {
+  std::string trace_out;
+  std::string metrics_out;
+
+  /// Returns true when `arg` is an obs flag (and consumes its value).
+  template <typename ValueFn, typename UsageFn>
+  bool parse(const std::string& arg, ValueFn&& value, UsageFn&& usage_fn) {
+    if (arg == "--trace-out") {
+      trace_out = value();
+    } else if (arg == "--metrics-out") {
+      metrics_out = value();
+    } else if (arg == "--log-level") {
+      const std::string level = value();
+      if (const auto parsed = parse_log_level(level)) set_log_level(*parsed);
+      else usage_fn();
+    } else {
+      return false;
+    }
+    return true;
+  }
+
+  void arm() const {
+    if (!trace_out.empty()) obs::enable_tracing();
+    if (!metrics_out.empty()) obs::enable_metrics();
+  }
+
+  [[nodiscard]] bool metrics_enabled() const { return !metrics_out.empty(); }
+
+  /// Export whatever the run recorded.  Call after the run completes.
+  void finish() const {
+    if (!trace_out.empty()) {
+      obs::tracer().save_chrome_trace(trace_out);
+      std::cout << "trace: " << obs::tracer().recorded() << " events ("
+                << obs::tracer().dropped() << " dropped) -> " << trace_out
+                << " (open in chrome://tracing or ui.perfetto.dev)\n";
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      if (!out) throw IoError("cannot open " + metrics_out);
+      out << obs::metrics().expose_text();
+      if (!out.good()) throw IoError("write failed for " + metrics_out);
+      std::cout << "metrics: -> " << metrics_out << "\n";
+    }
+  }
+};
+
+const char* kObsUsage =
+    "observability (off by default; see docs/ARCHITECTURE.md):\n"
+    "  --trace-out FILE   record wall-clock spans; write a Chrome trace JSON\n"
+    "  --metrics-out FILE record counters/histograms; write Prometheus text\n"
+    "  --log-level L      debug | info | warn | error | off (or SS_LOG_LEVEL)\n";
+
 [[noreturn]] void train_usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " train [options]\n"
@@ -417,6 +473,7 @@ int sweep_main(int argc, char** argv) {
       << "  --compress C       none | topk | terngrad | qsgd (default none)\n"
       << "  --straggler W      inject a wall-clock straggler on worker slot W\n"
       << "  --factor F         straggler slowdown factor (default 8)\n"
+      << "  --switch-at N      schedule: BSP for the first N steps, then ASP\n"
       << "  --seed X           run seed (default 99)\n"
       << "controller options:\n"
       << "  --controller       enable the online controller\n"
@@ -427,7 +484,8 @@ int sweep_main(int argc, char** argv) {
       << "  --horizon H        twin simulation horizon in steps (default 192)\n"
       << "  --cache DIR        twin run-cache directory (persists across runs)\n"
       << "  --evict            let the controller evict the measured straggler\n"
-      << "  --verbose          info-level logging\n";
+      << "  --verbose          info-level logging\n"
+      << kObsUsage;
   std::exit(2);
 }
 
@@ -465,6 +523,8 @@ int train_main(int argc, char** argv) {
   int classes = 10;
   int straggler = -1;
   double factor = 8.0;
+  std::int64_t switch_at = -1;
+  ObsFlags obs_flags;
 
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
@@ -497,6 +557,7 @@ int train_main(int argc, char** argv) {
       else if (arg == "--compress") compress = value();
       else if (arg == "--straggler") straggler = parse_int(arg, value());
       else if (arg == "--factor") factor = parse_double(arg, value());
+      else if (arg == "--switch-at") switch_at = parse_i64(arg, value());
       else if (arg == "--seed") cfg.seed = parse_u64(arg, value());
       else if (arg == "--controller") cfg.controller.enabled = true;
       else if (arg == "--interval") cfg.controller.decision_interval = parse_i64(arg, value());
@@ -508,6 +569,7 @@ int train_main(int argc, char** argv) {
       else if (arg == "--cache") cfg.controller.cache_dir = value();
       else if (arg == "--evict") cfg.controller.consider_eviction = true;
       else if (arg == "--verbose") set_log_level(LogLevel::kInfo);
+      else if (obs_flags.parse(arg, value, [&] { train_usage(argv[0]); })) {}
       else train_usage(argv[0]);
     } catch (const ConfigError& e) {
       std::cerr << "error: " << e.what() << "\n";
@@ -541,6 +603,15 @@ int train_main(int argc, char** argv) {
                                                   VTime::from_seconds(1e9), factor);
   }
 
+  if (switch_at >= 0) {
+    try {
+      cfg.schedule = SwitchSchedule::bsp_to_asp(switch_at);
+    } catch (const ConfigError& e) {
+      std::cerr << "error: --switch-at " << switch_at << ": " << e.what() << "\n";
+      return 2;
+    }
+  }
+
   SyntheticSpec spec = classes == 100 ? SyntheticSpec::cifar100_like()
                                       : SyntheticSpec::cifar10_like();
   if (classes != 10 && classes != 100) train_usage(argv[0]);
@@ -558,9 +629,11 @@ int train_main(int argc, char** argv) {
     std::cout << ", controller on (interval " << cfg.controller.decision_interval << ")";
   if (straggler >= 0)
     std::cout << ", straggler on worker " << straggler << " (x" << factor << ")";
+  if (switch_at >= 0) std::cout << ", switch BSP->ASP at step " << switch_at;
   std::cout << "\n";
 
   try {
+    obs_flags.arm();
     const auto t0 = std::chrono::steady_clock::now();
     const ThreadedTrainResult result = threaded_train(model, data.train, cfg);
     const double wall =
@@ -577,6 +650,7 @@ int train_main(int argc, char** argv) {
       std::cout << "controller decisions:\n";
       print_decisions(result.decisions);
     }
+    obs_flags.finish();
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
@@ -607,7 +681,9 @@ int train_main(int argc, char** argv) {
       << "  --connect EP           server endpoint (default unix:/tmp/sync_switch_ps.sock)\n"
       << "  --crash-after N        abruptly disconnect after N steps (recovery testing)\n"
       << "both:\n"
-      << "  --verbose              info-level logging\n";
+      << "  --verbose              info-level logging\n"
+      << kObsUsage
+      << "  (serve with --metrics-out also logs a metrics line every 5 s)\n";
   std::exit(2);
 }
 
@@ -645,6 +721,7 @@ struct FlagCursor {
 int serve_main(int argc, char** argv) {
   PsServerConfig cfg;
   cfg.snapshot_interval = 64;
+  ObsFlags obs_flags;
   for (FlagCursor c{argc, argv, 2}; c.next(); ++c.i) {
     auto value = [&] { return c.value(argv[0]); };
     try {
@@ -676,6 +753,7 @@ int serve_main(int argc, char** argv) {
         else if (k == "terngrad") cfg.compression = CompressionSpec::terngrad();
         else if (k == "qsgd") cfg.compression = CompressionSpec::qsgd(15);
         else net_usage(argv[0]);
+      } else if (obs_flags.parse(c.arg, value, [&] { net_usage(argv[0]); })) {
       } else {
         net_usage(argv[0]);
       }
@@ -685,11 +763,16 @@ int serve_main(int argc, char** argv) {
     }
   }
   try {
+    obs_flags.arm();
+    // Metrics-armed servers report on a fixed cadence so a watcher (or the
+    // smoke script's log) can see frame counters move mid-run.
+    if (obs_flags.metrics_enabled()) cfg.metrics_period_seconds = 5.0;
     const PsServerResult r = run_ps_server(cfg);
     std::cout << "ps_server: " << r.total_updates << " updates from " << r.workers_joined
               << " workers (" << r.workers_evicted << " evicted, " << r.snapshots_restored
               << " snapshot restores, " << r.updates_lost << " updates lost)\n"
               << "ps_server: final accuracy " << r.final_accuracy << "\n";
+    obs_flags.finish();
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
@@ -700,12 +783,14 @@ int serve_main(int argc, char** argv) {
 int worker_main(int argc, char** argv) {
   WorkerProcessConfig cfg;
   cfg.endpoint = "unix:/tmp/sync_switch_ps.sock";
+  ObsFlags obs_flags;
   for (FlagCursor c{argc, argv, 2}; c.next(); ++c.i) {
     auto value = [&] { return c.value(argv[0]); };
     try {
       if (c.arg == "--connect") cfg.endpoint = value();
       else if (c.arg == "--crash-after") cfg.crash_after_steps = parse_i64(c.arg, value());
       else if (c.arg == "--verbose") set_log_level(LogLevel::kInfo);
+      else if (obs_flags.parse(c.arg, value, [&] { net_usage(argv[0]); })) {}
       else net_usage(argv[0]);
     } catch (const ConfigError& e) {
       std::cerr << "error: " << e.what() << "\n";
@@ -713,15 +798,18 @@ int worker_main(int argc, char** argv) {
     }
   }
   try {
+    obs_flags.arm();
     const WorkerProcessResult r = run_worker_process(cfg);
     if (!r.drained && cfg.crash_after_steps >= 0) {
       std::cout << "worker " << r.worker << ": simulated crash after " << r.steps
                 << " steps\n";
+      obs_flags.finish();
       return 0;
     }
     std::cout << "worker " << r.worker << ": " << r.steps << " steps, " << r.push_bytes
               << " push bytes, mean staleness " << r.mean_staleness
               << (r.drained ? ", drained" : "") << "\n";
+    obs_flags.finish();
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
